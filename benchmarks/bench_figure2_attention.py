@@ -1,0 +1,65 @@
+"""Figure 2 — per-class flyback attention over granularity levels.
+
+Trains AdamGNN node classifiers on the ACM- and DBLP-style graphs and
+prints the class × level attention heat map.  Expected shape: different
+classes concentrate their attention on different levels, and the same
+topic-like class shows *different* level profiles on the two datasets —
+the qualitative observation of the paper's Figure 2.
+"""
+
+from typing import Tuple
+
+import numpy as np
+import pytest
+
+from repro.core import attention_by_class, format_attention_heatmap
+from repro.datasets import load_node_dataset
+from repro.tensor import Tensor
+from repro.training import (NodeClassificationTrainer, TrainConfig,
+                            make_node_classifier, prepare_node_features)
+
+from .common import emit, is_smoke
+
+CLASS_NAMES = {
+    "acm": ["database", "wireless comm.", "data mining"],
+    "dblp": ["database", "data mining", "AI", "computer vision"],
+}
+
+
+def _attention_for(dataset_name: str) -> Tuple[str, np.ndarray]:
+    dataset = load_node_dataset(dataset_name, seed=0)
+    features = prepare_node_features(dataset)
+    model = make_node_classifier("adamgnn", features.shape[1],
+                                 dataset.num_classes, seed=0, num_levels=3)
+    epochs = 2 if is_smoke() else 60
+    config = TrainConfig(epochs=epochs, patience=25, seed=0)
+    NodeClassificationTrainer(config).fit(model, dataset)
+    model.eval()
+    _, out = model(Tensor(features), dataset.graph.edge_index,
+                   dataset.graph.edge_weight)
+    table = attention_by_class(out, dataset.graph.y, dataset.num_classes)
+    return format_attention_heatmap(table, CLASS_NAMES[dataset_name]), table
+
+
+def generate_figure2() -> str:
+    sections = []
+    spread = []
+    for name in ("acm", "dblp"):
+        rendered, table = _attention_for(name)
+        sections.append(f"--- {name.upper()} ---\n{rendered}")
+        spread.append(float(table.max(axis=1).mean()
+                            - table.min(axis=1).mean()))
+    sections.append(
+        "\nPaper's Figure 2 observation: attention distributions differ by\n"
+        "class and by dataset (e.g. 'data mining' peaks at level-1 on ACM\n"
+        f"but at a deeper level on DBLP).  Mean per-class attention spread\n"
+        f"measured here: ACM {spread[0]:.3f}, DBLP {spread[1]:.3f} "
+        "(0 would mean uniform, uninformative attention).")
+    return "\n\n".join(sections)
+
+
+@pytest.mark.benchmark(group="figure2")
+def test_figure2_attention_heatmap(benchmark):
+    figure = benchmark.pedantic(generate_figure2, rounds=1, iterations=1)
+    emit("Figure 2: flyback attention by class and level", figure)
+    assert "ACM" in figure

@@ -1,0 +1,54 @@
+"""Table 1 — graph classification accuracy on six datasets × eight models.
+
+Regenerates the paper's main graph-level comparison: GIN, 3WL-GNN,
+SortPool, DiffPool, TopKPool, SAGPool, StructPool and AdamGNN on the six
+(synthetic stand-in) TU datasets.  Expected shape: AdamGNN wins most
+datasets; StructPool is the strongest baseline and may take PROTEINS, as
+in the paper.
+"""
+
+import pytest
+
+from repro.training import (GRAPH_MODEL_NAMES, TrainConfig,
+                            run_graph_classification)
+
+from .common import PAPER_TABLE1, comparison_table, emit, is_smoke
+
+DATASETS = ("nci1", "nci109", "dd", "mutag", "mutagenicity", "proteins")
+
+
+#: 3WL-GNN's dense O(n³) blocks are ~50x costlier per epoch than the
+#: sparse models on this CPU substrate; it gets a reduced epoch budget
+#: (it converges quickly on these graph sizes — the paper likewise treats
+#: it as the expensive expressive reference point).
+EPOCH_OVERRIDES = {"3wl": (15, 8)}
+
+
+def _config(model: str) -> TrainConfig:
+    if is_smoke():
+        return TrainConfig(epochs=2, patience=5, batch_size=32)
+    epochs, patience = EPOCH_OVERRIDES.get(model, (80, 25))
+    return TrainConfig(epochs=epochs, patience=patience, batch_size=32)
+
+
+def _datasets():
+    return ("mutag",) if is_smoke() else DATASETS
+
+
+def generate_table1() -> str:
+    """Run the full grid and render the measured-vs-paper table."""
+    results: dict = {model: {} for model in GRAPH_MODEL_NAMES}
+    for dataset in _datasets():
+        for model in GRAPH_MODEL_NAMES:
+            cell = run_graph_classification(dataset, model, seeds=(0,),
+                                            config=_config(model))
+            results[model][dataset] = cell.mean * 100.0
+    return comparison_table(results, PAPER_TABLE1,
+                            GRAPH_MODEL_NAMES, _datasets())
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_graph_classification(benchmark):
+    table = benchmark.pedantic(generate_table1, rounds=1, iterations=1)
+    emit("Table 1: graph classification accuracy (%)", table)
+    assert table

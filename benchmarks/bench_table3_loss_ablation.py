@@ -1,0 +1,86 @@
+"""Table 3 — ablation of the loss terms (Eq. 7).
+
+Four configurations of ``L = L_task + γ·L_KL + δ·L_R`` on DBLP link
+prediction, Citeseer node classification and Mutagenicity graph
+classification.  Expected shape: L_R provides the larger gain (it fights
+the over-smoothing the unpooling amplifies); the full model is best.
+
+For link prediction ``L_task = L_R``, so the two middle rows are undefined
+(marked "-"), exactly as in the paper.
+"""
+
+from typing import Dict, Optional
+
+import pytest
+
+from repro.training import (TrainConfig, run_graph_classification,
+                            run_link_prediction, run_node_classification)
+
+from .common import PAPER_TABLE3, emit, is_smoke
+
+VARIANTS = {
+    "task only": dict(use_kl=False, use_recon=False),
+    "task + kl": dict(use_kl=True, use_recon=False),
+    "task + recon": dict(use_kl=False, use_recon=True),
+    "full": dict(use_kl=True, use_recon=True),
+}
+
+
+def _config(**flags) -> TrainConfig:
+    if is_smoke():
+        return TrainConfig(epochs=2, patience=5, batch_size=32, **flags)
+    return TrainConfig(epochs=80, patience=25, batch_size=32, **flags)
+
+
+def _cell(column: str, flags: dict) -> Optional[float]:
+    if column == "dblp_lp":
+        # For LP the task loss IS L_R, so only the KL flag varies; rows
+        # "task + kl" and "task + recon" are not defined (paper leaves
+        # them blank).
+        if flags == VARIANTS["task + kl"] or flags == VARIANTS["task + recon"]:
+            return None
+        cfg = _config(use_kl=flags["use_kl"], use_recon=True)
+        return run_link_prediction("dblp", "adamgnn", seeds=(0,),
+                                   config=cfg).mean
+    if column == "citeseer_nc":
+        cfg = _config(**flags)
+        return run_node_classification("citeseer", "adamgnn", seeds=(0,),
+                                       config=cfg).mean * 100.0
+    cfg = _config(**flags)
+    return run_graph_classification("mutagenicity", "adamgnn", seeds=(0,),
+                                    config=cfg).mean * 100.0
+
+
+def generate_table3() -> str:
+    columns = ("dblp_lp", "citeseer_nc", "mutagenicity_gc")
+    if is_smoke():
+        columns = ("citeseer_nc",)
+    measured: Dict[str, Dict[str, float]] = {}
+    for name, flags in VARIANTS.items():
+        measured[name] = {}
+        for column in columns:
+            measured[name][column] = _cell(column, flags)
+
+    width = 24
+    header = f"{'loss variant':<16}" + "".join(f"{c:>{width}}"
+                                               for c in columns)
+    lines = [header, "-" * len(header)]
+    for name in VARIANTS:
+        cells = []
+        for column in columns:
+            value = measured[name].get(column)
+            paper = PAPER_TABLE3[name].get(column)
+            fmt = "{:.3f}" if column == "dblp_lp" else "{:.2f}"
+            v_txt = fmt.format(value) if value is not None else "-"
+            p_txt = fmt.format(paper) if paper is not None else "-"
+            cells.append(f"{v_txt + ' (' + p_txt + ')':>{width}}")
+        lines.append(f"{name:<16}" + "".join(cells))
+    lines.append("\ncell format: measured (paper)")
+    return "\n".join(lines)
+
+
+@pytest.mark.benchmark(group="table3")
+def test_table3_loss_ablation(benchmark):
+    table = benchmark.pedantic(generate_table3, rounds=1, iterations=1)
+    emit("Table 3: loss-term ablation", table)
+    assert table

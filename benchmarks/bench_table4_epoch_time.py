@@ -1,0 +1,52 @@
+"""Table 4 — mean per-epoch training time of the graph-classification
+pooling models on NCI1, NCI109 and PROTEINS.
+
+Expected shape: the dense assignment methods (DiffPool, StructPool) pay the
+O(n²) cost, TopKPool pays for its unpooling convolutions, SAGPool is the
+cheapest, and AdamGNN sits in between — the sparse-design claim of the
+paper's running-time analysis.
+
+Absolute seconds are NumPy-on-CPU and not comparable to the paper's GPU
+numbers; compare the *ordering* of the rows per column.
+"""
+
+from typing import Dict
+
+import numpy as np
+import pytest
+
+from repro.datasets import load_graph_dataset
+from repro.training import TrainConfig
+from repro.training.experiment import make_graph_classifier
+from repro.training.graph_trainer import GraphClassificationTrainer
+
+from .common import PAPER_TABLE4, comparison_table, emit, is_smoke
+
+MODELS = ("diffpool", "sagpool", "topkpool", "structpool", "adamgnn")
+DATASETS = ("nci1", "nci109", "proteins")
+
+
+def generate_table4() -> str:
+    datasets = ("nci1",) if is_smoke() else DATASETS
+    repeats = 1 if is_smoke() else 3
+    trainer = GraphClassificationTrainer(TrainConfig(epochs=1,
+                                                     batch_size=32))
+    measured: Dict[str, Dict[str, float]] = {m: {} for m in MODELS}
+    for dataset in datasets:
+        data = load_graph_dataset(dataset, seed=0)
+        for model_name in MODELS:
+            times = []
+            for _ in range(repeats):
+                model = make_graph_classifier(model_name,
+                                              data.num_features, 2, seed=0)
+                times.append(trainer.time_one_epoch(model, data))
+            measured[model_name][dataset] = float(np.mean(times))
+    return comparison_table(measured, PAPER_TABLE4, MODELS, datasets,
+                            fmt="{:.2f}")
+
+
+@pytest.mark.benchmark(group="table4")
+def test_table4_epoch_time(benchmark):
+    table = benchmark.pedantic(generate_table4, rounds=1, iterations=1)
+    emit("Table 4: per-epoch training time (seconds)", table)
+    assert table

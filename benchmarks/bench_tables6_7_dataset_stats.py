@@ -1,0 +1,62 @@
+"""Tables 6 & 7 — dataset statistics of the twelve benchmarks.
+
+Prints the statistics of the synthetic stand-ins next to the paper's
+published numbers; class/feature counts match exactly, sizes are scaled
+(~4-6x smaller) per DESIGN.md.
+"""
+
+import pytest
+
+from repro.datasets import (GRAPH_DATASET_NAMES, NODE_DATASET_NAMES,
+                            format_graph_stats_table,
+                            format_node_stats_table, graph_dataset_stats,
+                            load_graph_dataset, load_node_dataset,
+                            node_dataset_stats)
+
+from .common import emit
+
+PAPER_TABLE6 = """Paper (Table 6):
+Dataset     #Nodes   #Edges  #Features  #Classes
+acm          3,025   13,128      1,870         3
+citeseer     3,327    4,552      3,703         6
+cora         2,708    5,278      1,433         7
+emails         799   10,182       N.A.        18
+dblp         4,057    3,528        334         4
+wiki         2,405   12,178      4,973        17"""
+
+PAPER_TABLE7 = """Paper (Table 7):
+Dataset        #Graphs  #Nodes(avg)  #Edges(avg)  #Features  #Classes
+nci1             4,110        29.87        32.30         37         2
+nci109           4,127        29.68        32.13         38         2
+dd               1,178       284.32       715.66         89         2
+mutag              188        17.93        19.79          7         2
+mutagenicity     4,337        30.32        30.77         14         2
+proteins         1,113        39.06        72.82         32         2"""
+
+
+def generate_table6() -> str:
+    rows = [node_dataset_stats(load_node_dataset(name, seed=0))
+            for name in NODE_DATASET_NAMES]
+    return (format_node_stats_table(rows) + "\n\n" + PAPER_TABLE6)
+
+
+def generate_table7() -> str:
+    rows = [graph_dataset_stats(load_graph_dataset(name, seed=0))
+            for name in GRAPH_DATASET_NAMES]
+    return (format_graph_stats_table(rows) + "\n\n" + PAPER_TABLE7)
+
+
+@pytest.mark.benchmark(group="tables6-7")
+def test_table6_node_dataset_stats(benchmark):
+    table = benchmark.pedantic(generate_table6, rounds=1, iterations=1)
+    emit("Table 6: node-task dataset statistics (synthetic stand-ins)",
+         table)
+    assert "acm" in table
+
+
+@pytest.mark.benchmark(group="tables6-7")
+def test_table7_graph_dataset_stats(benchmark):
+    table = benchmark.pedantic(generate_table7, rounds=1, iterations=1)
+    emit("Table 7: graph-task dataset statistics (synthetic stand-ins)",
+         table)
+    assert "mutag" in table

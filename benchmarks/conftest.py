@@ -1,0 +1,19 @@
+"""Benchmark-suite fixtures.
+
+pytest's default file-descriptor capture swallows even direct writes to
+``sys.__stdout__``; the autouse fixture below hands the capture manager to
+:func:`benchmarks.common.emit` so each rendered table can be printed with
+capture temporarily disabled (and therefore lands in redirected logs such
+as ``bench_output.txt``).
+"""
+
+import pytest
+
+from . import common
+
+
+@pytest.fixture(autouse=True)
+def _expose_capture_control(capfd):
+    common.CAPTURE_CONTROL = capfd
+    yield
+    common.CAPTURE_CONTROL = None

@@ -1,0 +1,54 @@
+"""Explainability: which granularity level drives each class? (Figure 2).
+
+Trains AdamGNN node classifiers on the ACM- and DBLP-style citation graphs
+and prints the per-class flyback-attention heat map — the paper's Figure 2
+analysis, where e.g. "data mining" papers attend to different granularity
+levels on different datasets.
+
+Run with::
+
+    python examples/explain_attention.py
+"""
+
+import numpy as np
+
+from repro.core import attention_by_class, format_attention_heatmap
+from repro.datasets import load_node_dataset
+from repro.tensor import Tensor
+from repro.training import (NodeClassificationTrainer, TrainConfig,
+                            make_node_classifier, prepare_node_features)
+
+#: Class-name stand-ins matching the paper's topic labels.
+CLASS_NAMES = {
+    "acm": ["database", "wireless comm.", "data mining"],
+    "dblp": ["database", "data mining", "AI", "computer vision"],
+}
+
+
+def main() -> None:
+    for name in ("acm", "dblp"):
+        dataset = load_node_dataset(name, seed=0)
+        features = prepare_node_features(dataset)
+        model = make_node_classifier("adamgnn", features.shape[1],
+                                     dataset.num_classes, seed=0,
+                                     num_levels=3)
+        config = TrainConfig(epochs=80, patience=25, seed=0)
+        result = NodeClassificationTrainer(config).fit(model, dataset)
+
+        model.eval()
+        _, out = model(Tensor(features), dataset.graph.edge_index,
+                       dataset.graph.edge_weight)
+        table = attention_by_class(out, dataset.graph.y,
+                                   dataset.num_classes)
+        print(f"\n=== {name.upper()} "
+              f"(test accuracy {result.test_accuracy:.3f}, "
+              f"{out.num_levels} levels constructed) ===")
+        print(format_attention_heatmap(table, CLASS_NAMES[name]))
+
+    print("\nReading: each row is a class; columns are granularity levels; "
+          "values are the mean flyback attention β (rows sum to 1). "
+          "Darker glyphs mark the level a class draws most semantics from.")
+
+
+if __name__ == "__main__":
+    main()

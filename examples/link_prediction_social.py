@@ -1,0 +1,66 @@
+"""Link prediction on a social-style network (the paper's LP protocol).
+
+Scenario: a webpage/social graph with weak node features and strong
+community structure — the Wiki setting where the paper reports its largest
+link-prediction gains.  We hold out 10% + 10% of the edges (Section 4.1),
+train an encoder on the remaining graph, and score held-out pairs with the
+inner-product decoder ``σ(h_uᵀ h_v)``.
+
+Run with::
+
+    python examples/link_prediction_social.py
+"""
+
+import numpy as np
+
+from repro.core import link_probabilities
+from repro.datasets import load_node_dataset, split_links
+from repro.tensor import Tensor
+from repro.training import (LinkPredictionTrainer, TrainConfig,
+                            make_link_predictor, roc_auc)
+
+
+def main() -> None:
+    dataset = load_node_dataset("wiki", seed=0)
+    graph = dataset.graph
+    print(f"Dataset: {dataset.name} — {graph.num_nodes} nodes, "
+          f"{graph.num_edges // 2} edges, {dataset.num_classes} communities")
+
+    # The 80/10/10 edge split; negatives sampled per split, disjointly.
+    splits = split_links(graph, np.random.default_rng(0))
+    print(f"train/val/test edges: {splits.train_edges.shape[1]} / "
+          f"{splits.val_edges.shape[1]} / {splits.test_edges.shape[1]}")
+
+    config = TrainConfig(epochs=120, patience=35, seed=0)
+    trainer = LinkPredictionTrainer(config)
+
+    results = {}
+    for name in ("gcn", "adamgnn"):
+        model = make_link_predictor(name, graph.num_features, seed=0,
+                                    num_levels=4)
+        results[name] = trainer.fit(model, dataset, splits)
+
+    print(f"\n{'model':<10}{'test ROC-AUC':>14}")
+    for name, result in results.items():
+        print(f"{name:<10}{result.test_auc:>14.4f}")
+
+    # Inspect a few concrete predictions from the AdamGNN encoder.
+    model = make_link_predictor("adamgnn", graph.num_features, seed=0,
+                                num_levels=4)
+    trainer.fit(model, dataset, splits)
+    model.eval()
+    out = model(Tensor(splits.train_graph.x),
+                splits.train_graph.edge_index,
+                splits.train_graph.edge_weight)
+    pos_probs = link_probabilities(out.h, splits.test_edges[:, :5])
+    neg_probs = link_probabilities(out.h, splits.test_negatives[:, :5])
+    print("\nsample decoder probabilities")
+    print("  true edges:     ", np.round(pos_probs, 3))
+    print("  sampled non-edges:", np.round(neg_probs, 3))
+    mixed = np.concatenate([pos_probs, neg_probs])
+    labels = np.concatenate([np.ones(5), np.zeros(5)])
+    print(f"  sample AUC: {roc_auc(mixed, labels):.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""Graph classification on molecule-style data (the Table-1 setting).
+
+Scenario: anticancer-activity screening à la NCI1 — each graph is a
+molecule, the label marks activity, and the discriminative signal is a
+*multi-scale structural* pattern (fused-ring assemblies).  We train AdamGNN
+against the strongest sparse pooling baseline (SAGPool) and show the
+per-stage coarsening AdamGNN discovered.
+
+Run with::
+
+    python examples/molecule_classification.py
+"""
+
+import numpy as np
+
+from repro.datasets import load_graph_dataset
+from repro.graph import GraphBatch
+from repro.tensor import Tensor
+from repro.training import (GraphClassificationTrainer, TrainConfig,
+                            make_graph_classifier)
+
+
+def main() -> None:
+    dataset = load_graph_dataset("nci1", seed=0)
+    sizes = [g.num_nodes for g in dataset.graphs]
+    print(f"Dataset: {dataset.name} — {len(dataset.graphs)} molecules, "
+          f"avg {np.mean(sizes):.1f} atoms, "
+          f"{dataset.num_features} atom types")
+
+    config = TrainConfig(epochs=30, patience=10, batch_size=32, seed=0)
+    trainer = GraphClassificationTrainer(config)
+
+    results = {}
+    for name in ("sagpool", "adamgnn"):
+        model = make_graph_classifier(name, dataset.num_features,
+                                      dataset.num_classes, seed=0,
+                                      num_levels=2)
+        results[name] = trainer.fit(model, dataset)
+
+    print(f"\n{'model':<10}{'test accuracy':>15}{'sec/epoch':>11}")
+    for name, result in results.items():
+        print(f"{name:<10}{result.test_accuracy:>15.4f}"
+              f"{result.seconds_per_epoch:>11.2f}")
+
+    # Peek inside AdamGNN: how did the adaptive pooling coarsen a batch?
+    model = make_graph_classifier("adamgnn", dataset.num_features,
+                                  dataset.num_classes, seed=0, num_levels=2)
+    trainer.fit(model, dataset)
+    model.eval()
+    batch = GraphBatch.from_graphs(dataset.subset(dataset.test_index[:8]))
+    _, out = model(Tensor(batch.x), batch.edge_index, batch.edge_weight,
+                   batch.batch, batch.num_graphs)
+    trail = [batch.num_nodes] + [lvl.num_hyper for lvl in out.levels]
+    arrow = " -> ".join(str(n) for n in trail)
+    print(f"\nadaptive coarsening of an 8-molecule batch: {arrow} nodes")
+    print("(no pooling ratio was configured — the ego-network selection "
+          "adapts to each molecule)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""Quickstart: train AdamGNN for node classification in ~30 lines.
+
+Builds the synthetic Cora benchmark, trains an
+:class:`~repro.core.AdamGNNNodeClassifier` with the paper's loss
+``L = L_task + γ·L_KL + δ·L_R`` (Eq. 7), and prints test accuracy next to a
+2-layer GCN baseline.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.datasets import load_node_dataset
+from repro.training import (NodeClassificationTrainer, TrainConfig,
+                            make_node_classifier, prepare_node_features)
+
+
+def main() -> None:
+    # 1. Load a benchmark graph (deterministic synthetic stand-in for Cora:
+    #    2.7k-node citation network scaled to ~570 nodes, 7 classes).
+    dataset = load_node_dataset("cora", seed=0)
+    graph = dataset.graph
+    print(f"Dataset: {dataset.name} — {graph.num_nodes} nodes, "
+          f"{graph.num_edges // 2} edges, {graph.num_features} features, "
+          f"{dataset.num_classes} classes")
+
+    # 2. Build models.  AdamGNN needs no pooling ratio: the multi-grained
+    #    structure is discovered adaptively (Section 3.2 of the paper).
+    in_features = prepare_node_features(dataset).shape[1]
+    adamgnn = make_node_classifier("adamgnn", in_features,
+                                   dataset.num_classes, seed=0,
+                                   num_levels=3)
+    gcn = make_node_classifier("gcn", in_features, dataset.num_classes,
+                               seed=0)
+
+    # 3. Train with the paper's protocol: Adam, γ=0.1, δ=0.01, early
+    #    stopping on the validation split.
+    config = TrainConfig(epochs=100, patience=25, gamma=0.1, delta=0.01,
+                         seed=0)
+    trainer = NodeClassificationTrainer(config)
+
+    gcn_result = trainer.fit(gcn, dataset)
+    adam_result = trainer.fit(adamgnn, dataset)
+
+    # 4. Compare.
+    print(f"\n{'model':<10}{'test accuracy':>15}{'epochs':>9}")
+    print(f"{'GCN':<10}{gcn_result.test_accuracy:>15.4f}"
+          f"{gcn_result.epochs_run:>9}")
+    print(f"{'AdamGNN':<10}{adam_result.test_accuracy:>15.4f}"
+          f"{adam_result.epochs_run:>9}")
+
+
+if __name__ == "__main__":
+    np.seterr(all="raise", under="ignore")
+    main()

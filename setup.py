@@ -1,0 +1,10 @@
+"""Setuptools entry point.
+
+Kept alongside ``pyproject.toml`` so that ``pip install -e .`` works in
+offline environments that lack the ``wheel`` package (legacy editable
+installs do not need to build a wheel).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,40 @@
+"""repro — a from-scratch reproduction of AdamGNN.
+
+"Adaptive Multi-grained Graph Neural Networks" (Zhong, Li & Pang), presented
+at ICDE 2024 as the extended abstract "Multi-Grained Semantics-Aware Graph
+Neural Networks".
+
+Subpackages
+-----------
+``repro.tensor``
+    NumPy-backed reverse-mode autograd engine (the computational substrate).
+``repro.nn`` / ``repro.optim``
+    Neural-network modules and optimisers.
+``repro.graph``
+    Graph containers, batching, algorithms, normalisation.
+``repro.datasets``
+    Deterministic synthetic stand-ins for the twelve benchmarks.
+``repro.layers`` / ``repro.pooling`` / ``repro.models``
+    Message-passing layers, baseline pooling operators and baseline models.
+``repro.core``
+    AdamGNN itself: adaptive pooling, unpooling, flyback, losses, heads.
+``repro.training``
+    Trainers, metrics and the experiment runner behind every benchmark.
+"""
+
+from . import core, datasets, graph, layers, models, nn, optim, pooling
+from . import tensor, training
+from .core import (AdamGNN, AdamGNNGraphClassifier, AdamGNNLinkPredictor,
+                   AdamGNNNodeClassifier)
+from .graph import Graph, GraphBatch
+from .tensor import Tensor
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "core", "datasets", "graph", "layers", "models", "nn", "optim",
+    "pooling", "tensor", "training",
+    "AdamGNN", "AdamGNNGraphClassifier", "AdamGNNLinkPredictor",
+    "AdamGNNNodeClassifier", "Graph", "GraphBatch", "Tensor",
+    "__version__",
+]

@@ -1,0 +1,35 @@
+"""AdamGNN — the paper's primary contribution."""
+
+from .egonet import EgoNetworks, build_ego_networks, one_hop_neighbors
+from .fitness import FitnessScorer
+from .selection import (Assignment, build_assignment,
+                        hyper_graph_connectivity, select_egos)
+from .pooling import AdaptiveGraphPooling, HyperNodeFeatures, PooledLevel
+from .unpooling import apply_assignment, unpool
+from .flyback import FlybackAggregator
+from .losses import (dense_reconstruction_loss, link_probabilities,
+                     pair_logits, sample_non_edges,
+                     sampled_reconstruction_loss, self_optimisation_loss,
+                     soft_assignment, target_distribution)
+from .model import (AdamGNN, AdamGNNGraphClassifier, AdamGNNLinkPredictor,
+                    AdamGNNNodeClassifier, AdamGNNOutput)
+from .explain import (attention_by_class, format_attention_heatmap,
+                      level_usage_summary)
+from .hetero import HeteroAdamGNN, RelationalGCNConv, TypedFitnessScorer
+
+__all__ = [
+    "EgoNetworks", "build_ego_networks", "one_hop_neighbors",
+    "FitnessScorer",
+    "Assignment", "build_assignment", "hyper_graph_connectivity",
+    "select_egos",
+    "AdaptiveGraphPooling", "HyperNodeFeatures", "PooledLevel",
+    "apply_assignment", "unpool",
+    "FlybackAggregator",
+    "dense_reconstruction_loss", "link_probabilities", "pair_logits",
+    "sample_non_edges", "sampled_reconstruction_loss",
+    "self_optimisation_loss", "soft_assignment", "target_distribution",
+    "AdamGNN", "AdamGNNGraphClassifier", "AdamGNNLinkPredictor",
+    "AdamGNNNodeClassifier", "AdamGNNOutput",
+    "attention_by_class", "format_attention_heatmap", "level_usage_summary",
+    "HeteroAdamGNN", "RelationalGCNConv", "TypedFitnessScorer",
+]

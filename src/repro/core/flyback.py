@@ -1,0 +1,67 @@
+"""Flyback aggregation (Eq. 4, Section 3.4).
+
+``H = H_0 + Σ_k β_k Ĥ_k`` where the per-node, per-level attention
+
+``β_k(v_i) = softmax_k( aᵀ σ( W Ĥ_k(v_i) ‖ H_0(v_i) ) )``
+
+weighs the message each node received from each granularity level.  The β
+matrix doubles as the model's explanation signal (Figure 2).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..nn import Linear, Module, Parameter, init
+from ..tensor import Tensor, leaky_relu, softmax, stack
+
+
+class FlybackAggregator(Module):
+    """Attention over per-level messages.
+
+    Parameters
+    ----------
+    in_features:
+        Dimension of the node representations.
+    """
+
+    def __init__(self, in_features: int,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.transform = Linear(in_features, in_features, bias=False, rng=rng)
+        self.attention = Parameter(
+            init.glorot_uniform(rng, 2 * in_features, 1,
+                                shape=(2 * in_features,)))
+
+    def level_logits(self, h0: Tensor, messages: Sequence[Tensor]) -> Tensor:
+        """``(K, n)`` attention logits, one row per granularity level."""
+        d = h0.shape[-1]
+        a_left = self.attention[:d]
+        a_right = self.attention[d:]
+        right = (leaky_relu(h0) * a_right).sum(axis=-1)
+        rows: List[Tensor] = []
+        for message in messages:
+            left = (leaky_relu(self.transform(message)) * a_left).sum(axis=-1)
+            rows.append(left + right)
+        return stack(rows, axis=0)
+
+    def forward(self, h0: Tensor, messages: Sequence[Tensor]
+                ) -> Tuple[Tensor, Tensor]:
+        """Return ``(H, β)``.
+
+        ``H`` is the flyback-enhanced representation of Eq. 4; ``β`` has
+        shape ``(K, n)`` with columns summing to one — β[k, i] is node i's
+        attention on the level-(k+1) message.
+        """
+        messages = list(messages)
+        if not messages:
+            return h0, Tensor(np.zeros((0, h0.shape[0])))
+        logits = self.level_logits(h0, messages)
+        beta = softmax(logits, axis=0)
+        combined = h0
+        for k, message in enumerate(messages):
+            combined = combined + message * beta[k].reshape(-1, 1)
+        return combined, beta

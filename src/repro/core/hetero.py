@@ -1,0 +1,219 @@
+"""Heterogeneous-graph extension of AdamGNN.
+
+The paper's conclusion names extending AdamGNN to heterogeneous networks
+as future work; this module provides that extension:
+
+* :class:`RelationalGCNConv` — an R-GCN-style convolution with one weight
+  matrix per edge type (plus a self transform), the standard substrate for
+  typed graphs;
+* :class:`TypedFitnessScorer` — Eq. 2 generalised with a *per-edge-type*
+  attention vector, so the relation strength between an ego and a member
+  depends on how they are connected;
+* :class:`HeteroAdamGNN` — the AdamGNN pipeline with the typed fitness and
+  an R-GCN primary layer.  Pooled hyper-graphs collapse edge types (a
+  hyper-edge aggregates relations of several types), so levels ≥ 1 reuse
+  the homogeneous machinery unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..graph import normalize_edges
+from ..nn import Linear, Module, ModuleList, Parameter, init
+from ..tensor import (Tensor, gather_rows, leaky_relu, relu, segment_mean,
+                      segment_softmax, sigmoid)
+from .egonet import EgoNetworks, build_ego_networks
+from .flyback import FlybackAggregator
+from .model import AdamGNNOutput
+from .pooling import AdaptiveGraphPooling
+from .selection import build_assignment, hyper_graph_connectivity, select_egos
+from .unpooling import unpool
+from ..layers import GCNConv
+from ..tensor import segment_sum
+
+
+class RelationalGCNConv(Module):
+    """R-GCN convolution: ``h_i' = W0 h_i + Σ_r Σ_{j∈N_r(i)} W_r h_j / c_ir``.
+
+    Parameters
+    ----------
+    in_features, out_features:
+        Transform dimensions (shared across relations).
+    num_relations:
+        Number of edge types.
+    """
+
+    def __init__(self, in_features: int, out_features: int,
+                 num_relations: int,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        if num_relations < 1:
+            raise ValueError("num_relations must be >= 1")
+        rng = rng if rng is not None else np.random.default_rng(0)
+        seeds = rng.integers(0, 2 ** 31, size=num_relations + 1)
+        self.num_relations = num_relations
+        self.self_loop = Linear(in_features, out_features,
+                                rng=np.random.default_rng(int(seeds[0])))
+        self.relation_linears = ModuleList(
+            Linear(in_features, out_features, bias=False,
+                   rng=np.random.default_rng(int(seeds[1 + r])))
+            for r in range(num_relations))
+
+    def forward(self, x: Tensor, edge_index: np.ndarray,
+                edge_type: np.ndarray,
+                num_nodes: Optional[int] = None) -> Tensor:
+        n = num_nodes if num_nodes is not None else x.shape[0]
+        edge_type = np.asarray(edge_type, dtype=np.int64)
+        if edge_type.shape[0] != edge_index.shape[1]:
+            raise ValueError("edge_type must have one entry per edge")
+        out = self.self_loop(x)
+        for r, linear in enumerate(self.relation_linears):
+            mask = edge_type == r
+            if not mask.any():
+                continue
+            src = edge_index[0][mask]
+            dst = edge_index[1][mask]
+            messages = gather_rows(linear(x), src)
+            out = out + segment_mean(messages, dst, n)
+        return out
+
+
+class TypedFitnessScorer(Module):
+    """Eq. 2 with a per-edge-type attention vector.
+
+    Pairs connected by relation ``r`` are scored with attention vector
+    ``a_r``; pairs reachable only through multi-hop paths (λ > 1) fall back
+    to a shared vector.  The f_φ^c linearity term is type-agnostic, as in
+    the homogeneous model.
+    """
+
+    def __init__(self, in_features: int, num_relations: int,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.num_relations = num_relations
+        self.transform = Linear(in_features, in_features, bias=False,
+                                rng=rng)
+        # One attention vector per relation plus the multi-hop fallback.
+        self.attention = Parameter(init.glorot_uniform(
+            rng, 2 * in_features, num_relations + 1,
+            shape=(num_relations + 1, 2 * in_features)))
+
+    def pair_types(self, egos: EgoNetworks, edge_index: np.ndarray,
+                   edge_type: np.ndarray) -> np.ndarray:
+        """Relation of each (ego, member) pair; fallback id for non-edges."""
+        table = {}
+        for (u, v), r in zip(edge_index.T.tolist(),
+                             np.asarray(edge_type).tolist()):
+            table[(u, v)] = int(r)
+        fallback = self.num_relations
+        return np.asarray([table.get((int(i), int(j)), fallback)
+                           for i, j in zip(egos.ego, egos.member)],
+                          dtype=np.int64)
+
+    def forward(self, h: Tensor, egos: EgoNetworks, edge_index: np.ndarray,
+                edge_type: np.ndarray) -> Tuple[Tensor, Tensor]:
+        if egos.num_pairs == 0:
+            return Tensor(np.zeros(0)), Tensor(np.zeros(egos.num_nodes))
+        wh = self.transform(h)
+        d = wh.shape[-1]
+        types = self.pair_types(egos, edge_index, edge_type)
+        a_left = self.attention[:, :d]     # (R+1, d)
+        a_right = self.attention[:, d:]
+        member_part = leaky_relu(gather_rows(wh, egos.member))
+        ego_part = leaky_relu(gather_rows(wh, egos.ego))
+        left = (member_part * gather_rows(a_left, types)).sum(axis=-1)
+        right = (ego_part * gather_rows(a_right, types)).sum(axis=-1)
+        f_s = segment_softmax(left + right, egos.member, egos.num_nodes)
+        dots = (gather_rows(h, egos.member)
+                * gather_rows(h, egos.ego)).sum(axis=-1)
+        phi_pairs = f_s * sigmoid(dots)
+        phi_nodes = segment_mean(phi_pairs.reshape(-1, 1), egos.ego,
+                                 egos.num_nodes).reshape(-1)
+        return phi_pairs, phi_nodes
+
+
+class HeteroAdamGNN(Module):
+    """AdamGNN for heterogeneous (typed-edge) graphs.
+
+    Level 0 uses an R-GCN primary layer and the typed fitness scorer;
+    pooled levels collapse edge types and reuse the homogeneous AGP.
+    """
+
+    def __init__(self, in_features: int, num_relations: int,
+                 hidden: int = 64, num_levels: int = 2,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        seeds = rng.integers(0, 2 ** 31, size=num_levels + 4)
+        self.num_relations = num_relations
+        self.input_conv = RelationalGCNConv(
+            in_features, hidden, num_relations,
+            rng=np.random.default_rng(int(seeds[0])))
+        self.fitness = TypedFitnessScorer(
+            hidden, num_relations, rng=np.random.default_rng(int(seeds[1])))
+        from .pooling import HyperNodeFeatures
+        self.features = HyperNodeFeatures(
+            hidden, rng=np.random.default_rng(int(seeds[2])))
+        self.level1_conv = GCNConv(hidden, hidden,
+                                   rng=np.random.default_rng(int(seeds[3])))
+        self.upper = ModuleList(
+            AdaptiveGraphPooling(hidden,
+                                 rng=np.random.default_rng(int(seeds[4 + k])))
+            for k in range(num_levels - 1))
+        self.upper_convs = ModuleList(
+            GCNConv(hidden, hidden,
+                    rng=np.random.default_rng(int(seeds[4 + k]) + 1))
+            for k in range(num_levels - 1))
+        self.flyback = FlybackAggregator(
+            hidden, rng=np.random.default_rng(int(seeds[-1])))
+
+    def forward(self, x: Tensor, edge_index: np.ndarray,
+                edge_type: np.ndarray) -> AdamGNNOutput:
+        n = x.shape[0]
+        h0 = relu(self.input_conv(x, edge_index, edge_type, num_nodes=n))
+
+        # Level 1: typed fitness, homogeneous connectivity afterwards.
+        egos = build_ego_networks(edge_index, n, radius=1)
+        phi_pairs, phi_nodes = self.fitness(h0, egos, edge_index, edge_type)
+        selected = select_egos(phi_nodes.data, egos, egos.sizes())
+        assignment = build_assignment(phi_pairs, egos, selected)
+        x1 = self.features(h0, phi_pairs, egos, assignment)
+        edge_weight = np.ones(edge_index.shape[1])
+        edges1, weight1 = hyper_graph_connectivity(assignment, edge_index,
+                                                   edge_weight)
+        from .pooling import PooledLevel
+        assignments = [assignment]
+        level1 = PooledLevel(x=x1, edge_index=edges1, edge_weight=weight1,
+                             assignment=assignment, batch=None,
+                             phi_nodes=phi_nodes.data.copy())
+        levels: List = [level1]
+        messages: List[Tensor] = []
+        m = assignment.num_hyper
+        norm_e, norm_w = normalize_edges(edges1, weight1, m)
+        h = relu(self.level1_conv(x1, norm_e, norm_w, num_nodes=m))
+        messages.append(unpool(assignments, h))
+
+        edges_k, weight_k = edges1, weight1
+        for pooler, conv in zip(self.upper, self.upper_convs):
+            if h.shape[0] < 2 or edges_k.shape[1] == 0:
+                break
+            level = pooler(h, edges_k, weight_k)
+            if level.num_hyper >= h.shape[0] or level.num_hyper < 1:
+                break
+            norm_e, norm_w = normalize_edges(level.edge_index,
+                                             level.edge_weight,
+                                             level.num_hyper)
+            h = relu(conv(level.x, norm_e, norm_w,
+                          num_nodes=level.num_hyper))
+            assignments.append(level.assignment)
+            levels.append(level)
+            messages.append(unpool(assignments, h))
+            edges_k, weight_k = level.edge_index, level.edge_weight
+
+        combined, beta = self.flyback(h0, messages)
+        return AdamGNNOutput(h=combined, h0=h0, level_messages=messages,
+                             beta=beta, levels=levels)

@@ -1,0 +1,156 @@
+"""Adaptive ego-network selection and the assignment matrix S_k (Section 3.2).
+
+Selection rule: ``N̂_p = {v_i : φ_i > φ_j  ∀ v_j ∈ N_i^1}`` — an ego is
+selected when its fitness is a strict local maximum over its 1-hop
+neighbours.  Proposition 1 guarantees at least one selection on a connected
+graph with non-identical scores; to keep the guarantee under exact ties we
+break ties deterministically by node id (documented deviation, tested in
+``tests/core/test_selection.py``).
+
+Nodes absorbed by no selected ego-network are *retained* as singleton
+hyper-nodes (``N̂_r``), so no node information is dropped — the property the
+paper contrasts with top-k pooling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..tensor import Tensor, concat
+from .egonet import EgoNetworks
+
+
+@dataclass
+class Assignment:
+    """Sparse weighted hyper-node formation matrix ``S_k ∈ R^{n × m}``.
+
+    ``rows``/``cols``/``values`` are a COO triplet list: ``rows`` indexes
+    nodes of level k-1, ``cols`` hyper-nodes of level k, and ``values`` is a
+    *tensor* so gradients flow through the fitness scores it contains.
+
+    Column layout: the first ``len(selected)`` columns are selected
+    ego-networks (in ``selected`` order), the rest are retained nodes (in
+    ``retained`` order).
+    """
+
+    rows: np.ndarray
+    cols: np.ndarray
+    values: Tensor
+    num_nodes: int
+    num_hyper: int
+    selected: np.ndarray    #: ego node ids, one per ego column
+    retained: np.ndarray    #: retained node ids, one per singleton column
+    #: level k-1 node id that seeds each hyper-node (ego or retained node)
+    seed_of_col: np.ndarray
+
+    def matrix(self) -> sp.csr_matrix:
+        """Detached scipy view of S (for connectivity computations)."""
+        return sp.csr_matrix((self.values.data, (self.rows, self.cols)),
+                             shape=(self.num_nodes, self.num_hyper))
+
+
+def select_egos(phi_nodes: np.ndarray, neighbors: EgoNetworks,
+                ego_sizes: np.ndarray) -> np.ndarray:
+    """Apply the local-maximum rule; returns selected ego node ids.
+
+    Parameters
+    ----------
+    phi_nodes:
+        Per-node fitness φ_i.
+    neighbors:
+        1-hop pair list (``N_i^1``).
+    ego_sizes:
+        ``|N_i^λ|`` per node; nodes with empty ego-networks are excluded
+        (they have nothing to absorb).
+
+    Ties are broken by node id: node i beats neighbour j on equal fitness
+    iff ``i < j``, preserving Proposition 1's non-emptiness under ties.
+    """
+    n = phi_nodes.shape[0]
+    if neighbors.num_pairs == 0:
+        return np.zeros(0, dtype=np.int64)
+    ego, nbr = neighbors.ego, neighbors.member
+    better = (phi_nodes[ego] > phi_nodes[nbr]) | (
+        (phi_nodes[ego] == phi_nodes[nbr]) & (ego < nbr))
+    loses = np.zeros(n, dtype=bool)
+    np.logical_or.at(loses, ego, ~better)
+    has_members = ego_sizes > 0
+    return np.flatnonzero(~loses & has_members)
+
+
+def build_assignment(phi_pairs: Tensor, egos: EgoNetworks,
+                     selected: np.ndarray) -> Assignment:
+    """Assemble ``S_k`` from the selected ego-networks.
+
+    Entries (Section 3.2):
+
+    * ``S[j, col(i)] = φ_ij`` for every member j of a selected ego-network i
+      (members may appear in several overlapping ego-networks);
+    * ``S[i, col(i)] = 1`` for the ego itself (its own relation strength);
+    * ``S[r, col(r)] = 1`` for every retained node r.
+    """
+    n = egos.num_nodes
+    selected = np.asarray(selected, dtype=np.int64)
+    is_selected = np.zeros(n, dtype=bool)
+    is_selected[selected] = True
+    col_of_ego = -np.ones(n, dtype=np.int64)
+    col_of_ego[selected] = np.arange(selected.shape[0])
+
+    pair_mask = is_selected[egos.ego]
+    member_rows = egos.member[pair_mask]
+    member_cols = col_of_ego[egos.ego[pair_mask]]
+    member_values = phi_pairs[np.flatnonzero(pair_mask)]
+
+    # A node is absorbed when it belongs to any selected ego-network —
+    # as a member or as the ego itself.
+    absorbed = np.zeros(n, dtype=bool)
+    absorbed[member_rows] = True
+    absorbed[selected] = True
+    retained = np.flatnonzero(~absorbed)
+
+    num_hyper = selected.shape[0] + retained.shape[0]
+    ego_rows = selected
+    ego_cols = col_of_ego[selected]
+    retained_rows = retained
+    retained_cols = selected.shape[0] + np.arange(retained.shape[0])
+
+    rows = np.concatenate([member_rows, ego_rows, retained_rows])
+    cols = np.concatenate([member_cols, ego_cols, retained_cols])
+    ones = Tensor(np.ones(ego_rows.shape[0] + retained_rows.shape[0]))
+    values = (concat([member_values, ones])
+              if member_values.shape[0] else ones)
+    seed_of_col = np.concatenate([selected, retained])
+    return Assignment(rows=rows, cols=cols, values=values,
+                      num_nodes=n, num_hyper=num_hyper,
+                      selected=selected, retained=retained,
+                      seed_of_col=seed_of_col)
+
+
+def hyper_graph_connectivity(assignment: Assignment, edge_index: np.ndarray,
+                             edge_weight: np.ndarray
+                             ) -> Tuple[np.ndarray, np.ndarray]:
+    """``A_k = S_kᵀ Â_{k-1} S_k`` (Section 3.2, "maintaining connectivity").
+
+    ``Â`` includes self-loops, so two hyper-nodes sharing a common node are
+    connected even without a crossing edge.  Self-loops of ``A_k`` are
+    dropped from the returned edge list (the downstream GCN normalisation
+    re-adds a unit self-loop).  Weights are detached: gradient flows through
+    the feature path (Eq. 3) and the unpooling path, matching the sparse
+    implementations of this operator family.
+    """
+    n = assignment.num_nodes
+    src, dst = edge_index
+    loops = np.arange(n, dtype=np.int64)
+    a_hat = sp.csr_matrix(
+        (np.concatenate([edge_weight, np.ones(n)]),
+         (np.concatenate([src, loops]), np.concatenate([dst, loops]))),
+        shape=(n, n))
+    s = assignment.matrix()
+    a_k = (s.T @ a_hat @ s).tocoo()
+    keep = a_k.row != a_k.col
+    new_edges = np.stack([a_k.row[keep], a_k.col[keep]]).astype(np.int64)
+    return new_edges, a_k.data[keep].astype(np.float64)

@@ -1,0 +1,51 @@
+"""Graph UnPooling — top-down message passing (Section 3.3).
+
+``Ĥ_k = S_1(…(S_{k-1}(S_k H_k)))`` — multiplying by the assignment matrices
+in reverse restores level-k hyper-node representations onto the nodes of
+the original graph.  Implemented with differentiable gather/segment ops so
+gradients reach both the hyper-node states and the fitness values stored in
+each ``S``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..tensor import Tensor, gather_rows, segment_normalize, segment_sum
+from .selection import Assignment
+
+
+def apply_assignment(assignment: Assignment, h_hyper: Tensor,
+                     normalize: bool = False) -> Tensor:
+    """``S @ H`` — push hyper-node states down one level.
+
+    Row j of the result is ``Σ_c S[j, c] · H[c]``: each original node
+    receives the weighted combination of the hyper-nodes it belongs to, the
+    weight being its fitness to that ego (1 for egos/retained nodes).
+
+    With ``normalize`` each row of S is L1-normalised first, so
+    the message is a weighted *average* of hyper-node states.  Without it,
+    fitness values < 1 compound across levels and deep-level messages decay
+    geometrically toward zero, starving the flyback aggregator of exactly
+    the macro semantics the paper attributes to the upper levels (see
+    DESIGN.md, "Implementation notes").
+    """
+    values = assignment.values
+    if normalize:
+        values = segment_normalize(values, assignment.rows,
+                                   assignment.num_nodes)
+    messages = gather_rows(h_hyper, assignment.cols) * values.reshape(-1, 1)
+    return segment_sum(messages, assignment.rows, assignment.num_nodes)
+
+
+def unpool(assignments: Sequence[Assignment], h_top: Tensor,
+           normalize: bool = False) -> Tensor:
+    """Restore a level-k representation to the original graph.
+
+    ``assignments`` must be ordered bottom-up (S_1 first); the sequence is
+    applied in reverse, matching ``Ĥ_k = S_1(…(S_k H_k))``.
+    """
+    h = h_top
+    for assignment in reversed(list(assignments)):
+        h = apply_assignment(assignment, h, normalize=normalize)
+    return h

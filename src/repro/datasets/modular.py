@@ -1,0 +1,136 @@
+"""Shared generator for modular graphs with fold-based class labels.
+
+Both graph-classification families (molecule-style and protein-style) are
+instances of one construction:
+
+* a graph is a **chain of dense modules** (functional groups / secondary-
+  structure blocks) joined by single contacts;
+* **class 1** adds *long-range* module contacts (chain distance ≥ 2),
+  folding the graph into a compact cluster;
+* **class 0** adds a smaller number of contacts between *adjacent*
+  modules only, staying elongated;
+* node features one-hot a per-module type (noisily), plus noise columns.
+
+Module counts, sizes and densities are identically distributed across
+classes, so per-node statistics are uninformative.  The contact budgets
+overlap but differ in mean — mirroring the real TU datasets, where weak
+global statistics give any model partial signal (the ~70%+ floor every
+baseline reaches in Table 1) — while the dominant signal, *where the
+contacts land relative to the module (meso) structure*, is what separates
+hierarchical models from flat ones: a pooled/hyper-graph view exposes the
+fold pattern after one coarsening level, whereas flat message passing must
+recover it through many hops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from ..graph import Graph
+
+
+@dataclass
+class ModularGraphConfig:
+    """Parameters of one fold-labelled modular-graph dataset."""
+
+    num_graphs: int
+    modules: Tuple[int, int] = (4, 7)       #: min/max modules per graph
+    module_size: Tuple[int, int] = (5, 9)   #: nodes per module
+    p_in: float = 0.55                      #: intra-module edge probability
+    extra_contacts: Tuple[int, int] = (2, 4)   #: fold budget, class 1
+    local_contacts: Tuple[int, int] = (0, 1)   #: adjacent budget, class 0
+    num_features: int = 16
+    num_module_types: int = 3               #: one-hot module-type states
+    type_noise: float = 0.0                 #: per-node type corruption rate
+    feature_noise_rate: float = 0.1         #: density of the noise columns
+    decoration_rate: float = 0.0            #: pendant nodes per module node
+    #: probability a module takes type 0, per class (class 0, class 1).
+    #: Unequal values add a *composition* signal any mean-readout model can
+    #: partially exploit — the ~70% floor all Table-1 baselines share —
+    #: while the fold signal on top separates hierarchical models.
+    type0_rate: Tuple[float, float] = (1 / 3, 1 / 3)
+
+
+def build_modular_graph(cfg: ModularGraphConfig, label: int,
+                        rng: np.random.Generator) -> Graph:
+    """Sample one graph whose fold pattern encodes ``label``."""
+    num_modules = int(rng.integers(cfg.modules[0], cfg.modules[1] + 1))
+    sizes = rng.integers(cfg.module_size[0], cfg.module_size[1] + 1,
+                         size=num_modules)
+    offsets = np.concatenate([[0], np.cumsum(sizes)])
+    n = int(offsets[-1])
+
+    pairs: List[Tuple[int, int]] = []
+    # Dense modules, each internally connected via a backbone path.
+    for b in range(num_modules):
+        members = np.arange(offsets[b], offsets[b + 1])
+        for i_pos, u in enumerate(members):
+            for v in members[i_pos + 1:]:
+                if rng.random() < cfg.p_in:
+                    pairs.append((int(u), int(v)))
+        for u, v in zip(members[:-1], members[1:]):
+            pairs.append((int(u), int(v)))
+
+    def contact(b1: int, b2: int) -> None:
+        u = int(rng.integers(offsets[b1], offsets[b1 + 1]))
+        v = int(rng.integers(offsets[b2], offsets[b2 + 1]))
+        pairs.append((u, v))
+
+    # Chain backbone.
+    for b in range(num_modules - 1):
+        contact(b, b + 1)
+
+    # Extra contacts: long-range folds for class 1, a smaller budget of
+    # adjacent reinforcements for class 0 (overlapping count distributions).
+    lo, hi = cfg.extra_contacts if label == 1 else cfg.local_contacts
+    budget = int(rng.integers(lo, hi + 1))
+    for _ in range(budget):
+        if label == 1 and num_modules >= 3:
+            b1 = int(rng.integers(0, num_modules - 2))
+            b2 = int(rng.integers(b1 + 2, num_modules))
+        else:
+            b1 = int(rng.integers(0, num_modules - 1))
+            b2 = b1 + 1
+        contact(b1, b2)
+
+    # Optional pendant decorations (same for both classes).
+    next_node = n
+    decorated: List[Tuple[int, int]] = []
+    if cfg.decoration_rate > 0:
+        for node in range(n):
+            if rng.random() < cfg.decoration_rate:
+                decorated.append((node, next_node))
+                next_node += 1
+    pairs.extend(decorated)
+    total_nodes = next_node
+
+    unique = sorted(set((min(u, v), max(u, v)) for u, v in pairs if u != v))
+    src = np.asarray([p[0] for p in unique], dtype=np.int64)
+    dst = np.asarray([p[1] for p in unique], dtype=np.int64)
+    edge_index = np.stack([np.concatenate([src, dst]),
+                           np.concatenate([dst, src])])
+
+    # Features: noisy one-hot module type + Bernoulli noise columns.
+    x = np.zeros((total_nodes, cfg.num_features), dtype=np.float64)
+    t = cfg.num_module_types
+    type0 = cfg.type0_rate[label]
+    for b in range(num_modules):
+        if rng.random() < type0:
+            state = 0
+        else:
+            state = int(rng.integers(1, t)) if t > 1 else 0
+        members = np.arange(offsets[b], offsets[b + 1])
+        for node in members:
+            node_state = state
+            if cfg.type_noise and rng.random() < cfg.type_noise:
+                node_state = int(rng.integers(0, t))
+            x[node, node_state] = 1.0
+    noise_cols = cfg.num_features - t
+    if noise_cols > 0:
+        x[:, t:] = rng.random((total_nodes, noise_cols)) \
+            < cfg.feature_noise_rate
+    return Graph(edge_index, x=x, y=np.asarray(label),
+                 num_nodes=total_nodes)

@@ -1,0 +1,83 @@
+"""Dataset statistics (reproduces Tables 6 and 7 for the synthetic stand-ins)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from .base import GraphDataset, NodeDataset
+
+
+@dataclass
+class NodeDatasetStats:
+    """One row of Table 6."""
+
+    name: str
+    num_nodes: int
+    num_edges: int
+    num_features: int
+    num_classes: int
+
+
+@dataclass
+class GraphDatasetStats:
+    """One row of Table 7."""
+
+    name: str
+    num_graphs: int
+    avg_nodes: float
+    avg_edges: float
+    num_features: int
+    num_classes: int
+
+
+def node_dataset_stats(dataset: NodeDataset) -> NodeDatasetStats:
+    """Compute the Table-6 row for a node-task dataset.
+
+    Edges are counted once per undirected pair, matching the paper's table.
+    """
+    graph = dataset.graph
+    src, dst = graph.edge_index
+    undirected = int((src < dst).sum())
+    return NodeDatasetStats(name=dataset.name,
+                            num_nodes=graph.num_nodes,
+                            num_edges=undirected,
+                            num_features=graph.num_features,
+                            num_classes=dataset.num_classes)
+
+
+def graph_dataset_stats(dataset: GraphDataset) -> GraphDatasetStats:
+    """Compute the Table-7 row for a graph-classification dataset."""
+    nodes = np.asarray([g.num_nodes for g in dataset.graphs], dtype=np.float64)
+    edges = np.asarray([(g.edge_index[0] < g.edge_index[1]).sum()
+                        for g in dataset.graphs], dtype=np.float64)
+    return GraphDatasetStats(name=dataset.name,
+                             num_graphs=len(dataset.graphs),
+                             avg_nodes=float(nodes.mean()),
+                             avg_edges=float(edges.mean()),
+                             num_features=dataset.num_features,
+                             num_classes=dataset.num_classes)
+
+
+def format_node_stats_table(rows: List[NodeDatasetStats]) -> str:
+    """Render Table 6 as fixed-width text."""
+    lines = [f"{'Dataset':<12}{'#Nodes':>8}{'#Edges':>9}"
+             f"{'#Features':>11}{'#Classes':>10}"]
+    for r in rows:
+        features = "N.A." if r.num_features == 0 else str(r.num_features)
+        lines.append(f"{r.name:<12}{r.num_nodes:>8}{r.num_edges:>9}"
+                     f"{features:>11}{r.num_classes:>10}")
+    return "\n".join(lines)
+
+
+def format_graph_stats_table(rows: List[GraphDatasetStats]) -> str:
+    """Render Table 7 as fixed-width text."""
+    lines = [f"{'Dataset':<14}{'#Graphs':>8}{'#Nodes(avg)':>13}"
+             f"{'#Edges(avg)':>13}{'#Features':>11}{'#Classes':>10}"]
+    for r in rows:
+        lines.append(f"{r.name:<14}{r.num_graphs:>8}{r.avg_nodes:>13.2f}"
+                     f"{r.avg_edges:>13.2f}{r.num_features:>11}"
+                     f"{r.num_classes:>10}")
+    return "\n".join(lines)

@@ -1,0 +1,18 @@
+"""Graph data structures and algorithms."""
+
+from .graph import Graph
+from .batch import GraphBatch
+from .algorithms import (adjacency_lists, bfs_distances, connected_components,
+                         is_connected, k_hop_reachability, largest_component,
+                         triangle_count)
+from .normalize import (degree_features, gcn_normalization, normalize_edges,
+                        row_normalize_features)
+
+__all__ = [
+    "Graph", "GraphBatch",
+    "adjacency_lists", "bfs_distances", "connected_components",
+    "is_connected", "k_hop_reachability", "largest_component",
+    "triangle_count",
+    "degree_features", "gcn_normalization", "normalize_edges",
+    "row_normalize_features",
+]

@@ -1,0 +1,101 @@
+"""Classical graph algorithms on :class:`~repro.graph.Graph`.
+
+These back the structural pieces of the paper: λ-hop ego-networks
+(Section 3.2), connectivity checks (Proposition 1's premise), and the
+coverage analysis of Figure 3.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import List
+
+import numpy as np
+import scipy.sparse as sp
+
+from .graph import Graph
+
+
+def adjacency_lists(graph: Graph) -> List[np.ndarray]:
+    """Per-node arrays of out-neighbours (sorted, deduplicated)."""
+    order = np.argsort(graph.edge_index[0], kind="stable")
+    src = graph.edge_index[0][order]
+    dst = graph.edge_index[1][order]
+    bounds = np.searchsorted(src, np.arange(graph.num_nodes + 1))
+    return [np.unique(dst[bounds[i]:bounds[i + 1]])
+            for i in range(graph.num_nodes)]
+
+
+def k_hop_reachability(graph: Graph, k: int) -> sp.csr_matrix:
+    """Boolean CSR matrix R with ``R[i, j] = 1`` iff ``1 <= d(i, j) <= k``.
+
+    Computed by repeated boolean sparse multiplication, which is efficient
+    for the small λ (1–2) the paper uses.  Self-distances are excluded.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    adj = graph.adjacency(weighted=False)
+    adj = (adj + adj.T).astype(bool).tocsr()
+    adj.setdiag(False)
+    adj.eliminate_zeros()
+    reach = adj.copy()
+    frontier = adj
+    for _ in range(k - 1):
+        frontier = (frontier @ adj).astype(bool)
+        reach = (reach + frontier).astype(bool)
+    reach = reach.tolil()
+    reach.setdiag(False)
+    reach = reach.tocsr()
+    reach.eliminate_zeros()
+    return reach
+
+
+def bfs_distances(graph: Graph, source: int, max_depth: int | None = None) -> np.ndarray:
+    """Unweighted shortest-path distances from ``source`` (-1 = unreachable)."""
+    neighbours = adjacency_lists(graph.to_undirected())
+    dist = -np.ones(graph.num_nodes, dtype=np.int64)
+    dist[source] = 0
+    queue = deque([source])
+    while queue:
+        node = queue.popleft()
+        if max_depth is not None and dist[node] >= max_depth:
+            continue
+        for nxt in neighbours[node]:
+            if dist[nxt] < 0:
+                dist[nxt] = dist[node] + 1
+                queue.append(nxt)
+    return dist
+
+
+def connected_components(graph: Graph) -> np.ndarray:
+    """Component label per node (labels are 0..C-1 in discovery order)."""
+    adj = graph.adjacency(weighted=False)
+    n_components, labels = sp.csgraph.connected_components(
+        adj, directed=False, return_labels=True)
+    del n_components
+    return labels.astype(np.int64)
+
+
+def is_connected(graph: Graph) -> bool:
+    """True when the undirected graph has a single connected component."""
+    if graph.num_nodes == 0:
+        return True
+    return int(connected_components(graph).max()) == 0
+
+
+def largest_component(graph: Graph) -> Graph:
+    """Induced subgraph on the largest connected component."""
+    labels = connected_components(graph)
+    counts = np.bincount(labels)
+    keep = np.flatnonzero(labels == counts.argmax())
+    sub, _ = graph.subgraph(keep)
+    return sub
+
+
+def triangle_count(graph: Graph) -> int:
+    """Total number of triangles (used by dataset-statistics sanity checks)."""
+    adj = graph.adjacency(weighted=False)
+    adj = (adj + adj.T).astype(bool).astype(np.int64)
+    adj.setdiag(0)
+    adj.eliminate_zeros()
+    return int((adj @ adj).multiply(adj).sum() // 6)

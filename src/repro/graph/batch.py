@@ -1,0 +1,97 @@
+"""Block-diagonal batching of graphs for graph-level tasks.
+
+Mirrors ``torch_geometric.data.Batch``: node features are concatenated,
+edge indices are offset, and a ``batch`` vector maps each node to its source
+graph so global readouts reduce per graph with segment ops.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from .graph import Graph
+
+
+class GraphBatch:
+    """A disjoint union of graphs with book-keeping to reduce per graph."""
+
+    def __init__(self, x: np.ndarray | None, edge_index: np.ndarray,
+                 edge_weight: np.ndarray, batch: np.ndarray,
+                 num_graphs: int, y: np.ndarray | None = None):
+        self.x = x
+        self.edge_index = edge_index
+        self.edge_weight = edge_weight
+        #: ``batch[i]`` is the graph id of node ``i``.
+        self.batch = batch
+        self.num_graphs = num_graphs
+        self.y = y
+
+    @property
+    def num_nodes(self) -> int:
+        return self.batch.shape[0]
+
+    @property
+    def num_edges(self) -> int:
+        return self.edge_index.shape[1]
+
+    def __repr__(self) -> str:
+        return (f"GraphBatch(num_graphs={self.num_graphs}, "
+                f"num_nodes={self.num_nodes}, num_edges={self.num_edges})")
+
+    @staticmethod
+    def from_graphs(graphs: Sequence[Graph]) -> "GraphBatch":
+        """Assemble the block-diagonal batch from individual graphs."""
+        if not graphs:
+            raise ValueError("cannot batch zero graphs")
+        xs: List[np.ndarray] = []
+        edges: List[np.ndarray] = []
+        weights: List[np.ndarray] = []
+        batch_ids: List[np.ndarray] = []
+        labels: List[np.ndarray] = []
+        offset = 0
+        has_x = graphs[0].x is not None
+        for gid, graph in enumerate(graphs):
+            if (graph.x is not None) != has_x:
+                raise ValueError("all graphs must agree on having features")
+            if has_x:
+                xs.append(graph.x)
+            edges.append(graph.edge_index + offset)
+            weights.append(graph.edge_weight)
+            batch_ids.append(np.full(graph.num_nodes, gid, dtype=np.int64))
+            if graph.y is not None:
+                labels.append(np.atleast_1d(graph.y))
+            offset += graph.num_nodes
+        x = np.concatenate(xs, axis=0) if has_x else None
+        edge_index = (np.concatenate(edges, axis=1)
+                      if edges else np.zeros((2, 0), dtype=np.int64))
+        y = np.concatenate(labels) if len(labels) == len(graphs) else None
+        return GraphBatch(x, edge_index, np.concatenate(weights),
+                          np.concatenate(batch_ids), len(graphs), y=y)
+
+    def graph_sizes(self) -> np.ndarray:
+        """Number of nodes in each member graph."""
+        return np.bincount(self.batch, minlength=self.num_graphs)
+
+    def node_offsets(self) -> np.ndarray:
+        """First node index of each member graph."""
+        sizes = self.graph_sizes()
+        return np.concatenate([[0], np.cumsum(sizes)[:-1]])
+
+    def unbatch(self) -> List[Graph]:
+        """Split back into individual :class:`Graph` objects."""
+        offsets = self.node_offsets()
+        sizes = self.graph_sizes()
+        graphs: List[Graph] = []
+        for gid in range(self.num_graphs):
+            lo = offsets[gid]
+            hi = lo + sizes[gid]
+            mask = (self.edge_index[0] >= lo) & (self.edge_index[0] < hi)
+            sub_edges = self.edge_index[:, mask] - lo
+            sub_x = None if self.x is None else self.x[lo:hi]
+            sub_y = None if self.y is None else self.y[gid]
+            graphs.append(Graph(sub_edges, x=sub_x, y=sub_y,
+                                num_nodes=int(sizes[gid]),
+                                edge_weight=self.edge_weight[mask]))
+        return graphs

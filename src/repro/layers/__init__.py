@@ -1,0 +1,12 @@
+"""Message-passing convolution layers and readouts."""
+
+from .message_passing import propagate
+from .gcn import GCNConv
+from .sage import SAGEConv
+from .gat import GATConv
+from .gin import GINConv, gin_mlp
+from .readout import (global_max, global_mean, global_sum, mean_max_readout)
+
+__all__ = ["propagate", "GCNConv", "SAGEConv", "GATConv", "GINConv",
+           "gin_mlp", "global_max", "global_mean", "global_sum",
+           "mean_max_readout"]

@@ -1,0 +1,60 @@
+"""Graph Isomorphism Network layer (Xu et al. 2019).
+
+``h_i' = MLP( (1 + ε) · h_i + Σ_{j∈N(i)} h_j )`` — the maximally expressive
+sum aggregator with a learnable (or fixed) ε.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..nn import BatchNorm1d, Linear, Module, Parameter, ReLU, Sequential
+from ..tensor import Tensor
+from .message_passing import propagate
+
+
+def gin_mlp(in_features: int, hidden: int, out_features: int,
+            rng: Optional[np.random.Generator] = None,
+            batch_norm: bool = True) -> Sequential:
+    """The 2-layer MLP used inside GIN blocks (Linear-BN-ReLU-Linear)."""
+    rng = rng if rng is not None else np.random.default_rng(0)
+    layers = [Linear(in_features, hidden, rng=rng)]
+    if batch_norm:
+        layers.append(BatchNorm1d(hidden))
+    layers.extend([ReLU(), Linear(hidden, out_features, rng=rng)])
+    return Sequential(*layers)
+
+
+class GINConv(Module):
+    """GIN convolution with a learnable ε.
+
+    Parameters
+    ----------
+    mlp:
+        The update network applied after aggregation (see :func:`gin_mlp`).
+    train_eps:
+        Learn ε (default) or keep it fixed at ``eps_init``.
+    """
+
+    def __init__(self, mlp: Module, eps_init: float = 0.0,
+                 train_eps: bool = True):
+        super().__init__()
+        self.mlp = mlp
+        if train_eps:
+            self.eps = Parameter(np.asarray([eps_init]))
+        else:
+            self.register_parameter("eps", None)
+            self._fixed_eps = eps_init
+
+    def forward(self, x: Tensor, edge_index: np.ndarray,
+                edge_weight: Optional[np.ndarray] = None,
+                num_nodes: Optional[int] = None) -> Tensor:
+        n = num_nodes if num_nodes is not None else x.shape[0]
+        aggregated = propagate(x, edge_index, n, edge_weight=edge_weight)
+        if self.eps is not None:
+            scaled = x * (self.eps + 1.0)
+        else:
+            scaled = x * (1.0 + self._fixed_eps)
+        return self.mlp(scaled + aggregated)

@@ -1,0 +1,59 @@
+"""Message-passing primitives shared by every convolution layer.
+
+A spatial GNN layer decomposes into *gather* (lift node states onto edges),
+*message* (transform, possibly weight), and *reduce* (segment aggregation
+back to target nodes).  :func:`propagate` wires those steps together so the
+concrete layers stay close to their published equations.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from ..tensor import (Tensor, gather_rows, segment_max, segment_mean,
+                      segment_sum)
+
+#: Supported reduction names → segment reducers.
+_REDUCERS = {
+    "sum": segment_sum,
+    "mean": segment_mean,
+    "max": segment_max,
+}
+
+
+def propagate(x: Tensor, edge_index: np.ndarray, num_nodes: int,
+              edge_weight: Optional[np.ndarray] = None,
+              reduce: str = "sum",
+              message_fn: Optional[Callable[[Tensor], Tensor]] = None) -> Tensor:
+    """One round of message passing.
+
+    Parameters
+    ----------
+    x:
+        ``(n, d)`` node states.
+    edge_index:
+        ``(2, E)`` array; messages flow from row 0 (source) to row 1 (target).
+    num_nodes:
+        Number of output rows (``n``).
+    edge_weight:
+        Optional per-edge scalar weights multiplied into the messages (this
+        is how the GCN normalisation and the weighted hyper-graph edges of
+        the paper enter).
+    reduce:
+        ``"sum"``, ``"mean"`` or ``"max"``.
+    message_fn:
+        Optional transform applied to gathered source states before
+        weighting (rarely needed; transforms are usually cheaper on nodes).
+    """
+    if reduce not in _REDUCERS:
+        raise ValueError(f"unknown reduce {reduce!r}; choose from {sorted(_REDUCERS)}")
+    src, dst = edge_index
+    messages = gather_rows(x, src)
+    if message_fn is not None:
+        messages = message_fn(messages)
+    if edge_weight is not None:
+        weights = Tensor(np.asarray(edge_weight, dtype=np.float64).reshape(-1, 1))
+        messages = messages * weights
+    return _REDUCERS[reduce](messages, dst, num_nodes)

@@ -1,0 +1,32 @@
+"""Graph-level readouts over batched node representations."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..tensor import Tensor, concat, segment_max, segment_mean, segment_sum
+
+
+def global_sum(x: Tensor, batch: np.ndarray, num_graphs: int) -> Tensor:
+    """Sum node states per graph."""
+    return segment_sum(x, batch, num_graphs)
+
+
+def global_mean(x: Tensor, batch: np.ndarray, num_graphs: int) -> Tensor:
+    """Average node states per graph."""
+    return segment_mean(x, batch, num_graphs)
+
+
+def global_max(x: Tensor, batch: np.ndarray, num_graphs: int) -> Tensor:
+    """Per-dimension max over node states per graph."""
+    return segment_max(x, batch, num_graphs)
+
+
+def mean_max_readout(x: Tensor, batch: np.ndarray, num_graphs: int) -> Tensor:
+    """``[mean ‖ max]`` readout — the standard SAGPool/TopKPool READOUT.
+
+    Used as the per-level READOUT of the hierarchical pipelines (including
+    AdamGNN's ``h_g = READOUT({H, Ĥ_1, …, Ĥ_k})`` in Algorithm 1).
+    """
+    return concat([global_mean(x, batch, num_graphs),
+                   global_max(x, batch, num_graphs)], axis=-1)

@@ -1,0 +1,34 @@
+"""GraphSAGE layer (Hamilton et al. 2017), mean aggregator.
+
+``h_i' = W_self h_i + W_neigh · mean_{j ∈ N(i)} h_j`` — the configuration
+the paper adopts for its GraphSAGE baseline ("an implementation with mean
+pooling").
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..nn import Linear, Module
+from ..tensor import Tensor
+from .message_passing import propagate
+
+
+class SAGEConv(Module):
+    """GraphSAGE convolution with mean aggregation."""
+
+    def __init__(self, in_features: int, out_features: int,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        self.lin_self = Linear(in_features, out_features, rng=rng)
+        self.lin_neigh = Linear(in_features, out_features, bias=False, rng=rng)
+
+    def forward(self, x: Tensor, edge_index: np.ndarray,
+                edge_weight: Optional[np.ndarray] = None,
+                num_nodes: Optional[int] = None) -> Tensor:
+        n = num_nodes if num_nodes is not None else x.shape[0]
+        neigh = propagate(x, edge_index, n, edge_weight=edge_weight,
+                          reduce="mean")
+        return self.lin_self(x) + self.lin_neigh(neigh)

@@ -1,0 +1,16 @@
+"""Baseline models for node-wise and graph-level tasks."""
+
+from .node_models import (GNNEncoder, GNNLinkPredictor, GNNNodeClassifier,
+                          GraphUNet)
+from .graph_models import (DiffPoolClassifier, GINGraphClassifier,
+                           HierarchicalPoolClassifier, MLPHead,
+                           SortPoolClassifier, StructPoolClassifier)
+from .threewl import PPGNBlock, ThreeWLGraphClassifier, batch_to_pairwise_tensor
+
+__all__ = [
+    "GNNEncoder", "GNNLinkPredictor", "GNNNodeClassifier", "GraphUNet",
+    "DiffPoolClassifier", "GINGraphClassifier",
+    "HierarchicalPoolClassifier", "MLPHead", "SortPoolClassifier",
+    "StructPoolClassifier",
+    "PPGNBlock", "ThreeWLGraphClassifier", "batch_to_pairwise_tensor",
+]

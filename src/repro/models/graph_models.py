@@ -1,0 +1,232 @@
+"""Graph-classification baselines of Table 1.
+
+* :class:`GINGraphClassifier` — flat GIN with jumping-knowledge readout;
+* :class:`HierarchicalPoolClassifier` — the SAGPool-style conv→pool
+  pipeline, parameterised by the pooling operator (covers TOPKPOOL and
+  SAGPOOL);
+* :class:`SortPoolClassifier` — SortPool architecture;
+* :class:`DiffPoolClassifier` / :class:`StructPoolClassifier` — the dense
+  assignment-based methods.
+
+Every model consumes a :class:`~repro.graph.GraphBatch` and emits
+``(B, num_classes)`` logits plus an auxiliary-loss tensor (zero where the
+method has none) so the trainer treats them uniformly.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..graph import GraphBatch, normalize_edges
+from ..layers import GCNConv, GINConv, gin_mlp, mean_max_readout
+from ..nn import Dropout, Linear, Module, ModuleList
+from ..pooling import (DiffPool, DenseGCN, SAGPooling, SortPool, StructPool,
+                       TopKPooling, normalize_dense_adjacency,
+                       to_dense_adjacency, to_dense_batch)
+from ..tensor import Tensor, concat, relu
+
+
+class MLPHead(Module):
+    """Two-layer classification head with dropout."""
+
+    def __init__(self, in_features: int, hidden: int, num_classes: int,
+                 dropout: float = 0.3,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        seeds = rng.integers(0, 2 ** 31, size=2)
+        self.lin1 = Linear(in_features, hidden,
+                           rng=np.random.default_rng(int(seeds[0])))
+        self.lin2 = Linear(hidden, num_classes,
+                           rng=np.random.default_rng(int(seeds[1])))
+        self.dropout = Dropout(dropout, rng=np.random.default_rng(7))
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.lin2(self.dropout(relu(self.lin1(x))))
+
+
+class GINGraphClassifier(Module):
+    """Flat GIN (Xu et al. 2019): 3 GIN layers, summed per-layer readouts."""
+
+    def __init__(self, in_features: int, num_classes: int, hidden: int = 64,
+                 num_layers: int = 3, dropout: float = 0.3,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        seeds = rng.integers(0, 2 ** 31, size=num_layers + 1)
+        dims = [in_features] + [hidden] * num_layers
+        self.convs = ModuleList(
+            GINConv(gin_mlp(dims[i], hidden, dims[i + 1],
+                            rng=np.random.default_rng(int(seeds[i]))))
+            for i in range(num_layers))
+        self.head = MLPHead(2 * hidden * num_layers, hidden, num_classes,
+                            dropout=dropout,
+                            rng=np.random.default_rng(int(seeds[-1])))
+
+    def forward(self, batch: GraphBatch) -> Tuple[Tensor, Tensor]:
+        h = Tensor(batch.x)
+        readouts = []
+        for conv in self.convs:
+            h = relu(conv(h, batch.edge_index, num_nodes=batch.num_nodes))
+            readouts.append(mean_max_readout(h, batch.batch,
+                                             batch.num_graphs))
+        return self.head(concat(readouts, axis=-1)), Tensor(0.0)
+
+
+class HierarchicalPoolClassifier(Module):
+    """conv → pool (× stages) with summed per-stage readouts.
+
+    ``pool_kind`` selects TOPKPOOL (projection scores) or SAGPOOL
+    (GCN-attention scores); both share the selection machinery and the
+    fixed-ratio hyper-parameter AdamGNN eliminates.
+    """
+
+    def __init__(self, pool_kind: str, in_features: int, num_classes: int,
+                 hidden: int = 64, num_stages: int = 3, ratio: float = 0.5,
+                 dropout: float = 0.3,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        if pool_kind not in ("topk", "sag"):
+            raise ValueError(f"pool_kind must be 'topk' or 'sag', got "
+                             f"{pool_kind!r}")
+        rng = rng if rng is not None else np.random.default_rng(0)
+        seeds = rng.integers(0, 2 ** 31, size=2 * num_stages + 1)
+        dims = [in_features] + [hidden] * num_stages
+        self.convs = ModuleList(
+            GCNConv(dims[i], dims[i + 1],
+                    rng=np.random.default_rng(int(seeds[i])))
+            for i in range(num_stages))
+        make_pool = TopKPooling if pool_kind == "topk" else SAGPooling
+        self.pools = ModuleList(
+            make_pool(hidden, ratio=ratio,
+                      rng=np.random.default_rng(
+                          int(seeds[num_stages + i])))
+            for i in range(num_stages))
+        self.head = MLPHead(2 * hidden, hidden, num_classes, dropout=dropout,
+                            rng=np.random.default_rng(int(seeds[-1])))
+
+    def forward(self, batch: GraphBatch) -> Tuple[Tensor, Tensor]:
+        h = Tensor(batch.x)
+        edges, weight, ids = batch.edge_index, batch.edge_weight, batch.batch
+        n = batch.num_nodes
+        readout_sum = None
+        for conv, pool in zip(self.convs, self.pools):
+            norm_e, norm_w = normalize_edges(edges, weight, n)
+            h = relu(conv(h, norm_e, norm_w, num_nodes=n))
+            h, edges, weight, ids, _ = pool(h, edges, weight, ids,
+                                            batch.num_graphs)
+            n = h.shape[0]
+            stage = mean_max_readout(h, ids, batch.num_graphs)
+            readout_sum = stage if readout_sum is None else readout_sum + stage
+        return self.head(readout_sum), Tensor(0.0)
+
+
+class SortPoolClassifier(Module):
+    """SortPool (Zhang et al. 2018): GCN stack → sort-truncate → MLP."""
+
+    def __init__(self, in_features: int, num_classes: int, hidden: int = 32,
+                 num_layers: int = 3, k: int = 12, dropout: float = 0.3,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        seeds = rng.integers(0, 2 ** 31, size=num_layers + 1)
+        dims = [in_features] + [hidden] * num_layers
+        self.convs = ModuleList(
+            GCNConv(dims[i], dims[i + 1],
+                    rng=np.random.default_rng(int(seeds[i])))
+            for i in range(num_layers))
+        self.sort_pool = SortPool(k)
+        self.head = MLPHead(k * hidden * num_layers, hidden, num_classes,
+                            dropout=dropout,
+                            rng=np.random.default_rng(int(seeds[-1])))
+
+    def forward(self, batch: GraphBatch) -> Tuple[Tensor, Tensor]:
+        norm_e, norm_w = normalize_edges(batch.edge_index, batch.edge_weight,
+                                         batch.num_nodes)
+        h = Tensor(batch.x)
+        layer_outputs = []
+        for conv in self.convs:
+            h = relu(conv(h, norm_e, norm_w, num_nodes=batch.num_nodes))
+            layer_outputs.append(h)
+        stacked = concat(layer_outputs, axis=-1)
+        pooled = self.sort_pool(stacked, batch.batch, batch.num_graphs)
+        return self.head(pooled), Tensor(0.0)
+
+
+class DiffPoolClassifier(Module):
+    """DiffPool (Ying et al. 2018) on padded dense batches.
+
+    Two coarsening levels with fixed cluster counts, auxiliary
+    link-prediction + entropy losses returned for the trainer.
+    """
+
+    def __init__(self, in_features: int, num_classes: int, hidden: int = 64,
+                 clusters: Tuple[int, int] = (12, 4), dropout: float = 0.3,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        seeds = rng.integers(0, 2 ** 31, size=5)
+        self.entry = DenseGCN(in_features, hidden,
+                              rng=np.random.default_rng(int(seeds[0])))
+        self.pool1 = DiffPool(hidden, hidden, clusters[0],
+                              rng=np.random.default_rng(int(seeds[1])))
+        self.mid = DenseGCN(hidden, hidden,
+                            rng=np.random.default_rng(int(seeds[2])))
+        self.pool2 = DiffPool(hidden, hidden, clusters[1],
+                              rng=np.random.default_rng(int(seeds[3])))
+        self.head = MLPHead(2 * hidden, hidden, num_classes, dropout=dropout,
+                            rng=np.random.default_rng(int(seeds[4])))
+
+    def forward(self, batch: GraphBatch) -> Tuple[Tensor, Tensor]:
+        dense_x, mask = to_dense_batch(Tensor(batch.x), batch.batch,
+                                       batch.num_graphs)
+        adj = normalize_dense_adjacency(
+            to_dense_adjacency(batch.edge_index, batch.edge_weight,
+                               batch.batch, batch.num_graphs))
+        h = self.entry(dense_x, adj)
+        h, adj1, link1, ent1 = self.pool1(h, adj, mask)
+        h = self.mid(h, adj1)
+        h, _, link2, ent2 = self.pool2(h, adj1)
+        # Readout over clusters: mean ‖ max along the cluster axis.
+        graph_repr = concat([h.mean(axis=1), h.max(axis=1)], axis=-1)
+        aux = link1 + link2 + (ent1 + ent2) * 0.1
+        return self.head(graph_repr), aux
+
+
+class StructPoolClassifier(Module):
+    """StructPool (Yuan & Ji 2020): CRF-refined dense pooling."""
+
+    def __init__(self, in_features: int, num_classes: int, hidden: int = 64,
+                 clusters: Tuple[int, int] = (12, 4),
+                 mean_field_steps: int = 2, dropout: float = 0.3,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        seeds = rng.integers(0, 2 ** 31, size=5)
+        self.entry = DenseGCN(in_features, hidden,
+                              rng=np.random.default_rng(int(seeds[0])))
+        self.pool1 = StructPool(hidden, clusters[0],
+                                mean_field_steps=mean_field_steps,
+                                rng=np.random.default_rng(int(seeds[1])))
+        self.mid = DenseGCN(hidden, hidden,
+                            rng=np.random.default_rng(int(seeds[2])))
+        self.pool2 = StructPool(hidden, clusters[1],
+                                mean_field_steps=mean_field_steps,
+                                rng=np.random.default_rng(int(seeds[3])))
+        self.head = MLPHead(2 * hidden, hidden, num_classes, dropout=dropout,
+                            rng=np.random.default_rng(int(seeds[4])))
+
+    def forward(self, batch: GraphBatch) -> Tuple[Tensor, Tensor]:
+        dense_x, mask = to_dense_batch(Tensor(batch.x), batch.batch,
+                                       batch.num_graphs)
+        adj = normalize_dense_adjacency(
+            to_dense_adjacency(batch.edge_index, batch.edge_weight,
+                               batch.batch, batch.num_graphs))
+        h = self.entry(dense_x, adj)
+        h, adj1 = self.pool1(h, adj, mask)
+        h = self.mid(h, adj1)
+        h, _ = self.pool2(h, adj1)
+        graph_repr = concat([h.mean(axis=1), h.max(axis=1)], axis=-1)
+        return self.head(graph_repr), Tensor(0.0)

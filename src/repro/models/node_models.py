@@ -1,0 +1,198 @@
+"""Flat-GNN baselines for node-wise tasks (GCN, GraphSAGE, GAT, GIN) and
+the Graph U-Net (TOPKPOOL) hierarchical baseline.
+
+All follow the paper's settings: embedding dimension 64, the same input
+features and training protocol as AdamGNN (Appendix A.4).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..graph import normalize_edges
+from ..layers import GATConv, GCNConv, GINConv, SAGEConv, gin_mlp
+from ..nn import Dropout, Linear, Module, ModuleList
+from ..pooling import TopKPooling, unpool_topk
+from ..tensor import Tensor, relu
+
+#: Convolutions that consume the GCN-normalised operator.
+_NEEDS_NORMALIZATION = {"gcn"}
+
+
+def _make_conv(kind: str, in_features: int, out_features: int,
+               rng: np.random.Generator) -> Module:
+    """Construct one convolution layer of the requested family."""
+    kind = kind.lower()
+    if kind == "gcn":
+        return GCNConv(in_features, out_features, rng=rng)
+    if kind == "sage":
+        return SAGEConv(in_features, out_features, rng=rng)
+    if kind == "gat":
+        return GATConv(in_features, out_features, rng=rng)
+    if kind == "gin":
+        # BatchNorm inside the MLP is essential for node-task GIN: the sum
+        # aggregator's activations grow with node degree, and on hub-heavy
+        # graphs the un-normalised variant diverges.
+        return GINConv(gin_mlp(in_features, out_features, out_features,
+                               rng=rng, batch_norm=True))
+    raise ValueError(f"unknown convolution kind {kind!r}")
+
+
+class GNNEncoder(Module):
+    """Stack of homogeneous convolutions with ReLU + dropout between them.
+
+    Used both as the node-classification trunk and as the link-prediction
+    encoder for every flat baseline.
+    """
+
+    def __init__(self, kind: str, in_features: int, hidden: int,
+                 out_features: int, num_layers: int = 2,
+                 dropout: float = 0.5,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        if num_layers < 1:
+            raise ValueError("num_layers must be >= 1")
+        rng = rng if rng is not None else np.random.default_rng(0)
+        seeds = rng.integers(0, 2 ** 31, size=num_layers + 1)
+        self.kind = kind.lower()
+        dims = [in_features] + [hidden] * (num_layers - 1) + [out_features]
+        self.convs = ModuleList(
+            _make_conv(self.kind, dims[i], dims[i + 1],
+                       np.random.default_rng(int(seeds[i])))
+            for i in range(num_layers))
+        self.dropout = Dropout(dropout,
+                               rng=np.random.default_rng(int(seeds[-1])))
+
+    def forward(self, x: Tensor, edge_index: np.ndarray,
+                edge_weight: Optional[np.ndarray] = None) -> Tensor:
+        n = x.shape[0]
+        if edge_weight is None:
+            edge_weight = np.ones(edge_index.shape[1], dtype=np.float64)
+        if self.kind in _NEEDS_NORMALIZATION:
+            edge_index, edge_weight = normalize_edges(edge_index, edge_weight,
+                                                      n)
+        h = x
+        last = len(self.convs) - 1
+        for i, conv in enumerate(self.convs):
+            h = conv(h, edge_index, edge_weight, num_nodes=n)
+            if i != last:
+                h = self.dropout(relu(h))
+        return h
+
+
+class GNNNodeClassifier(Module):
+    """A flat-GNN node classifier: encoder whose last layer emits logits."""
+
+    def __init__(self, kind: str, in_features: int, num_classes: int,
+                 hidden: int = 64, num_layers: int = 2, dropout: float = 0.5,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        self.encoder = GNNEncoder(kind, in_features, hidden, num_classes,
+                                  num_layers=num_layers, dropout=dropout,
+                                  rng=rng)
+
+    def forward(self, x: Tensor, edge_index: np.ndarray,
+                edge_weight: Optional[np.ndarray] = None) -> Tensor:
+        return self.encoder(x, edge_index, edge_weight)
+
+
+class GNNLinkPredictor(Module):
+    """A flat-GNN link predictor: encoder + inner-product decoder."""
+
+    def __init__(self, kind: str, in_features: int, hidden: int = 64,
+                 num_layers: int = 2, dropout: float = 0.0,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        self.encoder = GNNEncoder(kind, in_features, hidden, hidden,
+                                  num_layers=num_layers, dropout=dropout,
+                                  rng=rng)
+
+    def forward(self, x: Tensor, edge_index: np.ndarray,
+                edge_weight: Optional[np.ndarray] = None) -> Tensor:
+        return self.encoder(x, edge_index, edge_weight)
+
+
+class GraphUNet(Module):
+    """Graph U-Net (Gao & Ji 2019) — the TOPKPOOL baseline for node tasks.
+
+    Encoder: conv → pool, repeated ``depth`` times; decoder: unpool → conv
+    with skip connections from the matching encoder stage.
+    """
+
+    def __init__(self, in_features: int, out_features: int, hidden: int = 64,
+                 depth: int = 2, ratio: float = 0.5, dropout: float = 0.5,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        if depth < 1:
+            raise ValueError("depth must be >= 1")
+        rng = rng if rng is not None else np.random.default_rng(0)
+        seeds = rng.integers(0, 2 ** 31, size=3 * depth + 3)
+        self.depth = depth
+        self.input_conv = GCNConv(in_features, hidden,
+                                  rng=np.random.default_rng(int(seeds[0])))
+        self.pools = ModuleList(
+            TopKPooling(hidden, ratio=ratio,
+                        rng=np.random.default_rng(int(seeds[1 + i])))
+            for i in range(depth))
+        self.down_convs = ModuleList(
+            GCNConv(hidden, hidden,
+                    rng=np.random.default_rng(int(seeds[1 + depth + i])))
+            for i in range(depth))
+        self.up_convs = ModuleList(
+            GCNConv(hidden, hidden,
+                    rng=np.random.default_rng(int(seeds[1 + 2 * depth + i])))
+            for i in range(depth))
+        self.head = Linear(hidden, out_features,
+                           rng=np.random.default_rng(int(seeds[-2])))
+        self.dropout = Dropout(dropout,
+                               rng=np.random.default_rng(int(seeds[-1])))
+
+    def forward(self, x: Tensor, edge_index: np.ndarray,
+                edge_weight: Optional[np.ndarray] = None) -> Tensor:
+        n = x.shape[0]
+        if edge_weight is None:
+            edge_weight = np.ones(edge_index.shape[1], dtype=np.float64)
+        batch = np.zeros(n, dtype=np.int64)
+
+        norm_e, norm_w = normalize_edges(edge_index, edge_weight, n)
+        h = relu(self.input_conv(self.dropout(x), norm_e, norm_w,
+                                 num_nodes=n))
+
+        skips = [h]
+        perms = []
+        sizes = [n]
+        edges_k, weight_k, batch_k = edge_index, edge_weight, batch
+        for pool, conv in zip(self.pools, self.down_convs):
+            h, edges_k, weight_k, batch_k, perm = pool(
+                h, edges_k, weight_k, batch_k, 1)
+            m = h.shape[0]
+            norm_e, norm_w = normalize_edges(edges_k, weight_k, m)
+            h = relu(conv(h, norm_e, norm_w, num_nodes=m))
+            perms.append(perm)
+            sizes.append(m)
+            skips.append(h)
+
+        # Decoder: walk back up, re-placing nodes at their original slots.
+        for i in range(self.depth - 1, -1, -1):
+            h = unpool_topk(h, perms[i], sizes[i])
+            h = h + skips[i]
+            # The unpooled graph structure is the pre-pool structure.
+            edges_i, weight_i = self._structure_at(edge_index, edge_weight,
+                                                   perms[:i], sizes[0])
+            norm_e, norm_w = normalize_edges(edges_i, weight_i, sizes[i])
+            h = relu(self.up_convs[i](h, norm_e, norm_w, num_nodes=sizes[i]))
+        return self.head(h)
+
+    @staticmethod
+    def _structure_at(edge_index: np.ndarray, edge_weight: np.ndarray,
+                      perms, num_nodes: int):
+        """Edge list of the graph after applying ``perms`` sequentially."""
+        from ..pooling import filter_graph
+        edges, weight = edge_index, edge_weight
+        n = num_nodes
+        for perm in perms:
+            edges, weight, _ = filter_graph(edges, weight, perm, n)
+            n = perm.shape[0]
+        return edges, weight

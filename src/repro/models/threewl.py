@@ -1,0 +1,106 @@
+"""3WL-GNN / Provably Powerful Graph Networks (Maron et al. 2019).
+
+Operates on dense 2-tensors ``T ∈ R^{B×N×N×d}`` whose diagonal carries node
+features and whose off-diagonal channel carries the adjacency.  Each block
+computes ``T' = [ MLP3(T) ‖ MLP1(T) · MLP2(T) ]`` where ``·`` is matrix
+multiplication along the two node axes per channel — the operation that
+lifts expressiveness to 3-WL.  The readout sums diagonal and off-diagonal
+entries separately.
+
+This is the heaviest baseline (O(N³) per block), consistent with its role
+in the paper as an expressive but costly reference model.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..graph import GraphBatch
+from ..nn import Linear, Module, ModuleList
+from ..pooling import dense_slots
+from ..tensor import DEFAULT_DTYPE, Tensor, concat, relu
+from .graph_models import MLPHead
+
+
+def batch_to_pairwise_tensor(batch: GraphBatch) -> Tuple[np.ndarray, np.ndarray]:
+    """Build the input 2-tensor ``(B, N, N, f+1)`` and node mask.
+
+    Channel 0 holds the adjacency; channels 1..f hold the node features on
+    the diagonal (zero elsewhere).
+    """
+    slot, mask, n_max = dense_slots(batch.batch, batch.num_graphs)
+    b = batch.num_graphs
+    f = batch.x.shape[1]
+    tensor = np.zeros((b, n_max, n_max, f + 1), dtype=DEFAULT_DTYPE)
+    position = slot - batch.batch * n_max
+    src, dst = batch.edge_index
+    tensor[batch.batch[src], position[src], position[dst], 0] = \
+        batch.edge_weight
+    tensor[batch.batch, position, position, 1:] = batch.x
+    return tensor, mask
+
+
+class PPGNBlock(Module):
+    """One matrix-multiplication mixing block."""
+
+    def __init__(self, in_channels: int, out_channels: int,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        seeds = rng.integers(0, 2 ** 31, size=3)
+        self.mlp1 = Linear(in_channels, out_channels,
+                           rng=np.random.default_rng(int(seeds[0])))
+        self.mlp2 = Linear(in_channels, out_channels,
+                           rng=np.random.default_rng(int(seeds[1])))
+        self.mlp3 = Linear(in_channels, out_channels,
+                           rng=np.random.default_rng(int(seeds[2])))
+        self.out_channels = 2 * out_channels
+
+    def forward(self, t: Tensor) -> Tensor:
+        m1 = relu(self.mlp1(t))          # (B, N, N, c)
+        m2 = relu(self.mlp2(t))
+        m3 = relu(self.mlp3(t))
+        # Per-channel matrix product along the node axes: move channels into
+        # the batch dims, matmul, move back.
+        m1_t = m1.transpose(0, 3, 1, 2)  # (B, c, N, N)
+        m2_t = m2.transpose(0, 3, 1, 2)
+        mult = (m1_t @ m2_t).transpose(0, 2, 3, 1)
+        return concat([m3, mult], axis=-1)
+
+
+class ThreeWLGraphClassifier(Module):
+    """3WL-GNN graph classifier with two PPGN blocks."""
+
+    def __init__(self, in_features: int, num_classes: int, hidden: int = 16,
+                 num_blocks: int = 2, dropout: float = 0.3,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        seeds = rng.integers(0, 2 ** 31, size=num_blocks + 1)
+        blocks = []
+        channels = in_features + 1
+        for i in range(num_blocks):
+            block = PPGNBlock(channels, hidden,
+                              rng=np.random.default_rng(int(seeds[i])))
+            blocks.append(block)
+            channels = block.out_channels
+        self.blocks = ModuleList(blocks)
+        self.head = MLPHead(2 * channels, hidden * 2, num_classes,
+                            dropout=dropout,
+                            rng=np.random.default_rng(int(seeds[-1])))
+
+    def forward(self, batch: GraphBatch) -> Tuple[Tensor, Tensor]:
+        array, mask = batch_to_pairwise_tensor(batch)
+        t = Tensor(array)
+        for block in self.blocks:
+            t = block(t)
+        b, n = array.shape[0], array.shape[1]
+        eye = np.eye(n, dtype=DEFAULT_DTYPE)[None, :, :, None]
+        valid = (mask[:, :, None] & mask[:, None, :]).astype(DEFAULT_DTYPE)
+        valid = Tensor(valid[..., None])
+        t = t * valid
+        diag_sum = (t * Tensor(eye)).sum(axis=(1, 2))
+        off_sum = t.sum(axis=(1, 2)) - diag_sum
+        return self.head(concat([diag_sum, off_sum], axis=-1)), Tensor(0.0)

@@ -1,0 +1,20 @@
+"""Neural-network modules built on the autograd engine."""
+
+from .module import Module, Parameter
+from .linear import Linear
+from .activations import ELU, LeakyReLU, ReLU, Sigmoid, Tanh
+from .dropout import Dropout
+from .container import ModuleList, Sequential
+from .norm import BatchNorm1d, LayerNorm
+from . import init
+from .losses import (binary_cross_entropy, binary_cross_entropy_with_logits,
+                     cross_entropy, kl_divergence, mse)
+
+__all__ = [
+    "Module", "Parameter", "Linear",
+    "ELU", "LeakyReLU", "ReLU", "Sigmoid", "Tanh",
+    "Dropout", "ModuleList", "Sequential",
+    "BatchNorm1d", "LayerNorm", "init",
+    "binary_cross_entropy", "binary_cross_entropy_with_logits",
+    "cross_entropy", "kl_divergence", "mse",
+]

@@ -1,0 +1,52 @@
+"""Activation modules (thin wrappers over the functional ops)."""
+
+from __future__ import annotations
+
+from ..tensor import Tensor, elu, leaky_relu, relu, sigmoid, tanh
+from .module import Module
+
+
+class ReLU(Module):
+    """Module form of :func:`repro.tensor.relu`."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return relu(x)
+
+
+class LeakyReLU(Module):
+    """Module form of :func:`repro.tensor.leaky_relu`."""
+
+    def __init__(self, negative_slope: float = 0.2):
+        super().__init__()
+        self.negative_slope = negative_slope
+
+    def forward(self, x: Tensor) -> Tensor:
+        return leaky_relu(x, self.negative_slope)
+
+    def __repr__(self) -> str:
+        return f"LeakyReLU(negative_slope={self.negative_slope})"
+
+
+class Sigmoid(Module):
+    """Module form of :func:`repro.tensor.sigmoid`."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return sigmoid(x)
+
+
+class Tanh(Module):
+    """Module form of :func:`repro.tensor.tanh`."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return tanh(x)
+
+
+class ELU(Module):
+    """Module form of :func:`repro.tensor.elu`."""
+
+    def __init__(self, alpha: float = 1.0):
+        super().__init__()
+        self.alpha = alpha
+
+    def forward(self, x: Tensor) -> Tensor:
+        return elu(x, self.alpha)

@@ -1,0 +1,47 @@
+"""Weight initialisers.
+
+Glorot (Xavier) initialisation is the PyTorch-Geometric default for GCN/GAT
+weight matrices and is what the paper's reference implementation uses, so it
+is the default throughout this library.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..tensor import DEFAULT_DTYPE
+
+
+def glorot_uniform(rng: np.random.Generator, fan_in: int, fan_out: int,
+                   shape: tuple | None = None) -> np.ndarray:
+    """Xavier/Glorot uniform: U(-a, a) with a = sqrt(6 / (fan_in + fan_out))."""
+    bound = math.sqrt(6.0 / float(fan_in + fan_out))
+    shape = shape if shape is not None else (fan_in, fan_out)
+    return rng.uniform(-bound, bound, size=shape).astype(DEFAULT_DTYPE)
+
+
+def glorot_normal(rng: np.random.Generator, fan_in: int, fan_out: int,
+                  shape: tuple | None = None) -> np.ndarray:
+    """Xavier/Glorot normal: N(0, 2 / (fan_in + fan_out))."""
+    std = math.sqrt(2.0 / float(fan_in + fan_out))
+    shape = shape if shape is not None else (fan_in, fan_out)
+    return (rng.normal(0.0, std, size=shape)).astype(DEFAULT_DTYPE)
+
+
+def kaiming_uniform(rng: np.random.Generator, fan_in: int,
+                    shape: tuple) -> np.ndarray:
+    """He/Kaiming uniform for ReLU fan-in scaling."""
+    bound = math.sqrt(6.0 / float(fan_in))
+    return rng.uniform(-bound, bound, size=shape).astype(DEFAULT_DTYPE)
+
+
+def zeros(shape: tuple) -> np.ndarray:
+    """All-zero initialiser (biases)."""
+    return np.zeros(shape, dtype=DEFAULT_DTYPE)
+
+
+def ones(shape: tuple) -> np.ndarray:
+    """All-one initialiser (norm scales)."""
+    return np.ones(shape, dtype=DEFAULT_DTYPE)

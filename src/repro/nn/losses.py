@@ -1,0 +1,85 @@
+"""Loss functions.
+
+All losses return scalar tensors and accept an optional boolean/index mask so
+the semi-supervised node-classification protocol (loss on the training nodes
+only) is expressed directly.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from ..tensor import Tensor, clip, log, log_softmax, sigmoid
+
+
+def cross_entropy(logits: Tensor, labels: np.ndarray,
+                  mask: Optional[np.ndarray] = None) -> Tensor:
+    """Mean softmax cross-entropy between row logits and integer labels.
+
+    Parameters
+    ----------
+    logits:
+        ``(n, num_classes)`` unnormalised scores.
+    labels:
+        ``(n,)`` integer class labels.
+    mask:
+        Optional boolean mask or index array selecting the rows that
+        contribute to the loss (e.g. training nodes).
+    """
+    labels = np.asarray(labels, dtype=np.int64)
+    if mask is not None:
+        logits = logits[np.asarray(mask)]
+        labels = labels[np.asarray(mask)]
+    if logits.shape[0] == 0:
+        raise ValueError("cross_entropy received an empty selection")
+    log_probs = log_softmax(logits, axis=-1)
+    picked = log_probs[np.arange(labels.shape[0]), labels]
+    return -picked.mean()
+
+
+def binary_cross_entropy_with_logits(logits: Tensor,
+                                     targets: np.ndarray) -> Tensor:
+    """Numerically stable mean BCE on raw logits.
+
+    Uses the identity ``max(x,0) - x*t + log(1 + exp(-|x|))`` so large
+    positive/negative logits do not overflow.
+    """
+    targets = np.asarray(targets, dtype=np.float64)
+    x = logits
+    # max(x, 0) as 0.5*(x + |x|) keeps everything inside autograd.
+    from ..tensor import absolute, exp
+    abs_x = absolute(x)
+    loss = (abs_x + x) * 0.5 - x * Tensor(targets) + log(exp(-abs_x) + 1.0)
+    return loss.mean()
+
+
+def binary_cross_entropy(probs: Tensor, targets: np.ndarray,
+                         eps: float = 1e-12) -> Tensor:
+    """Mean BCE on probabilities already in ``(0, 1)``."""
+    targets = np.asarray(targets, dtype=np.float64)
+    p = clip(probs, eps, 1.0 - eps)
+    t = Tensor(targets)
+    return -(t * log(p) + (1.0 - t) * log(1.0 - p)).mean()
+
+
+def mse(pred: Tensor, target: Union[Tensor, np.ndarray]) -> Tensor:
+    """Mean squared error."""
+    target_t = target if isinstance(target, Tensor) else Tensor(np.asarray(target))
+    diff = pred - target_t
+    return (diff * diff).mean()
+
+
+def kl_divergence(p: np.ndarray, q: Tensor, eps: float = 1e-12) -> Tensor:
+    """``KL(P || Q) = Σ p log(p/q)`` with a fixed target distribution P.
+
+    This is the form of Eq. 5 in the paper: P is the (detached) sharpened
+    target distribution and Q the current soft assignment, so gradients flow
+    only through Q.
+    """
+    p = np.asarray(p, dtype=np.float64)
+    q_safe = clip(q, eps, 1.0)
+    p_term = np.where(p > 0, p * np.log(np.maximum(p, eps)), 0.0).sum()
+    cross = (Tensor(p) * log(q_safe)).sum()
+    return Tensor(float(p_term)) - cross

@@ -1,0 +1,186 @@
+"""Module and parameter containers, mirroring the ``torch.nn`` contract.
+
+A :class:`Module` automatically registers any :class:`Parameter` or child
+:class:`Module` assigned as an attribute, exposes recursive parameter
+iteration for optimisers, tracks train/eval mode (dropout behaviour), and
+supports state-dict save/load for checkpointing experiments.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from ..tensor import Tensor
+
+
+class Parameter(Tensor):
+    """A :class:`Tensor` that is a trainable leaf of a :class:`Module`."""
+
+    def __init__(self, data):
+        super().__init__(data, requires_grad=True)
+
+
+class Module:
+    """Base class for all neural-network components.
+
+    Subclasses implement :meth:`forward`; calling the module invokes it.
+    Attribute assignment registers parameters and sub-modules so that
+    :meth:`parameters` walks the whole tree.
+    """
+
+    def __init__(self) -> None:
+        object.__setattr__(self, "_parameters", OrderedDict())
+        object.__setattr__(self, "_modules", OrderedDict())
+        object.__setattr__(self, "_buffers", OrderedDict())
+        object.__setattr__(self, "training", True)
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def __setattr__(self, name: str, value) -> None:
+        if isinstance(value, Parameter):
+            self._parameters[name] = value
+        elif isinstance(value, Module):
+            self._modules[name] = value
+        object.__setattr__(self, name, value)
+
+    def register_parameter(self, name: str, param: Optional[Parameter]) -> None:
+        """Explicitly register (or unregister with ``None``) a parameter."""
+        if param is None:
+            self._parameters.pop(name, None)
+            object.__setattr__(self, name, None)
+        else:
+            setattr(self, name, param)
+
+    def add_module(self, name: str, module: "Module") -> None:
+        """Explicitly register a child module under ``name``."""
+        self._modules[name] = module
+        object.__setattr__(self, name, module)
+
+    def register_buffer(self, name: str, value: np.ndarray) -> None:
+        """Register non-trainable state saved/restored with the model.
+
+        Buffers (e.g. BatchNorm running statistics) are included in
+        :meth:`state_dict` so that checkpoint restore — in particular the
+        early-stopping best-epoch restore — keeps weights and statistics
+        consistent.
+        """
+        self._buffers[name] = np.asarray(value)
+        object.__setattr__(self, name, self._buffers[name])
+
+    def set_buffer(self, name: str, value: np.ndarray) -> None:
+        """Update a registered buffer's value in place of the registry."""
+        if name not in self._buffers:
+            raise KeyError(f"unknown buffer {name!r}")
+        self._buffers[name] = np.asarray(value)
+        object.__setattr__(self, name, self._buffers[name])
+
+    def named_buffers(self, prefix: str = "") -> Iterator[Tuple[str, np.ndarray]]:
+        """Yield ``(dotted_name, buffer)`` pairs, depth-first."""
+        for name, value in self._buffers.items():
+            yield (f"{prefix}{name}", value)
+        for name, child in self._modules.items():
+            yield from child.named_buffers(prefix=f"{prefix}{name}.")
+
+    # ------------------------------------------------------------------
+    # Traversal
+    # ------------------------------------------------------------------
+    def parameters(self) -> List[Parameter]:
+        """All trainable parameters in this module and its children."""
+        return [p for _, p in self.named_parameters()]
+
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Parameter]]:
+        """Yield ``(dotted_name, parameter)`` pairs, depth-first."""
+        for name, param in self._parameters.items():
+            yield (f"{prefix}{name}", param)
+        for name, child in self._modules.items():
+            yield from child.named_parameters(prefix=f"{prefix}{name}.")
+
+    def modules(self) -> Iterator["Module"]:
+        """Yield this module and every descendant."""
+        yield self
+        for child in self._modules.values():
+            yield from child.modules()
+
+    def num_parameters(self) -> int:
+        """Total number of trainable scalar parameters."""
+        return sum(p.data.size for p in self.parameters())
+
+    # ------------------------------------------------------------------
+    # Mode and gradients
+    # ------------------------------------------------------------------
+    def train(self, mode: bool = True) -> "Module":
+        """Set train/eval mode recursively (affects dropout etc.)."""
+        for module in self.modules():
+            object.__setattr__(module, "training", mode)
+        return self
+
+    def eval(self) -> "Module":
+        """Set eval mode (equivalent to ``train(False)``)."""
+        return self.train(False)
+
+    def zero_grad(self) -> None:
+        """Clear gradients of every parameter."""
+        for param in self.parameters():
+            param.zero_grad()
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Copy of every parameter and buffer array, keyed by dotted name.
+
+        Buffers are stored under a ``buffer:`` key prefix so they can never
+        collide with parameter names.
+        """
+        state = {name: p.data.copy() for name, p in self.named_parameters()}
+        for name, value in self.named_buffers():
+            state[f"buffer:{name}"] = value.copy()
+        return state
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        """Load parameter and buffer arrays produced by :meth:`state_dict`."""
+        own = dict(self.named_parameters())
+        own_buffers = dict(self.named_buffers())
+        expected = set(own) | {f"buffer:{n}" for n in own_buffers}
+        missing = expected - set(state)
+        unexpected = set(state) - expected
+        if missing or unexpected:
+            raise KeyError(f"state dict mismatch: missing={sorted(missing)}, "
+                           f"unexpected={sorted(unexpected)}")
+        for name, param in own.items():
+            value = np.asarray(state[name])
+            if value.shape != param.data.shape:
+                raise ValueError(f"shape mismatch for {name}: "
+                                 f"{value.shape} vs {param.data.shape}")
+            param.data = value.astype(param.data.dtype).copy()
+        for name in own_buffers:
+            self._load_buffer(name, np.asarray(state[f"buffer:{name}"]))
+
+    def _load_buffer(self, dotted: str, value: np.ndarray) -> None:
+        module: Module = self
+        *path, leaf = dotted.split(".")
+        for part in path:
+            module = module._modules[part]
+        module.set_buffer(leaf, value.copy())
+
+    # ------------------------------------------------------------------
+    # Invocation
+    # ------------------------------------------------------------------
+    def forward(self, *args, **kwargs):
+        """Compute the module's output; subclasses must override."""
+        raise NotImplementedError(f"{type(self).__name__} must implement forward()")
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def __repr__(self) -> str:
+        child_lines = [f"  ({name}): {child!r}".replace("\n", "\n  ")
+                       for name, child in self._modules.items()]
+        body = "\n".join(child_lines)
+        if body:
+            return f"{type(self).__name__}(\n{body}\n)"
+        return f"{type(self).__name__}()"

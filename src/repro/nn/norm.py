@@ -1,0 +1,70 @@
+"""Normalisation layers (used by GIN MLPs and the 3WL-GNN blocks)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..tensor import Tensor, sqrt
+from . import init
+from .module import Module, Parameter
+
+
+class LayerNorm(Module):
+    """Normalise the last dimension to zero mean / unit variance, then scale."""
+
+    def __init__(self, dim: int, eps: float = 1e-5):
+        super().__init__()
+        self.dim = dim
+        self.eps = eps
+        self.weight = Parameter(init.ones((dim,)))
+        self.bias = Parameter(init.zeros((dim,)))
+
+    def forward(self, x: Tensor) -> Tensor:
+        mean = x.mean(axis=-1, keepdims=True)
+        centered = x - mean
+        var = (centered * centered).mean(axis=-1, keepdims=True)
+        normed = centered / sqrt(var + self.eps)
+        return normed * self.weight + self.bias
+
+    def __repr__(self) -> str:
+        return f"LayerNorm(dim={self.dim}, eps={self.eps})"
+
+
+class BatchNorm1d(Module):
+    """Batch normalisation over the row dimension with running statistics.
+
+    In train mode, statistics come from the batch and the running buffers
+    are updated with exponential momentum; in eval mode the running buffers
+    are used, matching the PyTorch semantics the reference models rely on.
+    """
+
+    def __init__(self, dim: int, eps: float = 1e-5, momentum: float = 0.1):
+        super().__init__()
+        self.dim = dim
+        self.eps = eps
+        self.momentum = momentum
+        self.weight = Parameter(init.ones((dim,)))
+        self.bias = Parameter(init.zeros((dim,)))
+        self.register_buffer("running_mean", np.zeros(dim))
+        self.register_buffer("running_var", np.ones(dim))
+
+    def forward(self, x: Tensor) -> Tensor:
+        if self.training and x.shape[0] > 1:
+            mean = x.mean(axis=0, keepdims=True)
+            centered = x - mean
+            var = (centered * centered).mean(axis=0, keepdims=True)
+            self.set_buffer("running_mean",
+                            (1 - self.momentum) * self.running_mean
+                            + self.momentum * mean.data.reshape(-1))
+            self.set_buffer("running_var",
+                            (1 - self.momentum) * self.running_var
+                            + self.momentum * var.data.reshape(-1))
+        else:
+            mean = Tensor(self.running_mean.reshape(1, -1))
+            centered = x - mean
+            var = Tensor(self.running_var.reshape(1, -1))
+        normed = centered / sqrt(var + self.eps)
+        return normed * self.weight + self.bias
+
+    def __repr__(self) -> str:
+        return f"BatchNorm1d(dim={self.dim}, eps={self.eps}, momentum={self.momentum})"

@@ -1,0 +1,11 @@
+"""Optimisers and learning-rate utilities."""
+
+from .optimizer import Optimizer
+from .sgd import SGD
+from .adam import Adam, AdamW
+from .clip import clip_grad_norm, clip_grad_value
+from .lr_scheduler import CosineAnnealingLR, StepLR
+
+__all__ = ["Optimizer", "SGD", "Adam", "AdamW",
+           "clip_grad_norm", "clip_grad_value",
+           "CosineAnnealingLR", "StepLR"]

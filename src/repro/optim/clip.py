@@ -1,0 +1,30 @@
+"""Gradient clipping utilities."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from ..nn.module import Parameter
+
+
+def clip_grad_norm(params: Iterable[Parameter], max_norm: float) -> float:
+    """Scale all gradients so their global L2 norm is at most ``max_norm``.
+
+    Returns the pre-clipping norm (useful for logging divergence).
+    """
+    params = [p for p in params if p.grad is not None]
+    total = float(np.sqrt(sum(float((p.grad ** 2).sum()) for p in params)))
+    if total > max_norm and total > 0:
+        scale = max_norm / total
+        for p in params:
+            p.grad *= scale
+    return total
+
+
+def clip_grad_value(params: Iterable[Parameter], max_value: float) -> None:
+    """Clamp each gradient element to ``[-max_value, max_value]``."""
+    for p in params:
+        if p.grad is not None:
+            np.clip(p.grad, -max_value, max_value, out=p.grad)

@@ -1,0 +1,27 @@
+"""Optimiser base class."""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from ..nn.module import Parameter
+
+
+class Optimizer:
+    """Holds a flat parameter list and defines the step/zero-grad contract."""
+
+    def __init__(self, params: Iterable[Parameter], lr: float):
+        self.params: List[Parameter] = list(params)
+        if not self.params:
+            raise ValueError("optimizer received no parameters")
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        self.lr = lr
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+    def zero_grad(self) -> None:
+        """Clear accumulated gradients on every managed parameter."""
+        for param in self.params:
+            param.zero_grad()

@@ -1,0 +1,17 @@
+"""Baseline pooling operators the paper compares against."""
+
+from .common import (dense_slots, filter_graph, normalize_dense_adjacency,
+                     to_dense_adjacency, to_dense_batch, topk_per_graph)
+from .topk import TopKPooling, unpool_topk
+from .sagpool import SAGPooling
+from .asap import ASAPooling, LEConv
+from .diffpool import DenseGCN, DiffPool
+from .sortpool import SortPool, sortpool_output_dim
+from .structpool import StructPool
+
+__all__ = [
+    "dense_slots", "filter_graph", "normalize_dense_adjacency",
+    "to_dense_adjacency", "to_dense_batch", "topk_per_graph",
+    "TopKPooling", "unpool_topk", "SAGPooling", "ASAPooling", "LEConv",
+    "DenseGCN", "DiffPool", "SortPool", "sortpool_output_dim", "StructPool",
+]

@@ -1,0 +1,120 @@
+"""ASAP pooling (Ranjan, Sanyal & Talukdar 2020) — extension baseline.
+
+The paper's related-work section discusses ASAP alongside SAGPool as a
+Top-k method with self-attention cluster assignment; it is not in the
+Table-1 grid, so this implementation is provided as an *extension*
+baseline (see DESIGN.md).
+
+Simplified faithful pipeline:
+
+1. every node's 1-hop ego-network is a candidate cluster; a master-query
+   attention (Master2Token) forms the cluster representation;
+2. clusters are scored by **LEConv** (local-extrema convolution,
+   ``score_i = Σ_j a_ij (W1 x_i − W2 x_j)``), which can express local
+   fitness extrema;
+3. the top ``ceil(ratio·n)`` clusters survive; edges are re-formed through
+   the soft membership weights.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..nn import Linear, Module, Parameter, init
+from ..tensor import (Tensor, gather_rows, leaky_relu, segment_softmax,
+                      segment_sum, sigmoid)
+from .common import filter_graph, topk_per_graph
+
+
+class LEConv(Module):
+    """Local-extrema convolution: ``Σ_j w_ij (W1 x_i − W2 x_j) + W3 x_i``.
+
+    Unlike a plain GCN, LEConv's anti-symmetric form lets a node's score be
+    high exactly when it dominates its neighbourhood — the property ASAP
+    uses for cluster selection.
+    """
+
+    def __init__(self, in_features: int, out_features: int,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        seeds = rng.integers(0, 2 ** 31, size=3)
+        self.lin_self = Linear(in_features, out_features,
+                               rng=np.random.default_rng(int(seeds[0])))
+        self.lin_pos = Linear(in_features, out_features, bias=False,
+                              rng=np.random.default_rng(int(seeds[1])))
+        self.lin_neg = Linear(in_features, out_features, bias=False,
+                              rng=np.random.default_rng(int(seeds[2])))
+
+    def forward(self, x: Tensor, edge_index: np.ndarray,
+                edge_weight: Optional[np.ndarray] = None,
+                num_nodes: Optional[int] = None) -> Tensor:
+        n = num_nodes if num_nodes is not None else x.shape[0]
+        src, dst = edge_index
+        if edge_weight is None:
+            edge_weight = np.ones(src.shape[0])
+        weights = Tensor(np.asarray(edge_weight).reshape(-1, 1))
+        pos = gather_rows(self.lin_pos(x), dst)
+        neg = gather_rows(self.lin_neg(x), src)
+        messages = (pos - neg) * weights
+        aggregated = segment_sum(messages, dst, n)
+        return self.lin_self(x) + aggregated
+
+
+class ASAPooling(Module):
+    """ASAP cluster pooling with a fixed selection ratio.
+
+    Returns ``(x, edge_index, edge_weight, batch, perm)`` with the same
+    contract as :class:`~repro.pooling.TopKPooling`.
+    """
+
+    def __init__(self, in_features: int, ratio: float = 0.5,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        if not 0.0 < ratio <= 1.0:
+            raise ValueError(f"ratio must be in (0, 1], got {ratio}")
+        rng = rng if rng is not None else np.random.default_rng(0)
+        seeds = rng.integers(0, 2 ** 31, size=3)
+        self.ratio = ratio
+        self.attention_query = Linear(
+            2 * in_features, 1, rng=np.random.default_rng(int(seeds[0])))
+        self.score_conv = LEConv(in_features, 1,
+                                 rng=np.random.default_rng(int(seeds[1])))
+        self.gate = Parameter(init.glorot_uniform(
+            np.random.default_rng(int(seeds[2])), in_features, 1,
+            shape=(in_features,)))
+
+    def _cluster_representations(self, x: Tensor, edge_index: np.ndarray,
+                                 n: int) -> Tensor:
+        """Master2Token attention over each node's closed neighbourhood."""
+        loops = np.arange(n, dtype=np.int64)
+        src = np.concatenate([edge_index[0], loops])
+        dst = np.concatenate([edge_index[1], loops])
+        from ..tensor import segment_max
+        # Master query: max over the ego-network (a cheap master token).
+        member = gather_rows(x, src)
+        master = segment_max(member, dst, n)
+        pair = gather_rows(master, dst)
+        from ..tensor import concat
+        logits = leaky_relu(self.attention_query(
+            concat([member, pair], axis=-1))).reshape(-1)
+        alpha = segment_softmax(logits, dst, n)
+        return segment_sum(member * alpha.reshape(-1, 1), dst, n)
+
+    def forward(self, x: Tensor, edge_index: np.ndarray,
+                edge_weight: np.ndarray, batch: np.ndarray,
+                num_graphs: int
+                ) -> Tuple[Tensor, np.ndarray, np.ndarray, np.ndarray,
+                           np.ndarray]:
+        n = x.shape[0]
+        clusters = self._cluster_representations(x, edge_index, n)
+        fitness = sigmoid(self.score_conv(clusters, edge_index, edge_weight,
+                                          num_nodes=n).reshape(-1))
+        keep = topk_per_graph(fitness.data, batch, num_graphs, self.ratio)
+        gated = gather_rows(clusters, keep) \
+            * gather_rows(fitness, keep).reshape(-1, 1)
+        new_edges, new_weight, _ = filter_graph(edge_index, edge_weight,
+                                                keep, n)
+        return gated, new_edges, new_weight, batch[keep], keep

@@ -1,0 +1,118 @@
+"""Shared utilities for pooling operators.
+
+Two families of poolers appear in the paper's comparison: *sparse* top-k
+selectors (TopKPool, SAGPool) that keep a node subset and re-index the
+graph, and *dense* cluster-assignment methods (DiffPool, StructPool) that
+work on padded per-graph tensors.  Both sets of primitives live here.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..tensor import DEFAULT_DTYPE, Tensor, segment_sum
+
+
+# ---------------------------------------------------------------------------
+# Sparse top-k machinery
+# ---------------------------------------------------------------------------
+def topk_per_graph(scores: np.ndarray, batch: np.ndarray, num_graphs: int,
+                   ratio: float) -> np.ndarray:
+    """Indices of the top ``ceil(ratio·n_g)`` scoring nodes of each graph.
+
+    This is the selection rule whose fixed ``ratio`` hyper-parameter the
+    paper criticises (Appendix A.1, Figure 3); AdamGNN's local-maximum rule
+    replaces it.
+    """
+    if not 0.0 < ratio <= 1.0:
+        raise ValueError(f"ratio must be in (0, 1], got {ratio}")
+    keep: list = []
+    for gid in range(num_graphs):
+        members = np.flatnonzero(batch == gid)
+        if members.size == 0:
+            continue
+        k = max(int(np.ceil(ratio * members.size)), 1)
+        order = members[np.argsort(-scores[members], kind="stable")]
+        keep.append(order[:k])
+    return np.sort(np.concatenate(keep))
+
+
+def filter_graph(edge_index: np.ndarray, edge_weight: np.ndarray,
+                 keep: np.ndarray, num_nodes: int
+                 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Induced subgraph on ``keep`` with nodes relabelled ``0..len(keep)-1``.
+
+    Returns ``(edge_index, edge_weight, relabel)`` where ``relabel`` maps old
+    node ids to new ids (-1 for dropped nodes) — the "information loss"
+    mechanism of top-k pooling is exactly the edges this filter discards.
+    """
+    relabel = -np.ones(num_nodes, dtype=np.int64)
+    relabel[keep] = np.arange(keep.shape[0])
+    src, dst = edge_index
+    mask = (relabel[src] >= 0) & (relabel[dst] >= 0)
+    new_edges = np.stack([relabel[src[mask]], relabel[dst[mask]]])
+    return new_edges, edge_weight[mask], relabel
+
+
+# ---------------------------------------------------------------------------
+# Dense (padded) batching for assignment-based poolers
+# ---------------------------------------------------------------------------
+def dense_slots(batch: np.ndarray, num_graphs: int
+                ) -> Tuple[np.ndarray, np.ndarray, int]:
+    """Assign each node a slot in a ``(B, N_max)`` padded layout.
+
+    Returns ``(slot, mask, n_max)`` where ``slot[i]`` is the flat index
+    ``gid·N_max + position`` of node ``i`` and ``mask`` is the ``(B, N_max)``
+    validity mask.
+    """
+    sizes = np.bincount(batch, minlength=num_graphs)
+    n_max = int(sizes.max()) if sizes.size else 0
+    position = np.zeros_like(batch)
+    counters = np.zeros(num_graphs, dtype=np.int64)
+    for i, gid in enumerate(batch):
+        position[i] = counters[gid]
+        counters[gid] += 1
+    slot = batch * n_max + position
+    mask = np.zeros((num_graphs, n_max), dtype=bool)
+    mask[batch, position] = True
+    return slot, mask, n_max
+
+
+def to_dense_batch(x: Tensor, batch: np.ndarray, num_graphs: int
+                   ) -> Tuple[Tensor, np.ndarray]:
+    """Pack node features into a padded ``(B, N_max, d)`` tensor.
+
+    Differentiable: implemented as a segment-sum over unique slots.
+    """
+    slot, mask, n_max = dense_slots(batch, num_graphs)
+    flat = segment_sum(x, slot, num_graphs * n_max)
+    return flat.reshape(num_graphs, n_max, x.shape[-1]), mask
+
+
+def to_dense_adjacency(edge_index: np.ndarray, edge_weight: np.ndarray,
+                       batch: np.ndarray, num_graphs: int) -> np.ndarray:
+    """Padded dense adjacency stack ``(B, N_max, N_max)`` (plain array)."""
+    slot, mask, n_max = dense_slots(batch, num_graphs)
+    position = slot - batch * n_max
+    adj = np.zeros((num_graphs, n_max, n_max), dtype=DEFAULT_DTYPE)
+    src, dst = edge_index
+    adj[batch[src], position[src], position[dst]] = edge_weight
+    del mask
+    return adj
+
+
+def normalize_dense_adjacency(adj: np.ndarray,
+                              add_self_loops: bool = True) -> np.ndarray:
+    """Symmetric GCN normalisation of a dense adjacency stack."""
+    adj = adj.copy()
+    n = adj.shape[-1]
+    if add_self_loops:
+        idx = np.arange(n)
+        adj[:, idx, idx] += 1.0
+    degree = adj.sum(axis=-1)
+    inv_sqrt = np.zeros_like(degree)
+    positive = degree > 0
+    inv_sqrt[positive] = 1.0 / np.sqrt(degree[positive])
+    return adj * inv_sqrt[:, :, None] * inv_sqrt[:, None, :]

@@ -1,0 +1,82 @@
+"""DiffPool (Ying et al. 2018) — differentiable dense cluster pooling.
+
+A pooling GNN produces a soft assignment ``S = softmax(GNN_pool(A, X))``
+mapping each node to ``K`` clusters; the coarse graph is
+``X' = Sᵀ Z`` and ``A' = Sᵀ A S``.  This is the *dense* operator whose
+``O(n²)`` assignment the paper contrasts with AdamGNN's sparse ego-network
+selection.  The auxiliary link-prediction and entropy losses from the
+original paper are exposed for the training harness.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..nn import Linear, Module
+from ..tensor import Tensor, log, relu, softmax
+
+
+class DenseGCN(Module):
+    """Dense-batch GCN layer: ``relu(Â X W)`` on ``(B, N, N)`` × ``(B, N, d)``."""
+
+    def __init__(self, in_features: int, out_features: int,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        self.linear = Linear(in_features, out_features, rng=rng)
+
+    def forward(self, x: Tensor, adj) -> Tensor:
+        adj_t = adj if isinstance(adj, Tensor) else Tensor(adj)
+        return relu(adj_t @ self.linear(x))
+
+
+class DiffPool(Module):
+    """One DiffPool coarsening step on padded dense batches.
+
+    Parameters
+    ----------
+    in_features:
+        Input node-feature dimension.
+    hidden:
+        Embedding dimension of both the embed-GNN and the coarse features.
+    num_clusters:
+        Fixed number of output clusters ``K`` (the DiffPool hyper-parameter).
+    """
+
+    def __init__(self, in_features: int, hidden: int, num_clusters: int,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        self.embed = DenseGCN(in_features, hidden, rng=rng)
+        self.assign = DenseGCN(in_features, num_clusters, rng=rng)
+        self.num_clusters = num_clusters
+
+    def forward(self, x: Tensor, adj,
+                mask: Optional[np.ndarray] = None
+                ) -> Tuple[Tensor, Tensor, Tensor, Tensor]:
+        """Coarsen one level.
+
+        Returns ``(x_pooled, adj_pooled, link_loss, entropy_loss)`` where the
+        pooled adjacency is a tensor (it participates in later layers'
+        gradients through S).
+        """
+        adj_t = adj if isinstance(adj, Tensor) else Tensor(adj)
+        z = self.embed(x, adj_t)
+        s = softmax(self.assign(x, adj_t), axis=-1)
+        if mask is not None:
+            s = s * Tensor(mask[..., None].astype(np.float64))
+        st = s.transpose(0, 2, 1)
+        x_pooled = st @ z
+        adj_pooled = st @ adj_t @ s
+
+        # Auxiliary losses from the original paper.
+        link = adj_t - s @ st
+        denom = float(np.prod(adj_t.shape)) or 1.0
+        link_loss = (link * link).sum() * (1.0 / denom)
+        entropy = -(s * log(s, eps=1e-12)).sum(axis=-1)
+        if mask is not None:
+            valid = float(mask.sum()) or 1.0
+            entropy_loss = (entropy * Tensor(mask.astype(np.float64))).sum() * (1.0 / valid)
+        else:
+            entropy_loss = entropy.mean()
+        return x_pooled, adj_pooled, link_loss, entropy_loss

@@ -1,0 +1,46 @@
+"""Self-Attention Graph Pooling (Lee, Lee & Kang 2019).
+
+Identical selection machinery to top-k pooling, but the score is produced
+by a graph convolution (``score = GCN(X, A)``) so it is structure-aware.
+The paper's graph-classification pipeline follows this model's
+"hierarchical" variant (conv → pool, repeated, with per-stage readouts).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..graph import normalize_edges
+from ..layers import GCNConv
+from ..nn import Module
+from ..tensor import Tensor, gather_rows, tanh
+from .common import filter_graph, topk_per_graph
+
+
+class SAGPooling(Module):
+    """Self-attention top-k pooling."""
+
+    def __init__(self, in_features: int, ratio: float = 0.5,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        if not 0.0 < ratio <= 1.0:
+            raise ValueError(f"ratio must be in (0, 1], got {ratio}")
+        self.ratio = ratio
+        self.score_conv = GCNConv(in_features, 1, rng=rng)
+
+    def forward(self, x: Tensor, edge_index: np.ndarray,
+                edge_weight: np.ndarray, batch: np.ndarray,
+                num_graphs: int
+                ) -> Tuple[Tensor, np.ndarray, np.ndarray, np.ndarray,
+                           np.ndarray]:
+        norm_edges, norm_weight = normalize_edges(edge_index, edge_weight,
+                                                  x.shape[0])
+        score = self.score_conv(x, norm_edges, norm_weight).reshape(-1)
+        keep = topk_per_graph(score.data, batch, num_graphs, self.ratio)
+        gate = tanh(gather_rows(score, keep)).reshape(-1, 1)
+        new_x = gather_rows(x, keep) * gate
+        new_edges, new_weight, _ = filter_graph(edge_index, edge_weight,
+                                                keep, x.shape[0])
+        return new_x, new_edges, new_weight, batch[keep], keep

@@ -1,0 +1,51 @@
+"""SortPool (Zhang et al. 2018, "An End-to-End Deep Learning Architecture
+for Graph Classification").
+
+Nodes are sorted per graph by their last feature channel (the continuous
+WL colour), the top ``k`` rows are kept (zero-padded when fewer exist) and
+flattened into a fixed-size vector for a downstream classifier.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..nn import Module
+from ..tensor import Tensor, concat, gather_rows
+
+
+class SortPool(Module):
+    """Sort-and-truncate readout producing ``(B, k·d)`` vectors.
+
+    The sort order is computed from detached values (order is piecewise
+    constant so this matches the reference implementation's gradient).
+    """
+
+    def __init__(self, k: int):
+        super().__init__()
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        self.k = k
+
+    def forward(self, x: Tensor, batch: np.ndarray,
+                num_graphs: int) -> Tensor:
+        d = x.shape[-1]
+        key = x.data[:, -1]
+        rows = []
+        for gid in range(num_graphs):
+            members = np.flatnonzero(batch == gid)
+            order = members[np.argsort(-key[members], kind="stable")][:self.k]
+            picked = gather_rows(x, order).reshape(1, -1)
+            deficit = self.k * d - picked.shape[1]
+            if deficit > 0:
+                picked = concat([picked, Tensor(np.zeros((1, deficit)))],
+                                axis=1)
+            rows.append(picked)
+        return concat(rows, axis=0)
+
+
+def sortpool_output_dim(k: int, d: int) -> Tuple[int]:
+    """Flattened feature size produced by :class:`SortPool`."""
+    return k * d

@@ -1,0 +1,79 @@
+"""Finite-difference gradient checking for the autograd engine.
+
+Used throughout ``tests/tensor`` to certify every differentiable op against
+central finite differences — the same guarantee ``torch.autograd.gradcheck``
+gives the reference implementation.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence, Tuple
+
+import numpy as np
+
+from .tensor import Tensor
+
+
+def numeric_gradient(fn: Callable[..., Tensor], inputs: Sequence[Tensor],
+                     wrt: int, eps: float = 1e-6) -> np.ndarray:
+    """Central finite-difference gradient of ``sum(fn(*inputs))`` w.r.t. one input.
+
+    Parameters
+    ----------
+    fn:
+        Function mapping tensors to a tensor (any shape; the implicit
+        objective is the sum of its elements).
+    inputs:
+        Input tensors; only ``inputs[wrt]`` is perturbed.
+    wrt:
+        Index of the input to differentiate with respect to.
+    eps:
+        Perturbation half-width.
+    """
+    target = inputs[wrt]
+    grad = np.zeros_like(target.data, dtype=np.float64)
+    flat = target.data.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        plus = float(fn(*inputs).data.sum())
+        flat[i] = original - eps
+        minus = float(fn(*inputs).data.sum())
+        flat[i] = original
+        grad_flat[i] = (plus - minus) / (2.0 * eps)
+    return grad
+
+
+def check_gradients(fn: Callable[..., Tensor], inputs: Sequence[Tensor],
+                    eps: float = 1e-6, atol: float = 1e-5,
+                    rtol: float = 1e-4) -> Tuple[bool, str]:
+    """Compare autograd gradients of ``sum(fn(*inputs))`` to finite differences.
+
+    Returns ``(ok, message)`` where ``message`` describes the first mismatch
+    (empty when ``ok``).  All inputs with ``requires_grad`` are checked.
+    """
+    for t in inputs:
+        t.zero_grad()
+    out = fn(*inputs)
+    out.sum().backward()
+    for idx, t in enumerate(inputs):
+        if not t.requires_grad:
+            continue
+        analytic = t.grad if t.grad is not None else np.zeros_like(t.data)
+        numeric = numeric_gradient(fn, inputs, idx, eps=eps)
+        if not np.allclose(analytic, numeric, atol=atol, rtol=rtol):
+            worst = np.abs(analytic - numeric).max()
+            return False, (f"input {idx}: max abs error {worst:.3e} "
+                           f"(atol={atol}, rtol={rtol})\nanalytic=\n{analytic}\n"
+                           f"numeric=\n{numeric}")
+    return True, ""
+
+
+def assert_gradients_close(fn: Callable[..., Tensor], inputs: Sequence[Tensor],
+                           eps: float = 1e-6, atol: float = 1e-5,
+                           rtol: float = 1e-4) -> None:
+    """Raise ``AssertionError`` when autograd and numeric gradients disagree."""
+    ok, message = check_gradients(fn, inputs, eps=eps, atol=atol, rtol=rtol)
+    if not ok:
+        raise AssertionError(f"gradient check failed: {message}")

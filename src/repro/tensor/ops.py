@@ -1,0 +1,276 @@
+"""Differentiable functional operations on :class:`~repro.tensor.Tensor`.
+
+These free functions complement the methods on :class:`Tensor` with the
+non-linearities, normalisations and structural operations needed by the GNN
+models in this repository.  Every function returns a new tensor wired into
+the autograd graph; none mutates its inputs.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+
+from .tensor import DEFAULT_DTYPE, ArrayLike, Number, Tensor
+
+
+def _as_tensor(value: ArrayLike) -> Tensor:
+    return value if isinstance(value, Tensor) else Tensor(value)
+
+
+# ---------------------------------------------------------------------------
+# Elementwise
+# ---------------------------------------------------------------------------
+def exp(x: ArrayLike) -> Tensor:
+    """Elementwise exponential."""
+    x = _as_tensor(x)
+    out_data = np.exp(x.data)
+
+    def backward(grad: np.ndarray) -> None:
+        x._accumulate(grad * out_data)
+
+    return x._make_child(out_data, (x,), backward)
+
+
+def log(x: ArrayLike, eps: float = 0.0) -> Tensor:
+    """Elementwise natural logarithm of ``x + eps``."""
+    x = _as_tensor(x)
+    shifted = x.data + eps
+    out_data = np.log(shifted)
+
+    def backward(grad: np.ndarray) -> None:
+        x._accumulate(grad / shifted)
+
+    return x._make_child(out_data, (x,), backward)
+
+
+def sqrt(x: ArrayLike) -> Tensor:
+    """Elementwise square root."""
+    x = _as_tensor(x)
+    out_data = np.sqrt(x.data)
+
+    def backward(grad: np.ndarray) -> None:
+        x._accumulate(grad * 0.5 / np.maximum(out_data, 1e-300))
+
+    return x._make_child(out_data, (x,), backward)
+
+
+def absolute(x: ArrayLike) -> Tensor:
+    """Elementwise absolute value (subgradient 0 at the kink)."""
+    x = _as_tensor(x)
+    out_data = np.abs(x.data)
+
+    def backward(grad: np.ndarray) -> None:
+        x._accumulate(grad * np.sign(x.data))
+
+    return x._make_child(out_data, (x,), backward)
+
+
+def clip(x: ArrayLike, low: float, high: float) -> Tensor:
+    """Clamp values to ``[low, high]``; gradient flows only inside the range."""
+    x = _as_tensor(x)
+    out_data = np.clip(x.data, low, high)
+
+    def backward(grad: np.ndarray) -> None:
+        inside = ((x.data >= low) & (x.data <= high)).astype(DEFAULT_DTYPE)
+        x._accumulate(grad * inside)
+
+    return x._make_child(out_data, (x,), backward)
+
+
+# ---------------------------------------------------------------------------
+# Non-linearities
+# ---------------------------------------------------------------------------
+def relu(x: ArrayLike) -> Tensor:
+    """Rectified linear unit, ``max(x, 0)``."""
+    x = _as_tensor(x)
+    mask = x.data > 0
+    out_data = np.where(mask, x.data, 0.0)
+
+    def backward(grad: np.ndarray) -> None:
+        x._accumulate(grad * mask)
+
+    return x._make_child(out_data, (x,), backward)
+
+
+def leaky_relu(x: ArrayLike, negative_slope: float = 0.2) -> Tensor:
+    """Leaky ReLU with the paper's default slope of 0.2 (as in GAT)."""
+    x = _as_tensor(x)
+    mask = x.data > 0
+    out_data = np.where(mask, x.data, negative_slope * x.data)
+
+    def backward(grad: np.ndarray) -> None:
+        x._accumulate(grad * np.where(mask, 1.0, negative_slope))
+
+    return x._make_child(out_data, (x,), backward)
+
+
+def elu(x: ArrayLike, alpha: float = 1.0) -> Tensor:
+    """Exponential linear unit."""
+    x = _as_tensor(x)
+    neg = alpha * (np.exp(np.minimum(x.data, 0.0)) - 1.0)
+    mask = x.data > 0
+    out_data = np.where(mask, x.data, neg)
+
+    def backward(grad: np.ndarray) -> None:
+        x._accumulate(grad * np.where(mask, 1.0, neg + alpha))
+
+    return x._make_child(out_data, (x,), backward)
+
+
+def sigmoid(x: ArrayLike) -> Tensor:
+    """Numerically stable logistic sigmoid."""
+    x = _as_tensor(x)
+    out_data = np.empty_like(x.data, dtype=DEFAULT_DTYPE)
+    pos = x.data >= 0
+    out_data[pos] = 1.0 / (1.0 + np.exp(-x.data[pos]))
+    ez = np.exp(x.data[~pos])
+    out_data[~pos] = ez / (1.0 + ez)
+
+    def backward(grad: np.ndarray) -> None:
+        x._accumulate(grad * out_data * (1.0 - out_data))
+
+    return x._make_child(out_data, (x,), backward)
+
+
+def tanh(x: ArrayLike) -> Tensor:
+    """Hyperbolic tangent."""
+    x = _as_tensor(x)
+    out_data = np.tanh(x.data)
+
+    def backward(grad: np.ndarray) -> None:
+        x._accumulate(grad * (1.0 - out_data ** 2))
+
+    return x._make_child(out_data, (x,), backward)
+
+
+def softmax(x: ArrayLike, axis: int = -1) -> Tensor:
+    """Softmax along ``axis`` with the usual max-subtraction stabilisation."""
+    x = _as_tensor(x)
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    e = np.exp(shifted)
+    out_data = e / e.sum(axis=axis, keepdims=True)
+
+    def backward(grad: np.ndarray) -> None:
+        # dL/dx = s * (g - sum(g * s))
+        dot = (grad * out_data).sum(axis=axis, keepdims=True)
+        x._accumulate(out_data * (grad - dot))
+
+    return x._make_child(out_data, (x,), backward)
+
+
+def log_softmax(x: ArrayLike, axis: int = -1) -> Tensor:
+    """Log-softmax along ``axis``; preferred input to NLL-style losses."""
+    x = _as_tensor(x)
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    log_z = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    out_data = shifted - log_z
+    soft = np.exp(out_data)
+
+    def backward(grad: np.ndarray) -> None:
+        x._accumulate(grad - soft * grad.sum(axis=axis, keepdims=True))
+
+    return x._make_child(out_data, (x,), backward)
+
+
+# ---------------------------------------------------------------------------
+# Structural
+# ---------------------------------------------------------------------------
+def concat(tensors: Sequence[ArrayLike], axis: int = -1) -> Tensor:
+    """Concatenate tensors along ``axis``."""
+    tensors = [_as_tensor(t) for t in tensors]
+    out_data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.data.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(grad: np.ndarray) -> None:
+        for t, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+            if t.requires_grad:
+                index = [slice(None)] * grad.ndim
+                index[axis] = slice(start, stop)
+                t._accumulate(grad[tuple(index)])
+
+    anchor = tensors[0]
+    return anchor._make_child(out_data, tuple(tensors), backward)
+
+
+def stack(tensors: Sequence[ArrayLike], axis: int = 0) -> Tensor:
+    """Stack tensors along a new axis."""
+    tensors = [_as_tensor(t) for t in tensors]
+    out_data = np.stack([t.data for t in tensors], axis=axis)
+
+    def backward(grad: np.ndarray) -> None:
+        slabs = np.split(grad, len(tensors), axis=axis)
+        for t, slab in zip(tensors, slabs):
+            if t.requires_grad:
+                t._accumulate(np.squeeze(slab, axis=axis))
+
+    anchor = tensors[0]
+    return anchor._make_child(out_data, tuple(tensors), backward)
+
+
+def where(condition: np.ndarray, a: ArrayLike, b: ArrayLike) -> Tensor:
+    """Elementwise select: ``a`` where ``condition`` else ``b``.
+
+    ``condition`` is a plain boolean array (it carries no gradient).
+    """
+    a, b = _as_tensor(a), _as_tensor(b)
+    cond = np.asarray(condition, dtype=bool)
+    out_data = np.where(cond, a.data, b.data)
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a._accumulate(np.where(cond, grad, 0.0))
+        if b.requires_grad:
+            b._accumulate(np.where(cond, 0.0, grad))
+
+    return a._make_child(out_data, (a, b), backward)
+
+
+def gather_rows(x: ArrayLike, index: np.ndarray) -> Tensor:
+    """Select rows ``x[index]``; the backward scatters gradients back.
+
+    This is the "lift node features onto edges" primitive of message passing.
+    """
+    x = _as_tensor(x)
+    idx = np.asarray(index, dtype=np.int64)
+    out_data = x.data[idx]
+
+    def backward(grad: np.ndarray) -> None:
+        full = np.zeros_like(x.data, dtype=DEFAULT_DTYPE)
+        np.add.at(full, idx, grad)
+        x._accumulate(full)
+
+    return x._make_child(out_data, (x,), backward)
+
+
+def dropout(x: ArrayLike, p: float, rng: np.random.Generator,
+            training: bool = True) -> Tensor:
+    """Inverted dropout: zero with probability ``p``, rescale the rest.
+
+    A no-op when ``training`` is False or ``p == 0``.
+    """
+    x = _as_tensor(x)
+    if not training or p <= 0.0:
+        return x
+    if not 0.0 <= p < 1.0:
+        raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+    keep = (rng.random(x.data.shape) >= p).astype(DEFAULT_DTYPE) / (1.0 - p)
+    out_data = x.data * keep
+
+    def backward(grad: np.ndarray) -> None:
+        x._accumulate(grad * keep)
+
+    return x._make_child(out_data, (x,), backward)
+
+
+def matmul(a: ArrayLike, b: ArrayLike) -> Tensor:
+    """Matrix product (functional alias for the ``@`` operator)."""
+    return _as_tensor(a) @ _as_tensor(b)
+
+
+def square_norm(x: ArrayLike, axis: int = -1, keepdims: bool = False) -> Tensor:
+    """Squared L2 norm along ``axis``."""
+    x = _as_tensor(x)
+    return (x * x).sum(axis=axis, keepdims=keepdims)

@@ -1,0 +1,131 @@
+"""Segment (scatter/gather) operations — the message-passing primitives.
+
+A GNN layer in the PyG style reduces to three steps: *gather* node states
+onto edges, *transform* the edge messages, and *segment-reduce* messages back
+to nodes.  The gather step is :func:`repro.tensor.ops.gather_rows`; this
+module provides the reductions.
+
+``segment_ids`` are int64 arrays assigning each row of ``values`` to an
+output segment; segments need not be sorted or contiguous.  Empty segments
+yield zeros (sum/mean) or zeros (max, by convention, so that isolated nodes
+keep a well-defined state).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .ops import exp, gather_rows
+from .tensor import DEFAULT_DTYPE, ArrayLike, Tensor
+
+
+def _check_ids(segment_ids: np.ndarray, num_segments: int, n_rows: int) -> np.ndarray:
+    ids = np.asarray(segment_ids, dtype=np.int64)
+    if ids.ndim != 1:
+        raise ValueError(f"segment_ids must be 1-D, got shape {ids.shape}")
+    if ids.shape[0] != n_rows:
+        raise ValueError(f"segment_ids length {ids.shape[0]} does not match "
+                         f"values rows {n_rows}")
+    if ids.size and (ids.min() < 0 or ids.max() >= num_segments):
+        raise ValueError(f"segment ids must lie in [0, {num_segments}), got "
+                         f"range [{ids.min()}, {ids.max()}]")
+    return ids
+
+
+def segment_sum(values: ArrayLike, segment_ids: np.ndarray,
+                num_segments: int) -> Tensor:
+    """Sum rows of ``values`` into ``num_segments`` output rows.
+
+    ``out[s] = Σ_{i : segment_ids[i] == s} values[i]``.
+    """
+    values = values if isinstance(values, Tensor) else Tensor(values)
+    ids = _check_ids(segment_ids, num_segments, values.data.shape[0])
+    out_shape = (num_segments,) + values.data.shape[1:]
+    out_data = np.zeros(out_shape, dtype=DEFAULT_DTYPE)
+    np.add.at(out_data, ids, values.data)
+
+    def backward(grad: np.ndarray) -> None:
+        values._accumulate(grad[ids])
+
+    return values._make_child(out_data, (values,), backward)
+
+
+def segment_count(segment_ids: np.ndarray, num_segments: int) -> np.ndarray:
+    """Number of rows in each segment, as a plain array (no gradient)."""
+    ids = np.asarray(segment_ids, dtype=np.int64)
+    return np.bincount(ids, minlength=num_segments).astype(DEFAULT_DTYPE)
+
+
+def segment_mean(values: ArrayLike, segment_ids: np.ndarray,
+                 num_segments: int) -> Tensor:
+    """Mean of rows per segment; empty segments produce zeros."""
+    totals = segment_sum(values, segment_ids, num_segments)
+    counts = np.maximum(segment_count(segment_ids, num_segments), 1.0)
+    shape = (num_segments,) + (1,) * (totals.data.ndim - 1)
+    return totals * Tensor(1.0 / counts.reshape(shape))
+
+
+def segment_max(values: ArrayLike, segment_ids: np.ndarray,
+                num_segments: int) -> Tensor:
+    """Per-segment maximum; empty segments produce zeros.
+
+    Gradient flows to every element attaining the segment maximum, split
+    evenly among ties (the same subgradient convention as ``Tensor.max``).
+    """
+    values = values if isinstance(values, Tensor) else Tensor(values)
+    ids = _check_ids(segment_ids, num_segments, values.data.shape[0])
+    out_shape = (num_segments,) + values.data.shape[1:]
+    out_data = np.full(out_shape, -np.inf, dtype=DEFAULT_DTYPE)
+    np.maximum.at(out_data, ids, values.data)
+    empty = ~np.isfinite(out_data)
+    out_data[empty] = 0.0
+
+    def backward(grad: np.ndarray) -> None:
+        winners = (values.data == out_data[ids]).astype(DEFAULT_DTYPE)
+        # Split gradient among ties within each segment.
+        tie_counts = np.zeros(out_shape, dtype=DEFAULT_DTYPE)
+        np.add.at(tie_counts, ids, winners)
+        tie_counts = np.maximum(tie_counts, 1.0)
+        values._accumulate(winners * grad[ids] / tie_counts[ids])
+
+    return values._make_child(out_data, (values,), backward)
+
+
+def segment_softmax(scores: ArrayLike, segment_ids: np.ndarray,
+                    num_segments: int) -> Tensor:
+    """Softmax over the entries of each segment.
+
+    This is the attention-normalisation step of GAT-style layers and of the
+    fitness score f_s in Eq. 2 of the paper: scores on edges incident to the
+    same target node are normalised to a probability distribution.
+
+    Built compositionally from :func:`segment_max`, :func:`exp`,
+    :func:`segment_sum` and :func:`gather_rows`, so the backward pass comes
+    from autograd and is exact.
+    """
+    scores = scores if isinstance(scores, Tensor) else Tensor(scores)
+    ids = _check_ids(segment_ids, num_segments, scores.data.shape[0])
+    # Stabilise with the (non-differentiable) per-segment max: subtracting a
+    # constant per segment does not change the softmax value or gradient.
+    seg_peak = np.full((num_segments,) + scores.data.shape[1:], -np.inf,
+                       dtype=DEFAULT_DTYPE)
+    np.maximum.at(seg_peak, ids, scores.data)
+    seg_peak[~np.isfinite(seg_peak)] = 0.0
+    shifted = scores - Tensor(seg_peak[ids])
+    numer = exp(shifted)
+    denom = segment_sum(numer, ids, num_segments)
+    # Guard empty segments (no entries reference them, value is irrelevant).
+    denom_safe = denom + Tensor((denom.data == 0).astype(DEFAULT_DTYPE))
+    return numer / gather_rows(denom_safe, ids)
+
+
+def segment_normalize(values: ArrayLike, segment_ids: np.ndarray,
+                      num_segments: int, eps: float = 1e-12) -> Tensor:
+    """Divide each entry by the sum of its segment (L1 normalisation)."""
+    values = values if isinstance(values, Tensor) else Tensor(values)
+    ids = _check_ids(segment_ids, num_segments, values.data.shape[0])
+    totals = segment_sum(values, ids, num_segments)
+    totals_safe = totals + eps
+    return values / gather_rows(totals_safe, ids)

@@ -1,0 +1,419 @@
+"""Reverse-mode automatic differentiation on NumPy arrays.
+
+This module is the computational substrate of the whole library.  The paper's
+reference implementation uses PyTorch; nothing in the paper depends on GPU
+kernels, so we reproduce the required functionality as a small, well-tested
+autograd engine over ``numpy.ndarray``.
+
+Design
+------
+A :class:`Tensor` wraps a NumPy array (``data``) plus an optional gradient
+buffer (``grad``).  Differentiable operations build a DAG: each result tensor
+remembers its parent tensors and a ``_backward`` closure that accumulates
+gradients into those parents.  :meth:`Tensor.backward` topologically sorts the
+DAG and runs the closures in reverse order.
+
+Only the operations the models in this repository need are implemented, but
+each is implemented with full broadcasting support and is validated against
+finite differences in ``tests/tensor/test_gradcheck.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+Number = Union[int, float]
+ArrayLike = Union[Number, Sequence, np.ndarray, "Tensor"]
+
+#: Default floating point dtype.  float64 keeps finite-difference gradient
+#: checks tight; models may down-cast to float32 for speed if desired.
+DEFAULT_DTYPE = np.float64
+
+
+def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """Reduce ``grad`` so that it has ``shape``.
+
+    NumPy broadcasting can expand an operand along new leading axes and along
+    axes of size one.  The vector-Jacobian product of broadcasting is a sum
+    over the broadcast axes, which is what this helper performs.
+    """
+    if grad.shape == shape:
+        return grad
+    # Sum over extra leading dimensions added by broadcasting.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum over axes that were size 1 in the original shape.
+    axes = tuple(i for i, s in enumerate(shape) if s == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """A NumPy-backed array with reverse-mode automatic differentiation.
+
+    Parameters
+    ----------
+    data:
+        Anything convertible to ``numpy.ndarray``.  Floating point data is
+        coerced to :data:`DEFAULT_DTYPE` unless it already is a float dtype.
+    requires_grad:
+        When ``True`` the tensor participates in the autograd graph and will
+        receive a ``.grad`` buffer on :meth:`backward`.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents")
+
+    def __init__(self, data: ArrayLike, requires_grad: bool = False):
+        if isinstance(data, Tensor):
+            data = data.data
+        arr = np.asarray(data)
+        if arr.dtype.kind in "iub" and requires_grad:
+            raise TypeError("integer tensors cannot require gradients")
+        if arr.dtype.kind == "f" and arr.dtype != DEFAULT_DTYPE:
+            arr = arr.astype(DEFAULT_DTYPE)
+        elif arr.dtype.kind not in "fiub":
+            arr = arr.astype(DEFAULT_DTYPE)
+        self.data: np.ndarray = arr
+        self.grad: Optional[np.ndarray] = None
+        self.requires_grad: bool = bool(requires_grad)
+        self._backward: Optional[Callable[[np.ndarray], None]] = None
+        self._parents: Tuple["Tensor", ...] = ()
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def zeros(*shape: int, requires_grad: bool = False) -> "Tensor":
+        return Tensor(np.zeros(shape, dtype=DEFAULT_DTYPE), requires_grad)
+
+    @staticmethod
+    def ones(*shape: int, requires_grad: bool = False) -> "Tensor":
+        return Tensor(np.ones(shape, dtype=DEFAULT_DTYPE), requires_grad)
+
+    @staticmethod
+    def eye(n: int, requires_grad: bool = False) -> "Tensor":
+        return Tensor(np.eye(n, dtype=DEFAULT_DTYPE), requires_grad)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.data.dtype
+
+    @property
+    def T(self) -> "Tensor":
+        return self.transpose()
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        grad_tag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor({np.array2string(self.data, precision=4, threshold=8)}{grad_tag})"
+
+    def item(self) -> float:
+        """Return the value of a single-element tensor as a Python float."""
+        return float(self.data.reshape(-1)[0]) if self.data.size == 1 else self._item_error()
+
+    def _item_error(self) -> float:
+        raise ValueError(f"item() requires a single-element tensor, got shape {self.shape}")
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying NumPy array (no copy, no graph)."""
+        return self.data
+
+    def detach(self) -> "Tensor":
+        """Return a new tensor sharing data but cut off from the graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    def copy(self) -> "Tensor":
+        """Return a leaf tensor with copied data."""
+        return Tensor(self.data.copy(), requires_grad=self.requires_grad)
+
+    # ------------------------------------------------------------------
+    # Autograd plumbing
+    # ------------------------------------------------------------------
+    def _make_child(
+        self,
+        data: np.ndarray,
+        parents: Tuple["Tensor", ...],
+        backward: Callable[[np.ndarray], None],
+    ) -> "Tensor":
+        """Create a result tensor wired into the autograd graph."""
+        out = Tensor(data)
+        if any(p.requires_grad for p in parents):
+            out.requires_grad = True
+            out._parents = tuple(p for p in parents if p.requires_grad)
+            out._backward = backward
+        return out
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        """Add ``grad`` into this tensor's gradient buffer."""
+        grad = _unbroadcast(np.asarray(grad, dtype=DEFAULT_DTYPE), self.data.shape)
+        if self.grad is None:
+            self.grad = grad.copy()
+        else:
+            self.grad += grad
+
+    def backward(self, grad: Optional[ArrayLike] = None) -> None:
+        """Run reverse-mode differentiation from this tensor.
+
+        Parameters
+        ----------
+        grad:
+            Gradient of the final objective with respect to this tensor.
+            Defaults to 1 for scalar tensors (the usual loss case).
+        """
+        if not self.requires_grad:
+            raise RuntimeError("backward() called on a tensor that does not require grad")
+        if grad is None:
+            if self.data.size != 1:
+                raise RuntimeError("backward() without an explicit gradient "
+                                   "requires a scalar tensor")
+            grad = np.ones_like(self.data)
+        grad = np.asarray(grad, dtype=DEFAULT_DTYPE)
+        if grad.shape != self.data.shape:
+            grad = np.broadcast_to(grad, self.data.shape).copy()
+
+        order = self._topological_order()
+        self._accumulate(grad)
+        for node in reversed(order):
+            if node._backward is not None and node.grad is not None:
+                node._backward(node.grad)
+                # Free interior state eagerly: interior grads are only needed
+                # to propagate, and the closure is one-shot per backward call.
+                node._backward = None
+                node._parents = ()
+
+    def _topological_order(self) -> List["Tensor"]:
+        """Return tensors reachable from ``self`` in topological order."""
+        order: List[Tensor] = []
+        visited = set()
+        stack: List[Tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                order.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if id(parent) not in visited:
+                    stack.append((parent, False))
+        return order
+
+    def zero_grad(self) -> None:
+        """Drop the accumulated gradient."""
+        self.grad = None
+
+    # ------------------------------------------------------------------
+    # Arithmetic (broadcasting, both tensor and scalar operands)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _coerce(value: ArrayLike) -> "Tensor":
+        return value if isinstance(value, Tensor) else Tensor(value)
+
+    def __add__(self, other: ArrayLike) -> "Tensor":
+        other = self._coerce(other)
+        out_data = self.data + other.data
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad)
+            if other.requires_grad:
+                other._accumulate(grad)
+
+        return self._make_child(out_data, (self, other), backward)
+
+    __radd__ = __add__
+
+    def __sub__(self, other: ArrayLike) -> "Tensor":
+        other = self._coerce(other)
+        out_data = self.data - other.data
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad)
+            if other.requires_grad:
+                other._accumulate(-grad)
+
+        return self._make_child(out_data, (self, other), backward)
+
+    def __rsub__(self, other: ArrayLike) -> "Tensor":
+        return self._coerce(other).__sub__(self)
+
+    def __mul__(self, other: ArrayLike) -> "Tensor":
+        other = self._coerce(other)
+        out_data = self.data * other.data
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * other.data)
+            if other.requires_grad:
+                other._accumulate(grad * self.data)
+
+        return self._make_child(out_data, (self, other), backward)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: ArrayLike) -> "Tensor":
+        other = self._coerce(other)
+        out_data = self.data / other.data
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad / other.data)
+            if other.requires_grad:
+                other._accumulate(-grad * self.data / (other.data ** 2))
+
+        return self._make_child(out_data, (self, other), backward)
+
+    def __rtruediv__(self, other: ArrayLike) -> "Tensor":
+        return self._coerce(other).__truediv__(self)
+
+    def __neg__(self) -> "Tensor":
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(-grad)
+
+        return self._make_child(-self.data, (self,), backward)
+
+    def __pow__(self, exponent: Number) -> "Tensor":
+        if not isinstance(exponent, (int, float)):
+            raise TypeError("only scalar exponents are supported")
+        out_data = self.data ** exponent
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * exponent * self.data ** (exponent - 1))
+
+        return self._make_child(out_data, (self,), backward)
+
+    def __matmul__(self, other: ArrayLike) -> "Tensor":
+        other = self._coerce(other)
+        out_data = self.data @ other.data
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                if other.data.ndim == 1:
+                    self._accumulate(np.outer(grad, other.data)
+                                     if self.data.ndim == 2 else grad * other.data)
+                else:
+                    g = grad[..., None, :] if grad.ndim == self.data.ndim - 1 else grad
+                    self._accumulate(g @ np.swapaxes(other.data, -1, -2))
+            if other.requires_grad:
+                if self.data.ndim == 1:
+                    other._accumulate(np.outer(self.data, grad)
+                                      if other.data.ndim == 2 else grad * self.data)
+                else:
+                    g = grad[..., :, None] if grad.ndim == other.data.ndim - 1 else grad
+                    other._accumulate(np.swapaxes(self.data, -1, -2) @ g)
+
+        return self._make_child(out_data, (self, other), backward)
+
+    # Comparison operators return plain boolean arrays (non-differentiable).
+    def __gt__(self, other: ArrayLike) -> np.ndarray:
+        return self.data > self._coerce(other).data
+
+    def __lt__(self, other: ArrayLike) -> np.ndarray:
+        return self.data < self._coerce(other).data
+
+    def __ge__(self, other: ArrayLike) -> np.ndarray:
+        return self.data >= self._coerce(other).data
+
+    def __le__(self, other: ArrayLike) -> np.ndarray:
+        return self.data <= self._coerce(other).data
+
+    # ------------------------------------------------------------------
+    # Shape manipulation
+    # ------------------------------------------------------------------
+    def reshape(self, *shape: int) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        original = self.data.shape
+        out_data = self.data.reshape(shape)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad.reshape(original))
+
+        return self._make_child(out_data, (self,), backward)
+
+    def transpose(self, *axes: int) -> "Tensor":
+        axes_tuple: Optional[Tuple[int, ...]] = tuple(axes) if axes else None
+        out_data = self.data.transpose(axes_tuple) if axes_tuple else self.data.T
+
+        def backward(grad: np.ndarray) -> None:
+            if axes_tuple is None:
+                self._accumulate(grad.T)
+            else:
+                inverse = np.argsort(axes_tuple)
+                self._accumulate(grad.transpose(inverse))
+
+        return self._make_child(out_data, (self,), backward)
+
+    def __getitem__(self, index) -> "Tensor":
+        out_data = self.data[index]
+
+        def backward(grad: np.ndarray) -> None:
+            full = np.zeros_like(self.data, dtype=DEFAULT_DTYPE)
+            np.add.at(full, index, grad)
+            self._accumulate(full)
+
+        return self._make_child(out_data, (self,), backward)
+
+    # ------------------------------------------------------------------
+    # Reductions
+    # ------------------------------------------------------------------
+    def sum(self, axis: Optional[Union[int, Tuple[int, ...]]] = None,
+            keepdims: bool = False) -> "Tensor":
+        out_data = self.data.sum(axis=axis, keepdims=keepdims)
+
+        def backward(grad: np.ndarray) -> None:
+            g = grad
+            if axis is not None and not keepdims:
+                axes = (axis,) if isinstance(axis, int) else tuple(axis)
+                for ax in sorted(a % self.data.ndim for a in axes):
+                    g = np.expand_dims(g, ax)
+            self._accumulate(np.broadcast_to(g, self.data.shape))
+
+        return self._make_child(out_data, (self,), backward)
+
+    def mean(self, axis: Optional[Union[int, Tuple[int, ...]]] = None,
+             keepdims: bool = False) -> "Tensor":
+        count = self.data.size if axis is None else (
+            np.prod([self.data.shape[a] for a in
+                     ((axis,) if isinstance(axis, int) else axis)]))
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / float(count))
+
+    def max(self, axis: Optional[int] = None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.max(axis=axis, keepdims=keepdims)
+
+        def backward(grad: np.ndarray) -> None:
+            expanded = self.data.max(axis=axis, keepdims=True)
+            mask = (self.data == expanded).astype(DEFAULT_DTYPE)
+            # Split gradient evenly among ties, matching subgradient choice.
+            mask /= mask.sum(axis=axis, keepdims=True)
+            g = grad if keepdims or axis is None else np.expand_dims(grad, axis)
+            self._accumulate(mask * g)
+
+        return self._make_child(out_data, (self,), backward)
+
+    def min(self, axis: Optional[int] = None, keepdims: bool = False) -> "Tensor":
+        return -((-self).max(axis=axis, keepdims=keepdims))

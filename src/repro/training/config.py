@@ -1,0 +1,35 @@
+"""Training configuration shared by the three task trainers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class TrainConfig:
+    """Hyper-parameters of one training run.
+
+    Defaults follow Appendix A.4: Adam, d=64 (set on the model), loss
+    weights γ=0.1 (L_KL) and δ=0.01 (L_R), early stopping on validation.
+    """
+
+    epochs: int = 100
+    lr: float = 0.01
+    weight_decay: float = 5e-4
+    patience: int = 25
+    gamma: float = 0.1        #: weight of L_KL (Eq. 7)
+    delta: float = 0.01       #: weight of L_R (Eq. 7)
+    batch_size: int = 32      #: graph-classification minibatch size
+    grad_clip: float = 5.0    #: global gradient-norm ceiling (0 disables)
+    use_kl: bool = True       #: include L_KL (ablation hook, Table 3)
+    use_recon: bool = True    #: include L_R (ablation hook, Table 3)
+    seed: int = 0
+    verbose: bool = False
+
+    def __post_init__(self) -> None:
+        if self.epochs < 1:
+            raise ValueError("epochs must be >= 1")
+        if not 0 < self.lr:
+            raise ValueError("lr must be positive")
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be >= 1")

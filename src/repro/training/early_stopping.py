@@ -1,0 +1,63 @@
+"""Early stopping on a validation metric with best-state restoration."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..nn import Module
+
+
+class EarlyStopping:
+    """Track a validation metric; stop after ``patience`` non-improvements.
+
+    Keeps a copy of the best model state so training can end on the best
+    validation epoch rather than the last one.
+
+    Parameters
+    ----------
+    patience:
+        Number of consecutive non-improving epochs tolerated.
+    mode:
+        ``"max"`` (accuracy/AUC) or ``"min"`` (loss).
+    min_delta:
+        Minimum improvement that counts.
+    """
+
+    def __init__(self, patience: int = 20, mode: str = "max",
+                 min_delta: float = 0.0):
+        if mode not in ("max", "min"):
+            raise ValueError(f"mode must be 'max' or 'min', got {mode!r}")
+        self.patience = patience
+        self.mode = mode
+        self.min_delta = min_delta
+        self.best: Optional[float] = None
+        self.best_state: Optional[Dict[str, np.ndarray]] = None
+        self.counter = 0
+        self.stopped = False
+
+    def improved(self, value: float) -> bool:
+        """Whether ``value`` beats the best metric seen so far."""
+        if self.best is None:
+            return True
+        if self.mode == "max":
+            return value > self.best + self.min_delta
+        return value < self.best - self.min_delta
+
+    def step(self, value: float, model: Module) -> bool:
+        """Record one epoch; returns True when training should stop."""
+        if self.improved(value):
+            self.best = value
+            self.best_state = model.state_dict()
+            self.counter = 0
+        else:
+            self.counter += 1
+            if self.counter >= self.patience:
+                self.stopped = True
+        return self.stopped
+
+    def restore(self, model: Module) -> None:
+        """Load the best recorded state into ``model`` (no-op if none)."""
+        if self.best_state is not None:
+            model.load_state_dict(self.best_state)

@@ -1,0 +1,59 @@
+"""Evaluation metrics: classification accuracy and ROC-AUC.
+
+The paper evaluates node/graph classification by accuracy and link
+prediction by ROC-AUC (Section 4.1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def accuracy(logits: np.ndarray, labels: np.ndarray,
+             mask: np.ndarray | None = None) -> float:
+    """Fraction of correct argmax predictions (optionally masked)."""
+    logits = np.asarray(logits)
+    labels = np.asarray(labels)
+    if mask is not None:
+        logits = logits[np.asarray(mask)]
+        labels = labels[np.asarray(mask)]
+    if labels.size == 0:
+        raise ValueError("accuracy over an empty selection")
+    return float((logits.argmax(axis=-1) == labels).mean())
+
+
+def roc_auc(scores: np.ndarray, labels: np.ndarray) -> float:
+    """Area under the ROC curve via the rank-sum (Mann-Whitney) statistic.
+
+    Tied scores receive average ranks, making the estimate exact for the
+    step-function ROC.
+    """
+    scores = np.asarray(scores, dtype=np.float64)
+    labels = np.asarray(labels).astype(bool)
+    n_pos = int(labels.sum())
+    n_neg = labels.size - n_pos
+    if n_pos == 0 or n_neg == 0:
+        raise ValueError("roc_auc needs both positive and negative samples")
+    order = np.argsort(scores, kind="mergesort")
+    ranks = np.empty(labels.size, dtype=np.float64)
+    ranks[order] = np.arange(1, labels.size + 1)
+    # Average ranks across ties.
+    sorted_scores = scores[order]
+    i = 0
+    while i < labels.size:
+        j = i
+        while j + 1 < labels.size and sorted_scores[j + 1] == sorted_scores[i]:
+            j += 1
+        if j > i:
+            ranks[order[i:j + 1]] = (i + j + 2) / 2.0
+        i = j + 1
+    rank_sum = float(ranks[labels].sum())
+    return (rank_sum - n_pos * (n_pos + 1) / 2.0) / (n_pos * n_neg)
+
+
+def mean_and_std(values) -> tuple[float, float]:
+    """Mean and population standard deviation of a sequence of floats."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("mean_and_std of an empty sequence")
+    return float(arr.mean()), float(arr.std())

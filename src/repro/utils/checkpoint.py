@@ -1,0 +1,64 @@
+"""Model checkpointing to ``.npz`` files.
+
+The library's :meth:`repro.nn.Module.state_dict` holds plain NumPy arrays,
+so checkpoints are a single compressed ``.npz`` with no pickling — safe to
+load from untrusted sources and stable across library versions.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Union
+
+import numpy as np
+
+from ..nn import Module
+
+#: Metadata keys are stored under this prefix to avoid parameter clashes.
+_META_PREFIX = "__meta__:"
+
+
+def save_checkpoint(model: Module, path: Union[str, Path],
+                    metadata: Dict[str, float] | None = None) -> Path:
+    """Write ``model``'s parameters and buffers (plus scalar metadata).
+
+    Parameters
+    ----------
+    model:
+        Any :class:`~repro.nn.Module`.
+    path:
+        Destination; the ``.npz`` suffix is appended when missing.
+    metadata:
+        Optional scalar values (epoch, best metric, ...) stored alongside.
+    """
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+    payload = dict(model.state_dict())
+    for key, value in (metadata or {}).items():
+        payload[f"{_META_PREFIX}{key}"] = np.asarray(float(value))
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(path, **payload)
+    return path
+
+
+def load_checkpoint(model: Module, path: Union[str, Path]
+                    ) -> Dict[str, float]:
+    """Load a checkpoint into ``model``; returns the stored metadata.
+
+    Raises the usual :meth:`load_state_dict` errors on any mismatch, so a
+    wrong-architecture load fails loudly instead of silently.
+    """
+    path = Path(path)
+    if not path.exists() and path.with_suffix(path.suffix + ".npz").exists():
+        path = path.with_suffix(path.suffix + ".npz")
+    with np.load(path) as archive:
+        state = {}
+        metadata: Dict[str, float] = {}
+        for key in archive.files:
+            if key.startswith(_META_PREFIX):
+                metadata[key[len(_META_PREFIX):]] = float(archive[key])
+            else:
+                state[key] = archive[key]
+    model.load_state_dict(state)
+    return metadata

@@ -1,0 +1,42 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph import Graph
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic RNG for every test that needs randomness."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def triangle_graph() -> Graph:
+    """Triangle 0-1-2 with a pendant node 3 attached to node 2."""
+    edge_index = np.array([[0, 1, 1, 2, 2, 0, 2, 3],
+                           [1, 0, 2, 1, 0, 2, 3, 2]])
+    x = np.eye(4, dtype=np.float64)
+    y = np.array([0, 0, 1, 1])
+    return Graph(edge_index, x=x, y=y)
+
+
+@pytest.fixture
+def two_cliques_graph() -> Graph:
+    """Two 4-cliques joined by one bridge edge — a clean pooling target."""
+    pairs = []
+    for base in (0, 4):
+        for i in range(4):
+            for j in range(i + 1, 4):
+                pairs.append((base + i, base + j))
+    pairs.append((0, 4))
+    src = np.array([p[0] for p in pairs] + [p[1] for p in pairs])
+    dst = np.array([p[1] for p in pairs] + [p[0] for p in pairs])
+    x = np.zeros((8, 4))
+    x[:4, :2] = 1.0
+    x[4:, 2:] = 1.0
+    y = np.array([0] * 4 + [1] * 4)
+    return Graph(np.stack([src, dst]), x=x, y=y)

@@ -1,0 +1,77 @@
+"""Property-based tests of AdamGNN's structural invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (AdaptiveGraphPooling, build_assignment,
+                        build_ego_networks, select_egos)
+from repro.graph import Graph
+from repro.tensor import Tensor
+
+
+def random_connected_graph(n: int, extra: float, seed: int) -> Graph:
+    rng = np.random.default_rng(seed)
+    pairs = {(i, i + 1) for i in range(n - 1)}
+    upper = np.triu(rng.random((n, n)) < extra, k=1)
+    pairs |= set(zip(*np.nonzero(upper)))
+    src = np.array([p[0] for p in pairs] + [p[1] for p in pairs])
+    dst = np.array([p[1] for p in pairs] + [p[0] for p in pairs])
+    x = rng.normal(size=(n, 5))
+    return Graph(np.stack([src, dst]), x=x, num_nodes=n)
+
+
+@settings(max_examples=20, deadline=None)
+@given(n=st.integers(4, 24), extra=st.floats(0.0, 0.4),
+       seed=st.integers(0, 5000))
+def test_property_assignment_covers_every_node(n, extra, seed):
+    """Every node of G_{k-1} appears in S_k (absorbed or retained) —
+    the paper's "no node information is dropped" claim."""
+    graph = random_connected_graph(n, extra, seed)
+    egos = build_ego_networks(graph.edge_index, n, radius=1)
+    phi = np.random.default_rng(seed + 1).random(n)
+    selected = select_egos(phi, egos, egos.sizes())
+    pairs = Tensor(np.random.default_rng(seed + 2).random(egos.num_pairs))
+    assignment = build_assignment(pairs, egos, selected)
+    assert set(assignment.rows.tolist()) == set(range(n))
+
+
+@settings(max_examples=15, deadline=None)
+@given(n=st.integers(4, 20), extra=st.floats(0.05, 0.4),
+       seed=st.integers(0, 5000))
+def test_property_pooling_strictly_coarsens_connected_graphs(n, extra, seed):
+    """On a connected graph, AGP always produces fewer hyper-nodes than
+    nodes (Proposition 1 implies at least one non-trivial merge)."""
+    graph = random_connected_graph(n, extra, seed)
+    pool = AdaptiveGraphPooling(5, rng=np.random.default_rng(seed))
+    level = pool(Tensor(graph.x), graph.edge_index, graph.edge_weight)
+    assert 1 <= level.num_hyper < n
+
+
+@settings(max_examples=15, deadline=None)
+@given(n=st.integers(4, 16), seed=st.integers(0, 5000))
+def test_property_hyper_graph_edges_are_valid(n, seed):
+    """A_k's endpoints always index valid hyper-nodes and carry positive
+    weights."""
+    graph = random_connected_graph(n, 0.3, seed)
+    pool = AdaptiveGraphPooling(5, rng=np.random.default_rng(seed))
+    level = pool(Tensor(graph.x), graph.edge_index, graph.edge_weight)
+    if level.edge_index.size:
+        assert level.edge_index.min() >= 0
+        assert level.edge_index.max() < level.num_hyper
+        assert (level.edge_weight > 0).all()
+
+
+@settings(max_examples=10, deadline=None)
+@given(n=st.integers(6, 18), seed=st.integers(0, 5000))
+def test_property_unpooled_messages_have_original_shape(n, seed):
+    """Whatever the hierarchy does, every Ĥ_k lands back on the n nodes."""
+    from repro.core import AdamGNN
+    graph = random_connected_graph(n, 0.25, seed)
+    model = AdamGNN(5, hidden=8, num_levels=3,
+                    rng=np.random.default_rng(seed))
+    out = model(Tensor(graph.x), graph.edge_index)
+    for message in out.level_messages:
+        assert message.shape == (n, 8)
+    if out.num_levels:
+        assert np.allclose(out.beta.data.sum(axis=0), 1.0)

@@ -1,0 +1,52 @@
+"""Explainability (Figure 2) tests."""
+
+import numpy as np
+
+from repro.core import (AdamGNN, attention_by_class,
+                        format_attention_heatmap, level_usage_summary)
+from repro.tensor import Tensor
+
+
+def _run_model(graph, rng, num_levels=2):
+    model = AdamGNN(graph.num_features, hidden=8, num_levels=num_levels,
+                    rng=rng)
+    return model(Tensor(graph.x), graph.edge_index)
+
+
+class TestAttentionByClass:
+    def test_rows_sum_to_one(self, two_cliques_graph, rng):
+        out = _run_model(two_cliques_graph, rng)
+        table = attention_by_class(out, two_cliques_graph.y, 2)
+        assert table.shape == (2, out.num_levels)
+        assert np.allclose(table.sum(axis=1), 1.0)
+
+    def test_missing_class_uniform(self, two_cliques_graph, rng):
+        out = _run_model(two_cliques_graph, rng)
+        table = attention_by_class(out, two_cliques_graph.y, 3)
+        k = out.num_levels
+        assert np.allclose(table[2], 1.0 / k)
+
+    def test_no_levels_degenerate(self, rng):
+        from repro.core import AdamGNNOutput
+        h = Tensor(np.zeros((4, 2)))
+        out = AdamGNNOutput(h=h, h0=h, level_messages=[],
+                            beta=Tensor(np.zeros((0, 4))))
+        table = attention_by_class(out, np.zeros(4, dtype=int), 2)
+        assert table.shape == (2, 1)
+        assert np.allclose(table, 1.0)
+
+
+class TestRendering:
+    def test_heatmap_text(self, two_cliques_graph, rng):
+        out = _run_model(two_cliques_graph, rng)
+        table = attention_by_class(out, two_cliques_graph.y, 2)
+        text = format_attention_heatmap(table, ["clique A", "clique B"])
+        assert "clique A" in text
+        assert "level-1" in text
+
+    def test_level_usage_summary(self, two_cliques_graph, rng):
+        out = _run_model(two_cliques_graph, rng)
+        summary = level_usage_summary(out)
+        assert "mean_beta_level_1" in summary
+        assert "coarsen_ratio_level_1" in summary
+        assert 0 < summary["coarsen_ratio_level_1"] <= 1.0

@@ -1,0 +1,91 @@
+"""Fitness-scoring tests (Eq. 2)."""
+
+import numpy as np
+import pytest
+
+from repro.core import FitnessScorer, build_ego_networks
+from repro.tensor import Tensor, assert_gradients_close
+
+
+@pytest.fixture
+def egos(two_cliques_graph):
+    return build_ego_networks(two_cliques_graph.edge_index, 8, radius=1)
+
+
+class TestFitnessScorer:
+    def test_pair_scores_in_unit_interval(self, two_cliques_graph, egos,
+                                          rng):
+        scorer = FitnessScorer(4, rng=rng)
+        phi_pairs, phi_nodes = scorer(Tensor(two_cliques_graph.x), egos)
+        assert phi_pairs.shape == (egos.num_pairs,)
+        # f_s ∈ (0,1) and f_c ∈ (0,1) so the product is in (0,1).
+        assert (phi_pairs.data > 0).all()
+        assert (phi_pairs.data < 1).all()
+
+    def test_node_fitness_is_mean_of_pairs(self, two_cliques_graph, egos,
+                                           rng):
+        scorer = FitnessScorer(4, rng=rng)
+        phi_pairs, phi_nodes = scorer(Tensor(two_cliques_graph.x), egos)
+        node = 0
+        mask = egos.ego == node
+        assert phi_nodes.data[node] == pytest.approx(
+            phi_pairs.data[mask].mean())
+
+    def test_softmax_normalised_over_member_column(self, two_cliques_graph,
+                                                   egos, rng):
+        scorer = FitnessScorer(4, use_linearity=False, rng=rng)
+        phi_pairs = scorer.pair_scores(Tensor(two_cliques_graph.x), egos)
+        # Without f_c, scores grouped by member sum to 1 (the Σ_{r∈N_j}
+        # denominator of f_s).
+        for j in range(8):
+            group = phi_pairs.data[egos.member == j]
+            if group.size:
+                assert group.sum() == pytest.approx(1.0)
+
+    def test_linearity_term_lowers_scores(self, two_cliques_graph, egos,
+                                          rng):
+        with_lin = FitnessScorer(4, use_linearity=True,
+                                 rng=np.random.default_rng(0))
+        without = FitnessScorer(4, use_linearity=False,
+                                rng=np.random.default_rng(0))
+        x = Tensor(two_cliques_graph.x)
+        a = with_lin.pair_scores(x, egos)
+        b = without.pair_scores(x, egos)
+        # sigmoid(·) < 1 strictly, so the product is strictly smaller.
+        assert (a.data < b.data).all()
+
+    def test_isolated_node_zero_fitness(self, rng):
+        from repro.graph import Graph
+        g = Graph(np.array([[0, 1], [1, 0]]), x=np.eye(3), num_nodes=3)
+        egos = build_ego_networks(g.edge_index, 3, radius=1)
+        scorer = FitnessScorer(3, rng=rng)
+        _, phi_nodes = scorer(Tensor(g.x), egos)
+        assert phi_nodes.data[2] == 0.0
+
+    def test_empty_graph(self, rng):
+        from repro.core.egonet import EgoNetworks
+        scorer = FitnessScorer(3, rng=rng)
+        empty = EgoNetworks(ego=np.zeros(0, np.int64),
+                            member=np.zeros(0, np.int64),
+                            num_nodes=2, radius=1)
+        phi_pairs, phi_nodes = scorer(Tensor(np.ones((2, 3))), empty)
+        assert phi_pairs.shape == (0,)
+        assert np.allclose(phi_nodes.data, 0.0)
+
+    def test_gradients_reach_attention_and_transform(self, two_cliques_graph,
+                                                     egos, rng):
+        scorer = FitnessScorer(4, rng=rng)
+        phi_pairs, _ = scorer(Tensor(two_cliques_graph.x), egos)
+        phi_pairs.sum().backward()
+        assert scorer.attention.grad is not None
+        assert scorer.transform.weight.grad is not None
+
+    def test_gradcheck_through_fitness(self, rng):
+        from repro.graph import Graph
+        g = Graph(np.array([[0, 1, 1, 2], [1, 0, 2, 1]]),
+                  x=rng.normal(size=(3, 3)), num_nodes=3)
+        egos = build_ego_networks(g.edge_index, 3, radius=1)
+        scorer = FitnessScorer(3, rng=rng)
+        x = Tensor(g.x, requires_grad=True)
+        assert_gradients_close(
+            lambda t: scorer.pair_scores(t, egos) * 3.0, [x], atol=1e-4)

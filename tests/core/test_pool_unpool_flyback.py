@@ -1,0 +1,163 @@
+"""AGP pooling, unpooling and flyback-aggregation tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import (AdaptiveGraphPooling, FlybackAggregator,
+                        apply_assignment, build_assignment,
+                        build_ego_networks, unpool)
+from repro.tensor import Tensor, assert_gradients_close
+
+
+class TestAdaptiveGraphPooling:
+    def test_coarsens_two_cliques(self, two_cliques_graph, rng):
+        pool = AdaptiveGraphPooling(4, rng=rng)
+        h = Tensor(two_cliques_graph.x)
+        level = pool(h, two_cliques_graph.edge_index,
+                     two_cliques_graph.edge_weight)
+        assert 1 <= level.num_hyper < 8
+        assert level.x.shape == (level.num_hyper, 4)
+        assert level.edge_index.max(initial=-1) < level.num_hyper
+
+    def test_no_ratio_hyperparameter(self, rng):
+        """Construction takes no pooling ratio — the adaptive claim."""
+        import inspect
+        params = inspect.signature(AdaptiveGraphPooling.__init__).parameters
+        assert "ratio" not in params
+        assert "k" not in params
+
+    def test_batch_vector_propagates(self, two_cliques_graph, rng):
+        from repro.graph import GraphBatch
+        batch = GraphBatch.from_graphs([two_cliques_graph.copy(),
+                                        two_cliques_graph.copy()])
+        pool = AdaptiveGraphPooling(4, rng=rng)
+        level = pool(Tensor(batch.x), batch.edge_index, batch.edge_weight,
+                     batch=batch.batch)
+        assert level.batch is not None
+        assert level.batch.shape[0] == level.num_hyper
+        assert set(level.batch.tolist()) == {0, 1}
+
+    def test_pooling_never_crosses_graphs(self, two_cliques_graph, rng):
+        """Hyper-edges connect only hyper-nodes of the same member graph."""
+        from repro.graph import GraphBatch
+        batch = GraphBatch.from_graphs([two_cliques_graph.copy(),
+                                        two_cliques_graph.copy()])
+        pool = AdaptiveGraphPooling(4, rng=rng)
+        level = pool(Tensor(batch.x), batch.edge_index, batch.edge_weight,
+                     batch=batch.batch)
+        src, dst = level.edge_index
+        assert (level.batch[src] == level.batch[dst]).all()
+
+    def test_radius_two(self, two_cliques_graph, rng):
+        pool = AdaptiveGraphPooling(4, radius=2, rng=rng)
+        level = pool(Tensor(two_cliques_graph.x),
+                     two_cliques_graph.edge_index,
+                     two_cliques_graph.edge_weight)
+        # Radius-2 ego-nets cover nearly the whole graph → few hyper-nodes.
+        assert level.num_hyper <= 4
+
+    def test_gradients_flow_to_fitness_parameters(self, two_cliques_graph,
+                                                  rng):
+        pool = AdaptiveGraphPooling(4, rng=rng)
+        level = pool(Tensor(two_cliques_graph.x),
+                     two_cliques_graph.edge_index,
+                     two_cliques_graph.edge_weight)
+        level.x.sum().backward()
+        assert pool.fitness.attention.grad is not None
+        assert pool.features.attention.grad is not None
+
+    def test_phi_nodes_diagnostics(self, two_cliques_graph, rng):
+        pool = AdaptiveGraphPooling(4, rng=rng)
+        level = pool(Tensor(two_cliques_graph.x),
+                     two_cliques_graph.edge_index,
+                     two_cliques_graph.edge_weight)
+        assert level.phi_nodes.shape == (8,)
+        assert (level.phi_nodes >= 0).all()
+
+
+class TestUnpooling:
+    @pytest.fixture
+    def assignment(self, two_cliques_graph, rng):
+        egos = build_ego_networks(two_cliques_graph.edge_index, 8, radius=1)
+        phi = Tensor(rng.random(egos.num_pairs) * 0.8 + 0.1,
+                     requires_grad=True)
+        return build_assignment(phi, egos, np.array([0, 4]))
+
+    def test_apply_assignment_shapes(self, assignment, rng):
+        h_hyper = Tensor(rng.normal(size=(assignment.num_hyper, 5)))
+        out = apply_assignment(assignment, h_hyper)
+        assert out.shape == (8, 5)
+
+    def test_ego_receives_own_hyper_state(self, assignment):
+        h_hyper = Tensor(np.array([[1.0], [2.0]]))
+        out = apply_assignment(assignment, h_hyper)
+        # Ego 0 has S[0, 0] = 1 (and may belong to the other ego-net too).
+        assert out.data[0, 0] >= 1.0
+
+    def test_normalized_version_is_convex(self, assignment):
+        h_hyper = Tensor(np.array([[1.0], [3.0]]))
+        out = apply_assignment(assignment, h_hyper, normalize=True)
+        assert (out.data >= 1.0 - 1e-9).all()
+        assert (out.data <= 3.0 + 1e-9).all()
+
+    def test_unpool_chains_assignments(self, two_cliques_graph, rng):
+        pool1 = AdaptiveGraphPooling(4, rng=rng)
+        level1 = pool1(Tensor(two_cliques_graph.x),
+                       two_cliques_graph.edge_index,
+                       two_cliques_graph.edge_weight)
+        pool2 = AdaptiveGraphPooling(4, rng=rng)
+        level2 = pool2(level1.x, level1.edge_index, level1.edge_weight)
+        h_top = Tensor(rng.normal(size=(level2.num_hyper, 4)))
+        out = unpool([level1.assignment, level2.assignment], h_top)
+        assert out.shape == (8, 4)
+
+    def test_unpool_gradients(self, assignment, rng):
+        h_hyper = Tensor(rng.normal(size=(assignment.num_hyper, 3)),
+                         requires_grad=True)
+        assert_gradients_close(
+            lambda h: unpool([assignment], h) * 2.0, [h_hyper])
+
+
+class TestFlyback:
+    def test_beta_columns_sum_to_one(self, rng):
+        agg = FlybackAggregator(4, rng=rng)
+        h0 = Tensor(rng.normal(size=(6, 4)))
+        messages = [Tensor(rng.normal(size=(6, 4))) for _ in range(3)]
+        combined, beta = agg(h0, messages)
+        assert beta.shape == (3, 6)
+        assert np.allclose(beta.data.sum(axis=0), 1.0)
+        assert combined.shape == (6, 4)
+
+    def test_no_messages_returns_h0(self, rng):
+        agg = FlybackAggregator(4, rng=rng)
+        h0 = Tensor(rng.normal(size=(5, 4)))
+        combined, beta = agg(h0, [])
+        assert combined is h0
+        assert beta.shape == (0, 5)
+
+    def test_single_message_beta_is_one(self, rng):
+        agg = FlybackAggregator(4, rng=rng)
+        h0 = Tensor(rng.normal(size=(5, 4)))
+        message = Tensor(rng.normal(size=(5, 4)))
+        combined, beta = agg(h0, [message])
+        assert np.allclose(beta.data, 1.0)
+        assert np.allclose(combined.data, h0.data + message.data)
+
+    def test_eq4_linear_combination(self, rng):
+        agg = FlybackAggregator(4, rng=rng)
+        h0 = Tensor(rng.normal(size=(5, 4)))
+        messages = [Tensor(rng.normal(size=(5, 4))) for _ in range(2)]
+        combined, beta = agg(h0, messages)
+        expected = h0.data.copy()
+        for k, message in enumerate(messages):
+            expected += beta.data[k][:, None] * message.data
+        assert np.allclose(combined.data, expected)
+
+    def test_gradients_reach_attention(self, rng):
+        agg = FlybackAggregator(3, rng=rng)
+        h0 = Tensor(rng.normal(size=(4, 3)))
+        messages = [Tensor(rng.normal(size=(4, 3))) for _ in range(2)]
+        combined, _ = agg(h0, messages)
+        combined.sum().backward()
+        assert agg.attention.grad is not None
+        assert agg.transform.weight.grad is not None

@@ -1,0 +1,74 @@
+"""Direct tests of the fold-labelled modular-graph builder."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.datasets import ModularGraphConfig, build_modular_graph
+from repro.graph import bfs_distances, is_connected
+
+CFG = ModularGraphConfig(num_graphs=10, modules=(4, 6), module_size=(4, 6),
+                         p_in=0.5, extra_contacts=(2, 4),
+                         local_contacts=(0, 1), num_features=12,
+                         num_module_types=3, type_noise=0.1,
+                         type0_rate=(0.2, 0.5))
+
+
+class TestBuilder:
+    def test_graphs_are_connected(self, rng):
+        for label in (0, 1):
+            g = build_modular_graph(CFG, label, rng)
+            assert is_connected(g)
+
+    def test_undirected(self, rng):
+        assert build_modular_graph(CFG, 1, rng).is_undirected()
+
+    def test_label_stored(self, rng):
+        for label in (0, 1):
+            g = build_modular_graph(CFG, label, rng)
+            assert int(np.atleast_1d(g.y)[0]) == label
+
+    def test_feature_width(self, rng):
+        g = build_modular_graph(CFG, 0, rng)
+        assert g.x.shape == (g.num_nodes, 12)
+
+    def test_decorations_add_pendants(self, rng):
+        cfg = ModularGraphConfig(num_graphs=1, modules=(4, 4),
+                                 module_size=(5, 5), decoration_rate=0.5,
+                                 num_features=8)
+        g = build_modular_graph(cfg, 0, rng)
+        assert g.num_nodes > 20  # base 4×5 plus pendants
+        assert (g.degrees() == 1).any()
+
+    def test_folded_class_is_more_compact(self):
+        rng = np.random.default_rng(3)
+        ecc = {0: [], 1: []}
+        for i in range(30):
+            g = build_modular_graph(CFG, i % 2, rng)
+            ecc[i % 2].append(int(bfs_distances(g, 0).max()))
+        assert np.mean(ecc[1]) < np.mean(ecc[0])
+
+    def test_composition_signal_present(self):
+        rng = np.random.default_rng(4)
+        type0 = {0: [], 1: []}
+        for i in range(40):
+            g = build_modular_graph(CFG, i % 2, rng)
+            type0[i % 2].append(g.x[:, 0].mean())
+        assert np.mean(type0[1]) > np.mean(type0[0])
+
+    def test_two_module_graphs_handled(self, rng):
+        cfg = ModularGraphConfig(num_graphs=1, modules=(2, 2),
+                                 module_size=(4, 4), num_features=8)
+        for label in (0, 1):
+            g = build_modular_graph(cfg, label, rng)
+            assert is_connected(g)
+
+
+@settings(max_examples=15, deadline=None)
+@given(label=st.integers(0, 1), seed=st.integers(0, 2000))
+def test_property_sizes_within_configured_bounds(label, seed):
+    rng = np.random.default_rng(seed)
+    g = build_modular_graph(CFG, label, rng)
+    min_nodes = CFG.modules[0] * CFG.module_size[0]
+    max_nodes = CFG.modules[1] * CFG.module_size[1]
+    assert min_nodes <= g.num_nodes <= max_nodes * 1.5  # + decorations

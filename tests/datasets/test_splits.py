@@ -1,0 +1,118 @@
+"""Split-protocol tests (node, link, graph splits)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.datasets import (sample_negative_edges, split_graphs, split_links,
+                            split_nodes)
+from repro.graph import Graph
+
+
+class TestNodeSplit:
+    def test_partitions_all_nodes(self, rng):
+        splits = split_nodes(100, rng)
+        combined = np.concatenate([splits.train, splits.val, splits.test])
+        assert sorted(combined.tolist()) == list(range(100))
+
+    def test_fractions(self, rng):
+        splits = split_nodes(100, rng)
+        assert splits.train.shape[0] == 80
+        assert splits.val.shape[0] == 10
+        assert splits.test.shape[0] == 10
+
+    def test_bad_fractions_rejected(self, rng):
+        with pytest.raises(ValueError):
+            split_nodes(10, rng, fractions=(0.5, 0.2, 0.2))
+
+    def test_masks(self, rng):
+        splits = split_nodes(10, rng)
+        masks = splits.masks(10)
+        total = masks["train"] | masks["val"] | masks["test"]
+        assert total.all()
+        assert not (masks["train"] & masks["test"]).any()
+
+    def test_deterministic_given_seed(self):
+        a = split_nodes(50, np.random.default_rng(3))
+        b = split_nodes(50, np.random.default_rng(3))
+        assert np.array_equal(a.train, b.train)
+
+
+class TestGraphSplit:
+    def test_partitions(self, rng):
+        train, val, test = split_graphs(50, rng)
+        combined = sorted(np.concatenate([train, val, test]).tolist())
+        assert combined == list(range(50))
+        assert train.shape[0] == 40
+
+
+class TestNegativeSampling:
+    def test_negatives_are_non_edges(self, two_cliques_graph, rng):
+        neg = sample_negative_edges(two_cliques_graph, 5, rng)
+        existing = set(zip(two_cliques_graph.edge_index[0].tolist(),
+                           two_cliques_graph.edge_index[1].tolist()))
+        for u, v in neg.T.tolist():
+            assert (u, v) not in existing
+            assert (v, u) not in existing
+            assert u != v
+
+    def test_forbidden_respected(self, two_cliques_graph, rng):
+        first = sample_negative_edges(two_cliques_graph, 3, rng)
+        forbidden = set(map(tuple, first.T.tolist()))
+        second = sample_negative_edges(two_cliques_graph, 3, rng,
+                                       forbidden=forbidden)
+        assert not (set(map(tuple, second.T.tolist())) & forbidden)
+
+    def test_too_many_requested(self, rng):
+        tiny = Graph(np.array([[0, 1], [1, 0]]), num_nodes=2)
+        with pytest.raises(ValueError):
+            sample_negative_edges(tiny, 10, rng)
+
+
+class TestLinkSplit:
+    @pytest.fixture
+    def big_graph(self, rng):
+        n = 60
+        prob = rng.random((n, n)) < 0.15
+        upper = np.triu(prob, k=1)
+        src, dst = np.nonzero(upper)
+        edges = np.stack([np.concatenate([src, dst]),
+                          np.concatenate([dst, src])])
+        return Graph(edges, x=rng.normal(size=(n, 4)), num_nodes=n)
+
+    def test_counts(self, big_graph, rng):
+        splits = split_links(big_graph, rng)
+        m = big_graph.num_edges // 2
+        held = splits.val_edges.shape[1] + splits.test_edges.shape[1]
+        assert splits.train_edges.shape[1] + held == m
+        assert splits.val_negatives.shape[1] == splits.val_edges.shape[1]
+
+    def test_train_graph_excludes_heldout(self, big_graph, rng):
+        splits = split_links(big_graph, rng)
+        train_pairs = set(zip(splits.train_graph.edge_index[0].tolist(),
+                              splits.train_graph.edge_index[1].tolist()))
+        for u, v in splits.test_edges.T.tolist():
+            assert (u, v) not in train_pairs
+            assert (v, u) not in train_pairs
+
+    def test_train_graph_is_undirected(self, big_graph, rng):
+        splits = split_links(big_graph, rng)
+        assert splits.train_graph.is_undirected()
+
+    def test_negative_splits_disjoint(self, big_graph, rng):
+        splits = split_links(big_graph, rng)
+        sets = [set(map(tuple, arr.T.tolist()))
+                for arr in (splits.train_negatives, splits.val_negatives,
+                            splits.test_negatives)]
+        assert not (sets[0] & sets[1])
+        assert not (sets[1] & sets[2])
+        assert not (sets[0] & sets[2])
+
+
+@settings(max_examples=15, deadline=None)
+@given(n=st.integers(10, 80), seed=st.integers(0, 500))
+def test_property_node_split_covers_everything(n, seed):
+    splits = split_nodes(n, np.random.default_rng(seed))
+    union = set(splits.train) | set(splits.val) | set(splits.test)
+    assert union == set(range(n))
+    assert len(splits.train) + len(splits.val) + len(splits.test) == n

@@ -1,0 +1,105 @@
+"""Graph container tests."""
+
+import numpy as np
+import pytest
+
+from repro.graph import Graph
+
+
+class TestConstruction:
+    def test_infers_num_nodes_from_x(self):
+        g = Graph(np.array([[0], [1]]), x=np.zeros((5, 2)))
+        assert g.num_nodes == 5
+
+    def test_infers_num_nodes_from_edges(self):
+        g = Graph(np.array([[0, 3], [3, 0]]))
+        assert g.num_nodes == 4
+
+    def test_empty_graph(self):
+        g = Graph(np.zeros((2, 0)), num_nodes=3)
+        assert g.num_edges == 0
+        assert g.degrees().tolist() == [0.0, 0.0, 0.0]
+
+    def test_bad_edge_index_shape(self):
+        with pytest.raises(ValueError):
+            Graph(np.zeros((3, 4)))
+
+    def test_edge_out_of_range(self):
+        with pytest.raises(ValueError):
+            Graph(np.array([[0], [9]]), num_nodes=2)
+
+    def test_x_row_mismatch(self):
+        with pytest.raises(ValueError):
+            Graph(np.array([[0], [1]]), x=np.zeros((3, 2)), num_nodes=2)
+
+    def test_edge_weight_validation(self):
+        with pytest.raises(ValueError):
+            Graph(np.array([[0], [1]]), num_nodes=2,
+                  edge_weight=np.ones(3))
+
+    def test_default_weights_are_ones(self, triangle_graph):
+        assert np.allclose(triangle_graph.edge_weight, 1.0)
+
+
+class TestProperties(object):
+    def test_counts(self, triangle_graph):
+        assert triangle_graph.num_nodes == 4
+        assert triangle_graph.num_edges == 8
+        assert triangle_graph.num_features == 4
+
+    def test_degrees(self, triangle_graph):
+        assert triangle_graph.degrees().tolist() == [2.0, 2.0, 3.0, 1.0]
+
+    def test_adjacency_symmetric(self, triangle_graph):
+        adj = triangle_graph.adjacency().toarray()
+        assert np.allclose(adj, adj.T)
+
+    def test_dense_adjacency(self, triangle_graph):
+        dense = triangle_graph.dense_adjacency()
+        assert dense[0, 1] == 1.0
+        assert dense[0, 3] == 0.0
+
+    def test_repr(self, triangle_graph):
+        assert "num_nodes=4" in repr(triangle_graph)
+
+
+class TestStructureOps:
+    def test_is_undirected(self, triangle_graph):
+        assert triangle_graph.is_undirected()
+        directed = Graph(np.array([[0], [1]]), num_nodes=2)
+        assert not directed.is_undirected()
+
+    def test_to_undirected_adds_reverse(self):
+        g = Graph(np.array([[0], [1]]), num_nodes=2).to_undirected()
+        assert g.num_edges == 2
+        assert g.is_undirected()
+
+    def test_to_undirected_dedupes(self, triangle_graph):
+        assert triangle_graph.to_undirected().num_edges == 8
+
+    def test_self_loop_round_trip(self, triangle_graph):
+        with_loops = triangle_graph.add_self_loops()
+        assert with_loops.num_edges == 12
+        assert with_loops.remove_self_loops().num_edges == 8
+
+    def test_subgraph_relabels(self, triangle_graph):
+        sub, original = triangle_graph.subgraph(np.array([2, 3]))
+        assert sub.num_nodes == 2
+        assert sub.num_edges == 2  # the 2-3 edge, both directions
+        assert original.tolist() == [2, 3]
+        assert sub.y.tolist() == [1, 1]
+        assert np.allclose(sub.x, triangle_graph.x[[2, 3]])
+
+    def test_copy_independent(self, triangle_graph):
+        clone = triangle_graph.copy()
+        clone.x[0, 0] = 99.0
+        assert triangle_graph.x[0, 0] != 99.0
+
+    def test_networkx_round_trip(self, triangle_graph):
+        nxg = triangle_graph.to_networkx()
+        assert nxg.number_of_nodes() == 4
+        assert nxg.number_of_edges() == 4
+        back = Graph.from_networkx(nxg, x=triangle_graph.x,
+                                   y=triangle_graph.y)
+        assert back.num_edges == 8
+        assert back.is_undirected()

@@ -1,0 +1,155 @@
+"""Normalisation and batching tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graph import (Graph, GraphBatch, degree_features,
+                         gcn_normalization, normalize_edges,
+                         row_normalize_features)
+
+
+class TestGCNNormalization:
+    def test_adds_self_loops(self, triangle_graph):
+        edges, weight = gcn_normalization(triangle_graph)
+        assert edges.shape[1] == triangle_graph.num_edges + 4
+
+    def test_symmetric_weights(self, triangle_graph):
+        edges, weight = gcn_normalization(triangle_graph)
+        table = {(int(s), int(d)): w
+                 for s, d, w in zip(edges[0], edges[1], weight)}
+        for (s, d), w in table.items():
+            assert table[(d, s)] == pytest.approx(w)
+
+    def test_known_value_on_pair(self):
+        # Single undirected edge: each node degree 2 with self-loop.
+        g = Graph(np.array([[0, 1], [1, 0]]), num_nodes=2)
+        edges, weight = gcn_normalization(g)
+        table = {(int(s), int(d)): w
+                 for s, d, w in zip(edges[0], edges[1], weight)}
+        assert table[(0, 1)] == pytest.approx(0.5)
+        assert table[(0, 0)] == pytest.approx(0.5)
+
+    def test_per_edge_weights_in_unit_interval(self, two_cliques_graph):
+        # Each normalised weight is w/sqrt(d_i d_j) ≤ 1 for unit weights.
+        edges, weight = gcn_normalization(two_cliques_graph)
+        assert (weight > 0.0).all()
+        assert (weight <= 1.0 + 1e-9).all()
+
+    def test_regular_graph_rows_sum_to_one(self):
+        # On a cycle (2-regular), D̂^{-1/2}ÂD̂^{-1/2} rows sum exactly to 1.
+        n = 6
+        src = np.arange(n)
+        dst = (src + 1) % n
+        g = Graph(np.stack([np.concatenate([src, dst]),
+                            np.concatenate([dst, src])]), num_nodes=n)
+        edges, weight = gcn_normalization(g)
+        sums = np.zeros(n)
+        np.add.at(sums, edges[1], weight)
+        assert np.allclose(sums, 1.0)
+
+    def test_normalize_edges_isolated_node(self):
+        edges, weight = normalize_edges(np.zeros((2, 0), dtype=np.int64),
+                                        np.zeros(0), 3)
+        # Only self-loops; each weight 1 (degree 1).
+        assert edges.shape[1] == 3
+        assert np.allclose(weight, 1.0)
+
+    def test_weighted_graph_keeps_weight_ratios(self):
+        g = Graph(np.array([[0, 1, 0, 2], [1, 0, 2, 0]]), num_nodes=3,
+                  edge_weight=np.array([2.0, 2.0, 1.0, 1.0]))
+        edges, weight = gcn_normalization(g)
+        table = {(int(s), int(d)): w
+                 for s, d, w in zip(edges[0], edges[1], weight)}
+        assert table[(0, 1)] > table[(0, 2)]
+
+
+class TestFeatureHelpers:
+    def test_row_normalize(self):
+        x = np.array([[2.0, 2.0], [0.0, 0.0]])
+        out = row_normalize_features(x)
+        assert np.allclose(out[0], [0.5, 0.5])
+        assert np.allclose(out[1], 0.0)
+
+    def test_degree_features_one_hot(self, triangle_graph):
+        feats = degree_features(triangle_graph)
+        assert feats.shape == (4, 4)  # max degree 3 → 4 buckets
+        assert feats.sum(axis=1).tolist() == [1.0] * 4
+        assert feats[3, 1] == 1.0  # pendant node has degree 1
+
+    def test_degree_features_cap(self, two_cliques_graph):
+        feats = degree_features(two_cliques_graph, max_degree=2)
+        assert feats.shape[1] == 3
+        assert feats[:, 2].sum() == 8  # every node capped at 2
+
+
+class TestGraphBatch:
+    def test_from_graphs_offsets(self, triangle_graph):
+        batch = GraphBatch.from_graphs([triangle_graph,
+                                        triangle_graph.copy()])
+        assert batch.num_graphs == 2
+        assert batch.num_nodes == 8
+        assert batch.edge_index[:, batch.edge_index[0] >= 4].min() >= 4
+        assert batch.batch.tolist() == [0] * 4 + [1] * 4
+
+    def test_labels_concatenated(self, triangle_graph):
+        g2 = triangle_graph.copy()
+        batch = GraphBatch.from_graphs([triangle_graph, g2])
+        assert batch.y.shape[0] == 8
+
+    def test_graph_level_labels(self):
+        g = Graph(np.array([[0, 1], [1, 0]]), x=np.ones((2, 2)),
+                  y=np.asarray(1))
+        batch = GraphBatch.from_graphs([g, g.copy()])
+        assert batch.y.tolist() == [1, 1]
+
+    def test_sizes_and_offsets(self, triangle_graph, two_cliques_graph):
+        batch = GraphBatch.from_graphs([triangle_graph, two_cliques_graph])
+        assert batch.graph_sizes().tolist() == [4, 8]
+        assert batch.node_offsets().tolist() == [0, 4]
+
+    def test_unbatch_round_trip(self, triangle_graph, two_cliques_graph):
+        batch = GraphBatch.from_graphs([triangle_graph, two_cliques_graph])
+        graphs = batch.unbatch()
+        assert len(graphs) == 2
+        assert graphs[0].num_nodes == 4
+        assert graphs[1].num_nodes == 8
+        assert np.allclose(graphs[1].x, two_cliques_graph.x)
+        assert graphs[1].num_edges == two_cliques_graph.num_edges
+
+    def test_mixed_features_rejected(self, triangle_graph):
+        no_x = Graph(np.array([[0, 1], [1, 0]]), num_nodes=2)
+        with pytest.raises(ValueError):
+            GraphBatch.from_graphs([triangle_graph, no_x])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            GraphBatch.from_graphs([])
+
+    def test_repr(self, triangle_graph):
+        assert "num_graphs=1" in repr(GraphBatch.from_graphs(
+            [triangle_graph]))
+
+
+@settings(max_examples=20, deadline=None)
+@given(sizes=st.lists(st.integers(1, 6), min_size=1, max_size=5),
+       seed=st.integers(0, 1000))
+def test_property_batch_unbatch_round_trip(sizes, seed):
+    """Batching then unbatching preserves every graph."""
+    rng = np.random.default_rng(seed)
+    graphs = []
+    for n in sizes:
+        if n == 1:
+            edges = np.zeros((2, 0), dtype=np.int64)
+        else:
+            src = np.arange(n - 1)
+            edges = np.stack([np.concatenate([src, src + 1]),
+                              np.concatenate([src + 1, src])])
+        graphs.append(Graph(edges, x=rng.normal(size=(n, 3)),
+                            y=np.asarray(int(rng.integers(0, 2))),
+                            num_nodes=n))
+    back = GraphBatch.from_graphs(graphs).unbatch()
+    for original, restored in zip(graphs, back):
+        assert restored.num_nodes == original.num_nodes
+        assert np.allclose(restored.x, original.x)
+        assert restored.num_edges == original.num_edges

@@ -1,0 +1,143 @@
+"""Convolution-layer tests: semantics, shapes, gradients."""
+
+import numpy as np
+import pytest
+
+from repro.graph import gcn_normalization
+from repro.layers import (GATConv, GCNConv, GINConv, SAGEConv, gin_mlp,
+                          global_max, global_mean, global_sum,
+                          mean_max_readout, propagate)
+from repro.tensor import Tensor, assert_gradients_close
+
+
+class TestPropagate:
+    def test_sum_semantics(self, triangle_graph):
+        x = Tensor(np.eye(4))
+        out = propagate(x, triangle_graph.edge_index, 4)
+        # Node 3's only in-edge comes from node 2.
+        assert np.allclose(out.data[3], [0, 0, 1, 0])
+        # Node 2 receives from 0, 1, 3.
+        assert np.allclose(out.data[2], [1, 1, 0, 1])
+
+    def test_mean_and_max(self, triangle_graph):
+        x = Tensor(np.arange(4.0).reshape(4, 1))
+        mean = propagate(x, triangle_graph.edge_index, 4, reduce="mean")
+        assert mean.data[2, 0] == pytest.approx((0 + 1 + 3) / 3)
+        mx = propagate(x, triangle_graph.edge_index, 4, reduce="max")
+        assert mx.data[2, 0] == 3.0
+
+    def test_edge_weight_scales_messages(self, triangle_graph):
+        x = Tensor(np.ones((4, 1)))
+        weights = np.full(8, 0.5)
+        out = propagate(x, triangle_graph.edge_index, 4,
+                        edge_weight=weights)
+        assert out.data[3, 0] == pytest.approx(0.5)
+
+    def test_unknown_reduce(self, triangle_graph):
+        with pytest.raises(ValueError):
+            propagate(Tensor(np.ones((4, 1))), triangle_graph.edge_index, 4,
+                      reduce="median")
+
+
+class TestGCNConv:
+    def test_shapes(self, triangle_graph, rng):
+        conv = GCNConv(4, 8, rng=rng)
+        edges, weight = gcn_normalization(triangle_graph)
+        out = conv(Tensor(triangle_graph.x), edges, weight)
+        assert out.shape == (4, 8)
+
+    def test_identity_weight_recovers_operator(self, triangle_graph):
+        conv = GCNConv(4, 4, bias=False, rng=np.random.default_rng(0))
+        conv.linear.weight.data = np.eye(4)
+        edges, weight = gcn_normalization(triangle_graph)
+        out = conv(Tensor(np.eye(4)), edges, weight)
+        # Output row i = normalised operator row i.
+        dense = np.zeros((4, 4))
+        dense[edges[1], edges[0]] += weight  # message src→dst
+        assert np.allclose(out.data, dense)
+
+    def test_gradients_flow_to_weight(self, triangle_graph, rng):
+        conv = GCNConv(4, 3, rng=rng)
+        edges, weight = gcn_normalization(triangle_graph)
+        out = conv(Tensor(triangle_graph.x), edges, weight)
+        out.sum().backward()
+        assert conv.linear.weight.grad is not None
+        assert np.abs(conv.linear.weight.grad).sum() > 0
+
+
+class TestSAGEConv:
+    def test_self_plus_mean(self, triangle_graph, rng):
+        conv = SAGEConv(4, 4, rng=rng)
+        conv.lin_self.weight.data = np.eye(4)
+        conv.lin_self.bias.data[:] = 0.0
+        conv.lin_neigh.weight.data = np.zeros((4, 4))
+        out = conv(Tensor(triangle_graph.x), triangle_graph.edge_index)
+        # With neighbour weights zeroed, output equals the input.
+        assert np.allclose(out.data, triangle_graph.x)
+
+    def test_isolated_node_keeps_self(self, rng):
+        conv = SAGEConv(2, 2, rng=rng)
+        x = Tensor(np.ones((3, 2)))
+        edges = np.array([[0, 1], [1, 0]])
+        out = conv(x, edges, num_nodes=3)
+        assert np.isfinite(out.data).all()
+
+
+class TestGATConv:
+    def test_attention_rows_convex(self, triangle_graph, rng):
+        conv = GATConv(4, 4, rng=rng)
+        out = conv(Tensor(triangle_graph.x), triangle_graph.edge_index)
+        assert out.shape == (4, 4)
+        assert np.isfinite(out.data).all()
+
+    def test_single_node_self_loop_only(self, rng):
+        conv = GATConv(3, 3, rng=rng)
+        out = conv(Tensor(np.ones((1, 3))), np.zeros((2, 0), dtype=np.int64),
+                   num_nodes=1)
+        assert out.shape == (1, 3)
+
+    def test_gradients(self, triangle_graph, rng):
+        conv = GATConv(4, 2, rng=rng)
+        x = Tensor(triangle_graph.x, requires_grad=True)
+        assert_gradients_close(
+            lambda t: conv(t, triangle_graph.edge_index) * 2.0, [x],
+            atol=1e-4)
+
+
+class TestGINConv:
+    def test_eps_zero_sums_self_and_neighbors(self, triangle_graph):
+        mlp = gin_mlp(4, 4, 4, batch_norm=False,
+                      rng=np.random.default_rng(0))
+        conv = GINConv(mlp, train_eps=False)
+        # Replace the MLP with identity to expose the aggregation.
+        mlp[0].weight.data = np.eye(4)
+        mlp[0].bias.data[:] = 0.0
+        mlp[2].weight.data = np.eye(4)
+        mlp[2].bias.data[:] = 0.0
+        x = Tensor(np.eye(4))
+        out = conv(x, triangle_graph.edge_index)
+        # Node 3: itself + node 2, ReLU of which is the same (non-negative).
+        assert np.allclose(out.data[3], [0, 0, 1, 1])
+
+    def test_trainable_eps_receives_gradient(self, triangle_graph):
+        mlp = gin_mlp(4, 8, 4, batch_norm=False,
+                      rng=np.random.default_rng(0))
+        conv = GINConv(mlp)
+        out = conv(Tensor(np.eye(4)), triangle_graph.edge_index)
+        out.sum().backward()
+        assert conv.eps.grad is not None
+
+
+class TestReadouts:
+    BATCH = np.array([0, 0, 1, 1, 1])
+
+    def test_sum_mean_max(self):
+        x = Tensor(np.arange(5.0).reshape(5, 1))
+        assert global_sum(x, self.BATCH, 2).data.tolist() == [[1.0], [9.0]]
+        assert global_mean(x, self.BATCH, 2).data.tolist() == [[0.5], [3.0]]
+        assert global_max(x, self.BATCH, 2).data.tolist() == [[1.0], [4.0]]
+
+    def test_mean_max_concat(self):
+        x = Tensor(np.arange(10.0).reshape(5, 2))
+        out = mean_max_readout(x, self.BATCH, 2)
+        assert out.shape == (2, 4)

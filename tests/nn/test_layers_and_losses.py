@@ -1,0 +1,159 @@
+"""Linear / activations / dropout / norms / losses."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (BatchNorm1d, Dropout, ELU, LayerNorm, LeakyReLU,
+                      Linear, ReLU, Sigmoid, Tanh, binary_cross_entropy,
+                      binary_cross_entropy_with_logits, cross_entropy,
+                      kl_divergence, mse)
+from repro.tensor import Tensor, assert_gradients_close, sigmoid
+
+
+class TestLinear:
+    def test_shapes_and_bias(self, rng):
+        lin = Linear(3, 5, rng=rng)
+        out = lin(Tensor(np.ones((2, 3))))
+        assert out.shape == (2, 5)
+
+    def test_no_bias(self, rng):
+        lin = Linear(3, 5, bias=False, rng=rng)
+        assert lin.bias is None
+        assert len(lin.parameters()) == 1
+
+    def test_deterministic_init(self):
+        a = Linear(4, 4, rng=np.random.default_rng(7))
+        b = Linear(4, 4, rng=np.random.default_rng(7))
+        assert np.allclose(a.weight.data, b.weight.data)
+
+    def test_gradients(self, rng):
+        lin = Linear(3, 2, rng=rng)
+        x = Tensor(rng.normal(size=(4, 3)), requires_grad=True)
+        assert_gradients_close(lambda t: lin(t) ** 2.0,
+                               [x, lin.weight, lin.bias][:1])
+
+    def test_glorot_scale(self):
+        lin = Linear(100, 100, rng=np.random.default_rng(0))
+        bound = np.sqrt(6.0 / 200.0)
+        assert np.abs(lin.weight.data).max() <= bound + 1e-12
+
+
+class TestActivationModules:
+    def test_each_matches_function(self, rng):
+        x = Tensor(rng.normal(size=(3, 3)))
+        assert (ReLU()(x).data >= 0).all()
+        assert np.allclose(Sigmoid()(x).data, sigmoid(x).data)
+        assert np.allclose(Tanh()(x).data, np.tanh(x.data))
+        lr = LeakyReLU(0.3)
+        assert np.allclose(lr(Tensor([-1.0])).data, [-0.3])
+        assert ELU()(Tensor([-50.0])).data[0] == pytest.approx(-1.0)
+
+
+class TestDropoutModule:
+    def test_respects_eval(self, rng):
+        drop = Dropout(0.9, rng=rng)
+        drop.eval()
+        x = Tensor(np.ones((5, 5)))
+        assert drop(x) is x
+
+    def test_invalid_p(self):
+        with pytest.raises(ValueError):
+            Dropout(1.5)
+
+    def test_train_mode_zeroes(self, rng):
+        drop = Dropout(0.5, rng=rng)
+        out = drop(Tensor(np.ones((100, 100))))
+        assert (out.data == 0).mean() == pytest.approx(0.5, abs=0.05)
+
+
+class TestNorms:
+    def test_layer_norm_standardises(self, rng):
+        norm = LayerNorm(8)
+        x = Tensor(rng.normal(size=(4, 8)) * 10 + 5)
+        out = norm(x)
+        assert np.allclose(out.data.mean(axis=-1), 0.0, atol=1e-6)
+        assert np.allclose(out.data.std(axis=-1), 1.0, atol=1e-2)
+
+    def test_layer_norm_gradients(self, rng):
+        norm = LayerNorm(4)
+        x = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        assert_gradients_close(lambda t: norm(t) ** 2.0, [x])
+
+    def test_batch_norm_train_vs_eval(self, rng):
+        bn = BatchNorm1d(4)
+        x = Tensor(rng.normal(size=(32, 4)) * 3 + 2)
+        out = bn(x)
+        assert np.allclose(out.data.mean(axis=0), 0.0, atol=1e-6)
+        bn.eval()
+        # Eval uses running stats, so output differs from train-mode output.
+        out_eval = bn(x)
+        assert not np.allclose(out.data, out_eval.data)
+
+    def test_batch_norm_updates_running_stats(self, rng):
+        bn = BatchNorm1d(2, momentum=0.5)
+        before = bn.running_mean.copy()
+        bn(Tensor(rng.normal(size=(16, 2)) + 10))
+        assert not np.allclose(bn.running_mean, before)
+
+
+class TestLosses:
+    def test_cross_entropy_perfect_prediction(self):
+        logits = Tensor(np.array([[100.0, 0.0], [0.0, 100.0]]))
+        loss = cross_entropy(logits, np.array([0, 1]))
+        assert loss.item() == pytest.approx(0.0, abs=1e-6)
+
+    def test_cross_entropy_uniform(self):
+        logits = Tensor(np.zeros((4, 3)))
+        loss = cross_entropy(logits, np.array([0, 1, 2, 0]))
+        assert loss.item() == pytest.approx(np.log(3.0))
+
+    def test_cross_entropy_mask(self):
+        logits = Tensor(np.array([[10.0, 0.0], [10.0, 0.0]]))
+        # Mask selects only the correct row — loss near zero.
+        loss = cross_entropy(logits, np.array([1, 0]),
+                             mask=np.array([False, True]))
+        assert loss.item() == pytest.approx(0.0, abs=1e-4)
+
+    def test_cross_entropy_empty_mask_raises(self):
+        with pytest.raises(ValueError):
+            cross_entropy(Tensor(np.zeros((2, 2))), np.array([0, 1]),
+                          mask=np.array([False, False]))
+
+    def test_cross_entropy_gradients(self, rng):
+        x = Tensor(rng.normal(size=(5, 3)), requires_grad=True)
+        labels = np.array([0, 1, 2, 1, 0])
+        assert_gradients_close(lambda t: cross_entropy(t, labels), [x])
+
+    def test_bce_with_logits_matches_probability_form(self, rng):
+        logits = Tensor(rng.normal(size=10))
+        targets = (rng.random(10) > 0.5).astype(float)
+        a = binary_cross_entropy_with_logits(logits, targets)
+        b = binary_cross_entropy(sigmoid(logits), targets)
+        assert a.item() == pytest.approx(b.item(), rel=1e-6)
+
+    def test_bce_with_logits_extreme_stability(self):
+        logits = Tensor(np.array([1000.0, -1000.0]))
+        loss = binary_cross_entropy_with_logits(logits,
+                                                np.array([1.0, 0.0]))
+        assert np.isfinite(loss.item())
+        assert loss.item() == pytest.approx(0.0, abs=1e-6)
+
+    def test_bce_gradients(self, rng):
+        x = Tensor(rng.normal(size=8), requires_grad=True)
+        t = (rng.random(8) > 0.5).astype(float)
+        assert_gradients_close(
+            lambda a: binary_cross_entropy_with_logits(a, t), [x])
+
+    def test_mse(self):
+        loss = mse(Tensor([1.0, 2.0]), np.array([0.0, 0.0]))
+        assert loss.item() == pytest.approx(2.5)
+
+    def test_kl_divergence_zero_when_equal(self):
+        p = np.array([[0.3, 0.7], [0.5, 0.5]])
+        q = Tensor(p.copy())
+        assert kl_divergence(p, q).item() == pytest.approx(0.0, abs=1e-9)
+
+    def test_kl_divergence_positive(self, rng):
+        p = np.array([[0.9, 0.1]])
+        q = Tensor(np.array([[0.5, 0.5]]))
+        assert kl_divergence(p, q).item() > 0

@@ -1,0 +1,129 @@
+"""Module/Parameter registration, traversal, modes, and serialisation."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Linear, Module, ModuleList, Parameter, Sequential
+from repro.tensor import Tensor
+
+
+class Toy(Module):
+    def __init__(self):
+        super().__init__()
+        self.w = Parameter(np.ones((2, 2)))
+        self.inner = Linear(2, 2, rng=np.random.default_rng(0))
+
+    def forward(self, x):
+        return self.inner(x @ self.w)
+
+
+class TestRegistration:
+    def test_parameters_found_recursively(self):
+        toy = Toy()
+        names = dict(toy.named_parameters())
+        assert set(names) == {"w", "inner.weight", "inner.bias"}
+
+    def test_num_parameters(self):
+        toy = Toy()
+        assert toy.num_parameters() == 4 + 4 + 2
+
+    def test_register_parameter_none(self):
+        toy = Toy()
+        toy.register_parameter("w", None)
+        assert toy.w is None
+        assert "w" not in dict(toy.named_parameters())
+
+    def test_modules_iterates_tree(self):
+        toy = Toy()
+        kinds = [type(m).__name__ for m in toy.modules()]
+        assert kinds == ["Toy", "Linear"]
+
+    def test_parameter_is_tensor_with_grad(self):
+        p = Parameter(np.zeros(3))
+        assert isinstance(p, Tensor)
+        assert p.requires_grad
+
+
+class TestModes:
+    def test_train_eval_propagate(self):
+        toy = Toy()
+        toy.eval()
+        assert not toy.training
+        assert not toy.inner.training
+        toy.train()
+        assert toy.inner.training
+
+    def test_zero_grad_clears_all(self):
+        toy = Toy()
+        x = Tensor(np.ones((1, 2)))
+        toy(x).sum().backward()
+        assert toy.w.grad is not None
+        toy.zero_grad()
+        assert all(p.grad is None for p in toy.parameters())
+
+
+class TestStateDict:
+    def test_round_trip(self):
+        a, b = Toy(), Toy()
+        b.w.data[:] = 7.0
+        a.load_state_dict(b.state_dict())
+        assert np.allclose(a.w.data, 7.0)
+
+    def test_state_dict_is_a_copy(self):
+        toy = Toy()
+        state = toy.state_dict()
+        state["w"][:] = 99.0
+        assert not np.allclose(toy.w.data, 99.0)
+
+    def test_missing_key_raises(self):
+        toy = Toy()
+        state = toy.state_dict()
+        del state["w"]
+        with pytest.raises(KeyError):
+            toy.load_state_dict(state)
+
+    def test_unexpected_key_raises(self):
+        toy = Toy()
+        state = toy.state_dict()
+        state["ghost"] = np.zeros(1)
+        with pytest.raises(KeyError):
+            toy.load_state_dict(state)
+
+    def test_shape_mismatch_raises(self):
+        toy = Toy()
+        state = toy.state_dict()
+        state["w"] = np.zeros((3, 3))
+        with pytest.raises(ValueError):
+            toy.load_state_dict(state)
+
+
+class TestContainers:
+    def test_sequential_applies_in_order(self):
+        rng = np.random.default_rng(0)
+        seq = Sequential(Linear(3, 4, rng=rng), Linear(4, 2, rng=rng))
+        out = seq(Tensor(np.ones((5, 3))))
+        assert out.shape == (5, 2)
+        assert len(seq) == 2
+        assert isinstance(seq[0], Linear)
+
+    def test_sequential_registers_parameters(self):
+        rng = np.random.default_rng(0)
+        seq = Sequential(Linear(3, 4, rng=rng), Linear(4, 2, rng=rng))
+        assert len(seq.parameters()) == 4
+
+    def test_module_list_append_and_iterate(self):
+        ml = ModuleList()
+        ml.append(Linear(2, 2, rng=np.random.default_rng(0)))
+        ml.append(Linear(2, 2, rng=np.random.default_rng(1)))
+        assert len(ml) == 2
+        assert len(list(ml)) == 2
+        assert len(ml.parameters()) == 4
+        assert isinstance(ml[1], Linear)
+
+    def test_forward_not_implemented(self):
+        with pytest.raises(NotImplementedError):
+            Module()(1)
+
+    def test_repr_nests_children(self):
+        toy = Toy()
+        assert "Linear" in repr(toy)

@@ -1,0 +1,78 @@
+"""ASAP pooling and LEConv tests (extension baseline)."""
+
+import numpy as np
+import pytest
+
+from repro.pooling import ASAPooling, LEConv
+from repro.tensor import Tensor
+
+
+class TestLEConv:
+    def test_shapes(self, two_cliques_graph, rng):
+        conv = LEConv(4, 6, rng=rng)
+        out = conv(Tensor(two_cliques_graph.x),
+                   two_cliques_graph.edge_index,
+                   two_cliques_graph.edge_weight)
+        assert out.shape == (8, 6)
+
+    def test_antisymmetric_form_detects_extrema(self, rng):
+        """A node whose feature dominates its neighbours scores highest."""
+        # Star graph: center 0 with leaves 1..4; center has largest value.
+        src = np.array([0, 0, 0, 0, 1, 2, 3, 4])
+        dst = np.array([1, 2, 3, 4, 0, 0, 0, 0])
+        edges = np.stack([src, dst])
+        x = np.array([[5.0], [1.0], [1.0], [1.0], [1.0]])
+        conv = LEConv(1, 1, rng=np.random.default_rng(0))
+        # Force identity-ish weights: score ~ Σ (x_i − x_j).
+        conv.lin_self.weight.data[:] = 0.0
+        conv.lin_self.bias.data[:] = 0.0
+        conv.lin_pos.weight.data[:] = 1.0
+        conv.lin_neg.weight.data[:] = 1.0
+        out = conv(Tensor(x), edges, num_nodes=5)
+        assert out.data[0, 0] > out.data[1, 0]
+
+    def test_gradients(self, two_cliques_graph, rng):
+        conv = LEConv(4, 2, rng=rng)
+        out = conv(Tensor(two_cliques_graph.x),
+                   two_cliques_graph.edge_index,
+                   two_cliques_graph.edge_weight)
+        out.sum().backward()
+        assert conv.lin_pos.weight.grad is not None
+
+
+class TestASAPooling:
+    def test_contract_matches_topk(self, two_cliques_graph, rng):
+        pool = ASAPooling(4, ratio=0.5, rng=rng)
+        batch = np.zeros(8, dtype=np.int64)
+        x, edges, weight, new_batch, perm = pool(
+            Tensor(two_cliques_graph.x), two_cliques_graph.edge_index,
+            two_cliques_graph.edge_weight, batch, 1)
+        assert x.shape == (4, 4)
+        assert perm.shape[0] == 4
+        assert edges.max(initial=-1) < 4
+
+    def test_invalid_ratio(self):
+        with pytest.raises(ValueError):
+            ASAPooling(4, ratio=2.0)
+
+    def test_gradients_reach_all_submodules(self, two_cliques_graph, rng):
+        pool = ASAPooling(4, ratio=0.5, rng=rng)
+        batch = np.zeros(8, dtype=np.int64)
+        x, *_ = pool(Tensor(two_cliques_graph.x),
+                     two_cliques_graph.edge_index,
+                     two_cliques_graph.edge_weight, batch, 1)
+        x.sum().backward()
+        assert pool.attention_query.weight.grad is not None
+        assert pool.score_conv.lin_pos.weight.grad is not None
+
+    def test_batched_selection(self, two_cliques_graph, rng):
+        from repro.graph import GraphBatch
+        batch = GraphBatch.from_graphs([two_cliques_graph.copy(),
+                                        two_cliques_graph.copy()])
+        pool = ASAPooling(4, ratio=0.5, rng=rng)
+        x, edges, weight, ids, perm = pool(Tensor(batch.x),
+                                           batch.edge_index,
+                                           batch.edge_weight, batch.batch,
+                                           2)
+        assert (ids == 0).sum() == 4
+        assert (ids == 1).sum() == 4

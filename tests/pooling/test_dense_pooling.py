@@ -1,0 +1,141 @@
+"""Dense pooling tests: DiffPool, StructPool, SortPool, dense batching."""
+
+import numpy as np
+import pytest
+
+from repro.graph import GraphBatch
+from repro.pooling import (DenseGCN, DiffPool, SortPool, StructPool,
+                           dense_slots, normalize_dense_adjacency,
+                           to_dense_adjacency, to_dense_batch)
+from repro.tensor import Tensor
+
+
+@pytest.fixture
+def batch(triangle_graph, two_cliques_graph):
+    return GraphBatch.from_graphs([triangle_graph.copy(),
+                                   _pad_features(two_cliques_graph)])
+
+
+def _pad_features(graph):
+    g = graph.copy()
+    return g
+
+
+class TestDenseBatching:
+    def test_dense_slots_layout(self):
+        batch = np.array([0, 0, 1, 1, 1])
+        slot, mask, n_max = dense_slots(batch, 2)
+        assert n_max == 3
+        assert slot.tolist() == [0, 1, 3, 4, 5]
+        assert mask.tolist() == [[True, True, False], [True, True, True]]
+
+    def test_to_dense_batch_round_trip_values(self):
+        x = Tensor(np.arange(10.0).reshape(5, 2))
+        batch = np.array([0, 0, 1, 1, 1])
+        dense, mask = to_dense_batch(x, batch, 2)
+        assert dense.shape == (2, 3, 2)
+        assert np.allclose(dense.data[0, 0], [0, 1])
+        assert np.allclose(dense.data[0, 2], 0.0)  # padding
+        assert np.allclose(dense.data[1, 2], [8, 9])
+
+    def test_to_dense_adjacency(self, triangle_graph):
+        batch_vec = np.zeros(4, dtype=np.int64)
+        adj = to_dense_adjacency(triangle_graph.edge_index,
+                                 triangle_graph.edge_weight, batch_vec, 1)
+        assert adj.shape == (1, 4, 4)
+        assert adj[0, 0, 1] == 1.0
+        assert adj[0, 0, 3] == 0.0
+
+    def test_normalize_dense_adjacency_rows(self, triangle_graph):
+        batch_vec = np.zeros(4, dtype=np.int64)
+        adj = to_dense_adjacency(triangle_graph.edge_index,
+                                 triangle_graph.edge_weight, batch_vec, 1)
+        norm = normalize_dense_adjacency(adj)
+        assert np.isfinite(norm).all()
+        assert norm[0].diagonal().min() > 0  # self-loops added
+
+    def test_normalize_handles_padding_rows(self):
+        adj = np.zeros((1, 3, 3))
+        norm = normalize_dense_adjacency(adj, add_self_loops=False)
+        assert np.allclose(norm, 0.0)
+
+
+class TestDiffPool:
+    def test_output_shapes_and_losses(self, rng):
+        pool = DiffPool(4, hidden=6, num_clusters=3, rng=rng)
+        x = Tensor(rng.normal(size=(2, 5, 4)))
+        adj = rng.random((2, 5, 5))
+        mask = np.ones((2, 5), dtype=bool)
+        x_p, adj_p, link, ent = pool(x, adj, mask)
+        assert x_p.shape == (2, 3, 6)
+        assert adj_p.shape == (2, 3, 3)
+        assert link.size == 1 and ent.size == 1
+        assert ent.item() >= 0
+
+    def test_losses_differentiable(self, rng):
+        pool = DiffPool(4, hidden=4, num_clusters=2, rng=rng)
+        x = Tensor(rng.normal(size=(1, 4, 4)))
+        adj = rng.random((1, 4, 4))
+        x_p, adj_p, link, ent = pool(x, adj)
+        (x_p.sum() + link + ent).backward()
+        grads = [p.grad for p in pool.parameters()]
+        assert any(g is not None and np.abs(g).sum() > 0 for g in grads)
+
+    def test_dense_gcn(self, rng):
+        layer = DenseGCN(3, 5, rng=rng)
+        out = layer(Tensor(rng.normal(size=(2, 4, 3))),
+                    rng.random((2, 4, 4)))
+        assert out.shape == (2, 4, 5)
+        assert (out.data >= 0).all()  # ReLU
+
+
+class TestStructPool:
+    def test_mean_field_refines(self, rng):
+        pool = StructPool(4, num_clusters=3, mean_field_steps=2, rng=rng)
+        x = Tensor(rng.normal(size=(2, 5, 4)))
+        adj = rng.random((2, 5, 5))
+        x_p, adj_p = pool(x, adj)
+        assert x_p.shape == (2, 3, 4)
+        assert adj_p.shape == (2, 3, 3)
+
+    def test_invalid_steps(self):
+        with pytest.raises(ValueError):
+            StructPool(4, 3, mean_field_steps=0)
+
+    def test_compatibility_gets_gradient(self, rng):
+        pool = StructPool(4, num_clusters=2, rng=rng)
+        x = Tensor(rng.normal(size=(1, 4, 4)))
+        adj = rng.random((1, 4, 4))
+        x_p, _ = pool(x, adj)
+        x_p.sum().backward()
+        assert pool.compatibility.grad is not None
+
+
+class TestSortPool:
+    def test_sorts_by_last_channel_and_truncates(self):
+        pool = SortPool(k=2)
+        x = Tensor(np.array([[9.0, 0.1], [8.0, 0.9], [7.0, 0.5]]))
+        out = pool(x, np.zeros(3, dtype=np.int64), 1)
+        # Sorted by channel 1 desc: rows 1, 2.
+        assert out.shape == (1, 4)
+        assert np.allclose(out.data[0], [8.0, 0.9, 7.0, 0.5])
+
+    def test_pads_small_graphs(self):
+        pool = SortPool(k=4)
+        x = Tensor(np.ones((2, 3)))
+        out = pool(x, np.zeros(2, dtype=np.int64), 1)
+        assert out.shape == (1, 12)
+        assert np.allclose(out.data[0, 6:], 0.0)
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            SortPool(k=0)
+
+    def test_multiple_graphs(self):
+        pool = SortPool(k=1)
+        x = Tensor(np.arange(8.0).reshape(4, 2))
+        batch = np.array([0, 0, 1, 1])
+        out = pool(x, batch, 2)
+        assert out.shape == (2, 2)
+        assert np.allclose(out.data[0], [2.0, 3.0])
+        assert np.allclose(out.data[1], [6.0, 7.0])

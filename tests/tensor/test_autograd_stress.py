@@ -1,0 +1,100 @@
+"""Stress tests of the autograd engine on deep/wide composite graphs."""
+
+import numpy as np
+import pytest
+
+from repro import tensor as T
+from repro.tensor import Tensor, assert_gradients_close
+
+
+class TestDeepChains:
+    def test_hundred_layer_chain(self, rng):
+        """Gradients survive a 100-op chain without drift or blowup."""
+        x = Tensor(np.ones(4) * 0.5, requires_grad=True)
+        out = x
+        for _ in range(100):
+            out = out * 1.01 + 0.001
+        out.sum().backward()
+        expected = 1.01 ** 100 * np.ones(4)
+        assert np.allclose(x.grad, expected)
+
+    def test_wide_fanout_accumulation(self, rng):
+        """One leaf feeding 50 branches accumulates all 50 gradients."""
+        x = Tensor(np.ones(3), requires_grad=True)
+        total = None
+        for k in range(50):
+            branch = x * float(k)
+            total = branch if total is None else total + branch
+        total.sum().backward()
+        assert np.allclose(x.grad, sum(range(50)))
+
+    def test_shared_subexpression(self, rng):
+        """A shared intermediate node propagates through both consumers."""
+        x = Tensor(rng.normal(size=(3, 3)), requires_grad=True)
+        shared = T.relu(x @ x.T)
+        out = shared.sum() + (shared * 2.0).sum()
+        out.backward()
+        assert x.grad is not None
+        # Equivalent single-expression gradient:
+        x2 = Tensor(x.data.copy(), requires_grad=True)
+        (T.relu(x2 @ x2.T) * 3.0).sum().backward()
+        assert np.allclose(x.grad, x2.grad)
+
+
+class TestMixedStructures:
+    def test_gnn_like_composite_gradcheck(self, rng):
+        """gather → transform → segment-softmax → reduce, end to end."""
+        x = Tensor(rng.normal(size=(5, 3)), requires_grad=True)
+        w = Tensor(rng.normal(size=(3, 3)), requires_grad=True)
+        src = np.array([0, 1, 2, 3, 4, 0, 2])
+        dst = np.array([1, 2, 3, 4, 0, 2, 0])
+
+        def model(x_, w_):
+            h = T.tanh(x_ @ w_)
+            messages = T.gather_rows(h, src)
+            logits = messages.sum(axis=-1)
+            alpha = T.segment_softmax(logits, dst, 5)
+            return T.segment_sum(messages * alpha.reshape(-1, 1), dst, 5)
+
+        assert_gradients_close(model, [x, w], atol=1e-4)
+
+    def test_attention_like_composite_gradcheck(self, rng):
+        x = Tensor(rng.normal(size=(4, 3)), requires_grad=True)
+
+        def attention(x_):
+            scores = T.softmax(x_ @ x_.T, axis=-1)
+            return scores @ x_
+
+        assert_gradients_close(attention, [x], atol=1e-4)
+
+    def test_second_backward_on_new_graph(self, rng):
+        """The engine is one-shot per graph, but new graphs on the same
+        leaves keep accumulating correctly."""
+        x = Tensor(rng.normal(size=3), requires_grad=True)
+        (x * 2.0).sum().backward()
+        first = x.grad.copy()
+        (x * 3.0).sum().backward()
+        assert np.allclose(x.grad, first + 3.0)
+
+
+class TestNumericalEdges:
+    def test_softmax_on_identical_logits(self):
+        x = Tensor(np.zeros((2, 5)), requires_grad=True)
+        out = T.softmax(x, axis=-1)
+        assert np.allclose(out.data, 0.2)
+        out.sum().backward()
+        assert np.allclose(x.grad, 0.0)  # flat region
+
+    def test_large_magnitude_stability(self):
+        x = Tensor(np.array([1e8, -1e8]), requires_grad=True)
+        out = T.sigmoid(x) + T.softmax(x)
+        out.sum().backward()
+        assert np.isfinite(out.data).all()
+        assert np.isfinite(x.grad).all()
+
+    def test_zero_size_tensor_ops(self):
+        x = Tensor(np.zeros((0, 3)), requires_grad=True)
+        out = T.relu(x) * 2.0
+        assert out.shape == (0, 3)
+        out.sum().backward()
+        assert x.grad.shape == (0, 3)

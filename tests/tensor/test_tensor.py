@@ -1,0 +1,202 @@
+"""Unit tests for the Tensor class: construction, arithmetic, autograd."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import DEFAULT_DTYPE, Tensor
+
+
+class TestConstruction:
+    def test_from_list(self):
+        t = Tensor([[1.0, 2.0], [3.0, 4.0]])
+        assert t.shape == (2, 2)
+        assert t.dtype == DEFAULT_DTYPE
+
+    def test_from_int_array_keeps_int(self):
+        t = Tensor(np.array([1, 2, 3]))
+        assert t.dtype.kind == "i"
+
+    def test_int_requires_grad_rejected(self):
+        with pytest.raises(TypeError):
+            Tensor(np.array([1, 2]), requires_grad=True)
+
+    def test_float32_upcast(self):
+        t = Tensor(np.ones(3, dtype=np.float32))
+        assert t.dtype == DEFAULT_DTYPE
+
+    def test_from_tensor_shares_data(self):
+        a = Tensor([1.0, 2.0])
+        b = Tensor(a)
+        assert b.data is a.data
+
+    def test_factories(self):
+        assert Tensor.zeros(2, 3).shape == (2, 3)
+        assert float(Tensor.ones(2, 2).data.sum()) == 4.0
+        assert np.allclose(Tensor.eye(3).data, np.eye(3))
+
+    def test_item_scalar(self):
+        assert Tensor(5.0).item() == 5.0
+
+    def test_item_nonscalar_raises(self):
+        with pytest.raises(ValueError):
+            Tensor([1.0, 2.0]).item()
+
+    def test_repr_mentions_grad(self):
+        assert "requires_grad" in repr(Tensor([1.0], requires_grad=True))
+        assert "requires_grad" not in repr(Tensor([1.0]))
+
+
+class TestArithmetic:
+    def test_add_broadcast(self):
+        a = Tensor(np.ones((2, 3)))
+        b = Tensor(np.arange(3.0))
+        assert np.allclose((a + b).data, 1.0 + np.arange(3.0))
+
+    def test_radd_scalar(self):
+        assert np.allclose((2.0 + Tensor([1.0])).data, [3.0])
+
+    def test_sub_and_rsub(self):
+        a = Tensor([3.0])
+        assert np.allclose((a - 1.0).data, [2.0])
+        assert np.allclose((1.0 - a).data, [-2.0])
+
+    def test_mul_div(self):
+        a = Tensor([4.0])
+        assert np.allclose((a * 2.0).data, [8.0])
+        assert np.allclose((a / 2.0).data, [2.0])
+        assert np.allclose((2.0 / a).data, [0.5])
+
+    def test_neg_pow(self):
+        a = Tensor([2.0])
+        assert np.allclose((-a).data, [-2.0])
+        assert np.allclose((a ** 3).data, [8.0])
+
+    def test_pow_tensor_exponent_rejected(self):
+        with pytest.raises(TypeError):
+            Tensor([2.0]) ** Tensor([2.0])
+
+    def test_matmul_2d(self):
+        a = Tensor(np.arange(6.0).reshape(2, 3))
+        b = Tensor(np.arange(12.0).reshape(3, 4))
+        assert np.allclose((a @ b).data, a.data @ b.data)
+
+    def test_matmul_batched(self):
+        a = Tensor(np.random.default_rng(0).normal(size=(5, 2, 3)))
+        b = Tensor(np.random.default_rng(1).normal(size=(5, 3, 4)))
+        assert np.allclose((a @ b).data, a.data @ b.data)
+
+    def test_comparisons_return_arrays(self):
+        a = Tensor([1.0, 2.0])
+        assert (a > 1.5).tolist() == [False, True]
+        assert (a < 1.5).tolist() == [True, False]
+        assert (a >= 1.0).tolist() == [True, True]
+        assert (a <= 1.0).tolist() == [True, False]
+
+
+class TestShapes:
+    def test_reshape_and_infer(self):
+        a = Tensor(np.arange(6.0))
+        assert a.reshape(2, 3).shape == (2, 3)
+        assert a.reshape(-1, 2).shape == (3, 2)
+
+    def test_transpose_default(self):
+        a = Tensor(np.arange(6.0).reshape(2, 3))
+        assert a.T.shape == (3, 2)
+
+    def test_transpose_axes(self):
+        a = Tensor(np.zeros((2, 3, 4)))
+        assert a.transpose(2, 0, 1).shape == (4, 2, 3)
+
+    def test_getitem_slice_and_fancy(self):
+        a = Tensor(np.arange(10.0))
+        assert np.allclose(a[2:5].data, [2, 3, 4])
+        assert np.allclose(a[np.array([0, 0, 9])].data, [0, 0, 9])
+
+    def test_len(self):
+        assert len(Tensor(np.zeros((4, 2)))) == 4
+
+
+class TestReductions:
+    def test_sum_axes(self):
+        a = Tensor(np.arange(6.0).reshape(2, 3))
+        assert a.sum().item() == 15.0
+        assert np.allclose(a.sum(axis=0).data, [3, 5, 7])
+        assert a.sum(axis=1, keepdims=True).shape == (2, 1)
+
+    def test_mean(self):
+        a = Tensor(np.arange(6.0).reshape(2, 3))
+        assert a.mean().item() == pytest.approx(2.5)
+        assert np.allclose(a.mean(axis=1).data, [1.0, 4.0])
+
+    def test_max_min(self):
+        a = Tensor(np.array([[1.0, 5.0], [3.0, 2.0]]))
+        assert np.allclose(a.max(axis=0).data, [3.0, 5.0])
+        assert np.allclose(a.min(axis=1).data, [1.0, 2.0])
+
+
+class TestAutogradMechanics:
+    def test_backward_accumulates_into_leaves(self):
+        a = Tensor([2.0], requires_grad=True)
+        b = Tensor([3.0], requires_grad=True)
+        (a * b).backward()
+        assert a.grad[0] == 3.0
+        assert b.grad[0] == 2.0
+
+    def test_backward_without_grad_on_nonscalar_raises(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        with pytest.raises(RuntimeError):
+            (a * 2.0).backward()
+
+    def test_backward_with_explicit_grad(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        (a * 3.0).backward(np.array([1.0, 10.0]))
+        assert np.allclose(a.grad, [3.0, 30.0])
+
+    def test_backward_on_no_grad_tensor_raises(self):
+        with pytest.raises(RuntimeError):
+            Tensor([1.0]).backward()
+
+    def test_diamond_graph_accumulation(self):
+        # y = a*a + a*a uses 'a' through two paths; grads must add.
+        a = Tensor([3.0], requires_grad=True)
+        left = a * a
+        right = a * a
+        (left + right).backward()
+        assert a.grad[0] == pytest.approx(12.0)
+
+    def test_grad_accumulates_across_backwards(self):
+        a = Tensor([1.0], requires_grad=True)
+        (a * 2.0).backward()
+        (a * 2.0).backward()
+        assert a.grad[0] == 4.0
+
+    def test_zero_grad(self):
+        a = Tensor([1.0], requires_grad=True)
+        (a * 2.0).backward()
+        a.zero_grad()
+        assert a.grad is None
+
+    def test_detach_cuts_graph(self):
+        a = Tensor([1.0], requires_grad=True)
+        d = (a * 2.0).detach()
+        assert not d.requires_grad
+
+    def test_requires_grad_propagates(self):
+        a = Tensor([1.0], requires_grad=True)
+        b = Tensor([1.0])
+        assert (a + b).requires_grad
+        assert not (b + b).requires_grad
+
+    def test_unbroadcast_bias_pattern(self):
+        # (n, d) + (d,) must reduce the bias gradient over rows.
+        x = Tensor(np.ones((5, 3)))
+        bias = Tensor(np.zeros(3), requires_grad=True)
+        (x + bias).sum().backward()
+        assert np.allclose(bias.grad, [5.0, 5.0, 5.0])
+
+    def test_copy_is_independent(self):
+        a = Tensor([1.0], requires_grad=True)
+        c = a.copy()
+        c.data[0] = 9.0
+        assert a.data[0] == 1.0
+        assert c.requires_grad

@@ -1,0 +1,80 @@
+"""Tests for the benchmark-harness infrastructure (benchmarks/common.py)."""
+
+import numpy as np
+import pytest
+
+from benchmarks import common
+
+
+class TestComparisonTable:
+    def test_measured_and_paper_side_by_side(self):
+        rows = {"gin": {"nci1": 76.0}}
+        paper = {"gin": {"nci1": 76.17}}
+        table = common.comparison_table(rows, paper, ["gin"], ["nci1"])
+        assert "76.00 (76.17)" in table
+
+    def test_missing_cells_render_dashes(self):
+        table = common.comparison_table({}, {}, ["gin"], ["nci1"])
+        assert "- (-)" in table
+
+    def test_custom_format(self):
+        rows = {"m": {"d": 0.987}}
+        table = common.comparison_table(rows, {}, ["m"], ["d"],
+                                        fmt="{:.3f}")
+        assert "0.987" in table
+
+
+class TestEmit:
+    def test_writes_results_file(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(common, "RESULTS_DIR", tmp_path)
+        common.emit("Table X: sample", "hello world")
+        written = (tmp_path / "table_x:_sample.txt").read_text()
+        assert "hello world" in written
+
+
+class TestScope:
+    def test_default_is_full(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_SCOPE", raising=False)
+        assert common.bench_scope() == "full"
+        assert not common.is_smoke()
+
+    def test_smoke_detected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCOPE", "SMOKE")
+        assert common.is_smoke()
+
+
+class TestPaperReferenceTables:
+    """Sanity-lock the transcribed paper values used in every comparison."""
+
+    def test_table1_adamgnn_wins_five_of_six(self):
+        adam = common.PAPER_TABLE1["adamgnn"]
+        wins = 0
+        for dataset in adam:
+            best_baseline = max(common.PAPER_TABLE1[m][dataset]
+                                for m in common.PAPER_TABLE1
+                                if m != "adamgnn")
+            wins += adam[dataset] > best_baseline
+        assert wins == 5  # StructPool takes PROTEINS
+
+    def test_table2_adamgnn_has_best_average(self):
+        for table in (common.PAPER_TABLE2_NC, common.PAPER_TABLE2_LP):
+            averages = {m: np.mean(list(v.values()))
+                        for m, v in table.items()}
+            assert max(averages, key=averages.get) == "adamgnn"
+
+    def test_table3_full_model_best(self):
+        full = common.PAPER_TABLE3["full"]
+        for variant, row in common.PAPER_TABLE3.items():
+            for column, value in row.items():
+                if value is not None:
+                    assert value <= full[column]
+
+    def test_table4_sagpool_cheapest(self):
+        for dataset in ("nci1", "nci109", "proteins"):
+            times = {m: common.PAPER_TABLE4[m][dataset]
+                     for m in common.PAPER_TABLE4}
+            assert min(times, key=times.get) == "sagpool"
+
+    def test_table5_flyback_helps_everywhere(self):
+        for dataset, value in common.PAPER_TABLE5["full model"].items():
+            assert value > common.PAPER_TABLE5["no flyback"][dataset]

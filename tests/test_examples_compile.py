@@ -1,0 +1,23 @@
+"""The example scripts must at least parse and expose a main()."""
+
+import ast
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted((Path(__file__).resolve().parent.parent
+                   / "examples").glob("*.py"))
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_parses_and_has_main(path):
+    tree = ast.parse(path.read_text(), filename=str(path))
+    functions = {node.name for node in ast.walk(tree)
+                 if isinstance(node, ast.FunctionDef)}
+    assert "main" in functions, f"{path.name} lacks a main() entry point"
+    # Every example is documented.
+    assert ast.get_docstring(tree), f"{path.name} lacks a module docstring"
+
+
+def test_at_least_four_examples_exist():
+    assert len(EXAMPLES) >= 4

@@ -1,0 +1,87 @@
+"""Experiment-runner factory and table-formatting tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import (AdamGNNGraphClassifier, AdamGNNLinkPredictor,
+                        AdamGNNNodeClassifier)
+from repro.models import (DiffPoolClassifier, GINGraphClassifier,
+                          GNNLinkPredictor, GNNNodeClassifier, GraphUNet,
+                          HierarchicalPoolClassifier, SortPoolClassifier,
+                          StructPoolClassifier, ThreeWLGraphClassifier)
+from repro.training import (ExperimentResult, GRAPH_MODEL_NAMES,
+                            NODE_MODEL_NAMES, format_results_table,
+                            make_graph_classifier, make_link_predictor,
+                            make_node_classifier)
+
+
+class TestFactories:
+    NODE_TYPES = {
+        "gcn": GNNNodeClassifier, "sage": GNNNodeClassifier,
+        "gat": GNNNodeClassifier, "gin": GNNNodeClassifier,
+        "topkpool": GraphUNet, "adamgnn": AdamGNNNodeClassifier,
+    }
+
+    GRAPH_TYPES = {
+        "gin": GINGraphClassifier, "3wl": ThreeWLGraphClassifier,
+        "sortpool": SortPoolClassifier, "diffpool": DiffPoolClassifier,
+        "topkpool": HierarchicalPoolClassifier,
+        "sagpool": HierarchicalPoolClassifier,
+        "structpool": StructPoolClassifier,
+        "adamgnn": AdamGNNGraphClassifier,
+    }
+
+    @pytest.mark.parametrize("name", NODE_MODEL_NAMES)
+    def test_node_factory_types(self, name):
+        model = make_node_classifier(name, 8, 3, seed=0, hidden=16)
+        assert isinstance(model, self.NODE_TYPES[name])
+
+    @pytest.mark.parametrize("name", GRAPH_MODEL_NAMES)
+    def test_graph_factory_types(self, name):
+        model = make_graph_classifier(name, 8, 2, seed=0, hidden=16)
+        assert isinstance(model, self.GRAPH_TYPES[name])
+
+    @pytest.mark.parametrize("name", NODE_MODEL_NAMES)
+    def test_link_factory_runs(self, name):
+        model = make_link_predictor(name, 8, seed=0, hidden=16)
+        assert model.num_parameters() > 0
+
+    def test_unknown_names_rejected(self):
+        with pytest.raises(ValueError):
+            make_node_classifier("mlp", 8, 2, seed=0)
+        with pytest.raises(ValueError):
+            make_graph_classifier("set2set", 8, 2, seed=0)
+        with pytest.raises(ValueError):
+            make_link_predictor("node2vec", 8, seed=0)
+
+    def test_seed_determinism(self):
+        a = make_node_classifier("adamgnn", 8, 3, seed=5, hidden=16)
+        b = make_node_classifier("adamgnn", 8, 3, seed=5, hidden=16)
+        for (_, pa), (_, pb) in zip(a.named_parameters(),
+                                    b.named_parameters()):
+            assert np.allclose(pa.data, pb.data)
+
+    def test_flyback_flag_reaches_encoder(self):
+        model = make_graph_classifier("adamgnn", 8, 2, seed=0,
+                                      use_flyback=False)
+        assert not model.encoder.use_flyback
+
+
+class TestResultsTable:
+    def test_renders_grid_with_missing_cells(self):
+        results = {
+            "cora": {"gcn": ExperimentResult("cora", "gcn", 0.9, 0.01,
+                                             [0.9])},
+        }
+        table = format_results_table(results, ["cora", "wiki"],
+                                     ["gcn", "adamgnn"])
+        assert "90.00" in table
+        assert "-" in table  # missing cells render as dashes
+        assert "gcn" in table and "adamgnn" in table
+
+    def test_scale_and_decimals(self):
+        results = {"d": {"m": ExperimentResult("d", "m", 0.876, 0.0,
+                                               [0.876])}}
+        table = format_results_table(results, ["d"], ["m"], scale=1.0,
+                                     decimals=3)
+        assert "0.876" in table

@@ -1,0 +1,133 @@
+"""Metric and early-stopping tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.nn import Linear
+from repro.training import EarlyStopping, accuracy, mean_and_std, roc_auc
+
+
+class TestAccuracy:
+    def test_perfect(self):
+        logits = np.array([[0.9, 0.1], [0.2, 0.8]])
+        assert accuracy(logits, np.array([0, 1])) == 1.0
+
+    def test_masked(self):
+        logits = np.array([[1.0, 0.0], [1.0, 0.0]])
+        labels = np.array([0, 1])
+        assert accuracy(logits, labels, mask=np.array([True, False])) == 1.0
+        assert accuracy(logits, labels, mask=np.array([False, True])) == 0.0
+
+    def test_empty_selection_raises(self):
+        with pytest.raises(ValueError):
+            accuracy(np.zeros((2, 2)), np.zeros(2),
+                     mask=np.array([False, False]))
+
+
+class TestRocAuc:
+    def test_perfect_separation(self):
+        scores = np.array([0.1, 0.2, 0.8, 0.9])
+        labels = np.array([0, 0, 1, 1])
+        assert roc_auc(scores, labels) == 1.0
+
+    def test_inverted(self):
+        scores = np.array([0.9, 0.8, 0.2, 0.1])
+        labels = np.array([0, 0, 1, 1])
+        assert roc_auc(scores, labels) == 0.0
+
+    def test_random_is_half(self):
+        rng = np.random.default_rng(0)
+        scores = rng.random(4000)
+        labels = rng.random(4000) > 0.5
+        assert roc_auc(scores, labels) == pytest.approx(0.5, abs=0.03)
+
+    def test_ties_average(self):
+        # All scores equal → AUC exactly 0.5 by average-rank convention.
+        scores = np.ones(10)
+        labels = np.array([0, 1] * 5)
+        assert roc_auc(scores, labels) == pytest.approx(0.5)
+
+    def test_single_class_raises(self):
+        with pytest.raises(ValueError):
+            roc_auc(np.ones(3), np.ones(3))
+
+    @settings(max_examples=30, deadline=None)
+    @given(n=st.integers(4, 60), seed=st.integers(0, 1000))
+    def test_property_matches_pair_counting(self, n, seed):
+        """Rank formula agrees with the O(n²) pair-count definition."""
+        rng = np.random.default_rng(seed)
+        scores = rng.random(n)
+        labels = rng.random(n) > 0.5
+        if labels.all() or not labels.any():
+            labels[0] = not labels[0]
+        pos = scores[labels]
+        neg = scores[~labels]
+        wins = (pos[:, None] > neg[None, :]).sum()
+        ties = (pos[:, None] == neg[None, :]).sum()
+        expected = (wins + 0.5 * ties) / (len(pos) * len(neg))
+        assert roc_auc(scores, labels) == pytest.approx(expected)
+
+
+class TestMeanAndStd:
+    def test_values(self):
+        mean, std = mean_and_std([1.0, 2.0, 3.0])
+        assert mean == 2.0
+        assert std == pytest.approx(np.sqrt(2.0 / 3.0))
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            mean_and_std([])
+
+
+class TestEarlyStopping:
+    def _model(self):
+        return Linear(2, 2, rng=np.random.default_rng(0))
+
+    def test_stops_after_patience(self):
+        model = self._model()
+        stopper = EarlyStopping(patience=3, mode="max")
+        assert not stopper.step(0.5, model)
+        stopped = [stopper.step(0.4, model) for _ in range(3)]
+        assert stopped[-1]
+        assert stopper.stopped
+
+    def test_improvement_resets_counter(self):
+        model = self._model()
+        stopper = EarlyStopping(patience=2, mode="max")
+        stopper.step(0.5, model)
+        stopper.step(0.4, model)
+        stopper.step(0.6, model)   # improvement
+        assert stopper.counter == 0
+
+    def test_min_mode(self):
+        model = self._model()
+        stopper = EarlyStopping(patience=1, mode="min")
+        stopper.step(1.0, model)
+        assert not stopper.improved(2.0)
+        assert stopper.improved(0.5)
+
+    def test_restore_best_state(self):
+        model = self._model()
+        stopper = EarlyStopping(patience=5, mode="max")
+        stopper.step(0.9, model)
+        best = model.weight.data.copy()
+        model.weight.data[:] = 0.0
+        stopper.step(0.1, model)
+        stopper.restore(model)
+        assert np.allclose(model.weight.data, best)
+
+    def test_restore_without_state_is_noop(self):
+        model = self._model()
+        EarlyStopping().restore(model)  # must not raise
+
+    def test_invalid_mode(self):
+        with pytest.raises(ValueError):
+            EarlyStopping(mode="median")
+
+    def test_min_delta(self):
+        model = self._model()
+        stopper = EarlyStopping(patience=1, mode="max", min_delta=0.1)
+        stopper.step(0.5, model)
+        assert not stopper.improved(0.55)
+        assert stopper.improved(0.65)
