@@ -8,6 +8,11 @@ paper's running-time analysis.
 
 Absolute seconds are NumPy-on-CPU and not comparable to the paper's GPU
 numbers; compare the *ordering* of the rows per column.
+
+A second section times node-classification training (full-batch epochs on
+the Table-2 graphs) and prints AdamGNN's per-phase breakdown from the
+:class:`~repro.utils.timing.PhaseTimer` hooks — the regression guard for
+the segment-kernel / structure-cache fast paths.
 """
 
 from typing import Dict
@@ -15,15 +20,21 @@ from typing import Dict
 import numpy as np
 import pytest
 
-from repro.datasets import load_graph_dataset
+from repro.datasets import load_graph_dataset, load_node_dataset
 from repro.training import TrainConfig
-from repro.training.experiment import make_graph_classifier
+from repro.training.experiment import (make_graph_classifier,
+                                       make_node_classifier)
 from repro.training.graph_trainer import GraphClassificationTrainer
+from repro.training.node_trainer import (NodeClassificationTrainer,
+                                         prepare_node_features)
 
 from .common import PAPER_TABLE4, comparison_table, emit, is_smoke
 
 MODELS = ("diffpool", "sagpool", "topkpool", "structpool", "adamgnn")
 DATASETS = ("nci1", "nci109", "proteins")
+
+NODE_MODELS = ("gcn", "gat", "adamgnn")
+NODE_DATASETS = ("cora", "citeseer", "acm")
 
 
 def generate_table4() -> str:
@@ -45,8 +56,52 @@ def generate_table4() -> str:
                             fmt="{:.2f}")
 
 
+def generate_node_epoch_times() -> str:
+    """Per-epoch training time (ms) for the node-classification models.
+
+    Uses :meth:`NodeClassificationTrainer.time_one_epoch`: full training
+    epochs, first epoch discarded (it pays the one-off structure-cache and
+    segment-plan builds), remainder averaged.  AdamGNN additionally prints
+    its phase breakdown.
+    """
+    datasets = ("cora",) if is_smoke() else NODE_DATASETS
+    epochs = 3 if is_smoke() else 8
+    lines = ["model      " + "".join(f"{d:>12s}" for d in datasets)]
+    phase_report = ""
+    for model_name in NODE_MODELS:
+        row = [f"{model_name:<11s}"]
+        for dataset_name in datasets:
+            data = load_node_dataset(dataset_name, seed=0)
+            features = prepare_node_features(data)
+            model = make_node_classifier(model_name, features.shape[1],
+                                         data.num_classes, seed=0)
+            trainer = NodeClassificationTrainer(TrainConfig(epochs=epochs))
+            mean_s, phases = trainer.time_one_epoch(model, data,
+                                                    epochs=epochs)
+            row.append(f"{mean_s * 1000.0:10.1f}ms")
+            if model_name == "adamgnn" and dataset_name == datasets[0]:
+                ordered = sorted(phases.items(), key=lambda kv: -kv[1])
+                phase_report = "\n".join(
+                    f"    {name:<16s}{seconds * 1000.0:8.2f} ms"
+                    for name, seconds in ordered)
+        lines.append("".join(row))
+    table = "\n".join(lines)
+    if phase_report:
+        table += (f"\n\nadamgnn phase breakdown ({datasets[0]}, "
+                  f"ms per epoch):\n{phase_report}")
+    return table
+
+
 @pytest.mark.benchmark(group="table4")
 def test_table4_epoch_time(benchmark):
     table = benchmark.pedantic(generate_table4, rounds=1, iterations=1)
     emit("Table 4: per-epoch training time (seconds)", table)
+    assert table
+
+
+@pytest.mark.benchmark(group="table4")
+def test_table4_node_epoch_time(benchmark):
+    table = benchmark.pedantic(generate_node_epoch_times, rounds=1,
+                               iterations=1)
+    emit("Table 4 (supplement): node-classification epoch time", table)
     assert table

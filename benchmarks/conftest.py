@@ -7,9 +7,24 @@ capture temporarily disabled (and therefore lands in redirected logs such
 as ``bench_output.txt``).
 """
 
+import pathlib
+
 import pytest
 
 from . import common
+
+_BENCH_DIR = pathlib.Path(__file__).parent
+
+
+def pytest_collection_modifyitems(items):
+    # Every benchmark regenerates a paper table (minutes each at full
+    # scope); mark them all slow so the tier-1 `pytest -x -q` run skips
+    # them by default (see addopts in pyproject.toml).  The hook fires for
+    # the whole session's items when pytest runs from the repo root, so
+    # restrict it to files under benchmarks/.
+    for item in items:
+        if _BENCH_DIR in pathlib.Path(str(item.fspath)).parents:
+            item.add_marker(pytest.mark.slow)
 
 
 @pytest.fixture(autouse=True)

@@ -9,7 +9,8 @@ trivial (i, i) pair (the ego itself is handled explicitly where needed).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
 
 import numpy as np
 import scipy.sparse as sp
@@ -33,6 +34,12 @@ class EgoNetworks:
     member: np.ndarray
     num_nodes: int
     radius: int
+    # Lazily-built CSR index over the pair list: ``_csr_order`` sorts pairs
+    # by ego and ``_csr_indptr[i]:_csr_indptr[i+1]`` spans node i's run, so
+    # members_of is O(deg) after a one-off O(P log P) build instead of an
+    # O(P) boolean scan per call.
+    _csr_index: Optional[Tuple[np.ndarray, np.ndarray]] = field(
+        default=None, init=False, repr=False, compare=False)
 
     @property
     def num_pairs(self) -> int:
@@ -44,7 +51,14 @@ class EgoNetworks:
 
     def members_of(self, node: int) -> np.ndarray:
         """Members of ``c_λ(node)`` excluding the ego itself."""
-        return self.member[self.ego == node]
+        if self._csr_index is None:
+            order = np.argsort(self.ego, kind="stable")
+            counts = np.bincount(self.ego, minlength=self.num_nodes)
+            indptr = np.zeros(self.num_nodes + 1, dtype=np.int64)
+            np.cumsum(counts, out=indptr[1:])
+            self._csr_index = (order, indptr)
+        order, indptr = self._csr_index
+        return self.member[order[indptr[node]:indptr[node + 1]]]
 
 
 def build_ego_networks(edge_index: np.ndarray, num_nodes: int,

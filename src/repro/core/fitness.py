@@ -20,8 +20,8 @@ from typing import Optional, Tuple
 import numpy as np
 
 from ..nn import Linear, Module, Parameter, init
-from ..tensor import (Tensor, gather_rows, leaky_relu, segment_mean,
-                      segment_softmax, sigmoid)
+from ..tensor import (Tensor, gather_rows, leaky_relu, rowwise_dot,
+                      segment_mean, segment_softmax, sigmoid)
 from .egonet import EgoNetworks
 
 
@@ -61,17 +61,20 @@ class FitnessScorer(Module):
         a_right = self.attention[d:]
         # aᵀ σ(W h_j ‖ W h_i) with σ applied before the projection is the
         # published form; split the dot product into member/ego halves.
-        member_part = gather_rows(wh, egos.member)
-        ego_part = gather_rows(wh, egos.ego)
-        logits = (leaky_relu(member_part) * a_left).sum(axis=-1) \
-            + (leaky_relu(ego_part) * a_right).sum(axis=-1)
+        # σ is elementwise, so the per-pair gather commutes with it and
+        # with the projection: compute both halves once per *node*, then
+        # gather per pair — O(N·d + P) instead of O(P·d), bit-identical.
+        act = leaky_relu(wh)
+        left = act @ a_left
+        right = act @ a_right
+        logits = gather_rows(left, egos.member) + gather_rows(right, egos.ego)
         # Normalise over the member's λ-neighbourhood: all pairs that share
         # the same member node compete (the Σ_{v_r ∈ N_j^λ} denominator).
         f_s = segment_softmax(logits, egos.member, egos.num_nodes)
         if not self.use_linearity:
             return f_s
-        dots = (gather_rows(h, egos.member) * gather_rows(h, egos.ego)
-                ).sum(axis=-1)
+        dots = rowwise_dot(gather_rows(h, egos.member),
+                           gather_rows(h, egos.ego))
         f_c = sigmoid(dots)
         return f_s * f_c
 

@@ -41,10 +41,10 @@ class FlybackAggregator(Module):
         d = h0.shape[-1]
         a_left = self.attention[:d]
         a_right = self.attention[d:]
-        right = (leaky_relu(h0) * a_right).sum(axis=-1)
+        right = leaky_relu(h0) @ a_right
         rows: List[Tensor] = []
         for message in messages:
-            left = (leaky_relu(self.transform(message)) * a_left).sum(axis=-1)
+            left = leaky_relu(self.transform(message)) @ a_left
             rows.append(left + right)
         return stack(rows, axis=0)
 

@@ -18,7 +18,8 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-from ..tensor import Tensor, clip, gather_rows, log, sigmoid, square_norm
+from ..tensor import (Tensor, clip, gather_rows, log, rowwise_dot, sigmoid,
+                      square_norm)
 from ..nn.losses import binary_cross_entropy_with_logits
 
 
@@ -79,6 +80,37 @@ def dense_reconstruction_loss(h: Tensor, adjacency: np.ndarray) -> Tensor:
                                             targets.reshape(-1))
 
 
+#: Sorted edge codes per (edge_index identity, num_nodes), so the per-epoch
+#: negative sampler skips the ``np.unique`` over a static edge list.  Entries
+#: pin their edge_index array, which keeps the identity key valid.
+_EDGE_CODE_CACHE: dict = {}
+_EDGE_CODE_CAPACITY = 32
+
+
+def _edge_codes(edge_index: np.ndarray, num_nodes: int) -> np.ndarray:
+    interface = edge_index.__array_interface__
+    key = (interface["data"][0], edge_index.shape, edge_index.strides,
+           int(num_nodes))
+    hit = _EDGE_CODE_CACHE.get(key)
+    if hit is not None:
+        return hit[1]
+    codes = np.unique(edge_index[0].astype(np.int64) * num_nodes
+                      + edge_index[1])
+    if len(_EDGE_CODE_CACHE) >= _EDGE_CODE_CAPACITY:
+        _EDGE_CODE_CACHE.pop(next(iter(_EDGE_CODE_CACHE)))
+    _EDGE_CODE_CACHE[key] = (edge_index, codes)
+    return codes
+
+
+def _is_edge(codes: np.ndarray, existing: np.ndarray) -> np.ndarray:
+    """Membership of ``codes`` in the sorted ``existing`` array."""
+    if existing.size == 0:
+        return np.zeros(codes.shape, dtype=bool)
+    pos = np.searchsorted(existing, codes)
+    pos[pos == existing.size] = existing.size - 1
+    return existing[pos] == codes
+
+
 def sample_non_edges(edge_index: np.ndarray, num_nodes: int, count: int,
                      rng: np.random.Generator) -> np.ndarray:
     """Sample ``count`` node pairs that are not observed edges.
@@ -87,27 +119,49 @@ def sample_non_edges(edge_index: np.ndarray, num_nodes: int, count: int,
     dense graphs a uniformly sampled "negative" colliding with an edge is
     acceptable noise for the estimator).
     """
-    existing = set(zip(edge_index[0].tolist(), edge_index[1].tolist()))
-    pairs = []
+    # Vectorised rejection sampling: draw candidate batches, reject
+    # self-loops and observed edges via a sorted-code membership test.
+    # This runs every training step, so the Python-level per-pair loop it
+    # replaces was a measurable slice of the epoch.
+    existing = _edge_codes(edge_index, num_nodes)
+    out_u: list = []
+    out_v: list = []
+    found = 0
     attempts = 0
-    while len(pairs) < count and attempts < 20 * max(count, 1):
-        u = int(rng.integers(0, num_nodes))
-        v = int(rng.integers(0, num_nodes))
-        attempts += 1
-        if u == v or (u, v) in existing:
-            continue
-        pairs.append((u, v))
-    while len(pairs) < count:
-        u = int(rng.integers(0, num_nodes))
-        v = int(rng.integers(0, num_nodes))
-        if u != v:
-            pairs.append((u, v))
-    return np.asarray(pairs, dtype=np.int64).T
+    budget = 20 * max(count, 1)
+    while found < count and attempts < budget:
+        m = min(max(2 * (count - found), 64), budget - attempts)
+        u = rng.integers(0, num_nodes, size=m)
+        v = rng.integers(0, num_nodes, size=m)
+        attempts += m
+        codes = u * num_nodes + v
+        keep = (u != v) & ~_is_edge(codes, existing)
+        u, v = u[keep], v[keep]
+        if u.size:
+            out_u.append(u)
+            out_v.append(v)
+            found += u.size
+    while found < count:
+        # Fallback acceptance: only self-loops are rejected from here on.
+        m = count - found
+        u = rng.integers(0, num_nodes, size=m)
+        v = rng.integers(0, num_nodes, size=m)
+        keep = u != v
+        u, v = u[keep], v[keep]
+        if u.size:
+            out_u.append(u)
+            out_v.append(v)
+            found += u.size
+    if not out_u:
+        return np.zeros((2, 0), dtype=np.int64)
+    pairs = np.stack([np.concatenate(out_u)[:count],
+                      np.concatenate(out_v)[:count]])
+    return pairs.astype(np.int64)
 
 
 def pair_logits(h: Tensor, pairs: np.ndarray) -> Tensor:
     """Inner-product decoder logits ``h_uᵀ h_v`` for ``(2, m)`` pairs."""
-    return (gather_rows(h, pairs[0]) * gather_rows(h, pairs[1])).sum(axis=-1)
+    return rowwise_dot(gather_rows(h, pairs[0]), gather_rows(h, pairs[1]))
 
 
 def sampled_reconstruction_loss(h: Tensor, edge_index: np.ndarray,
@@ -125,10 +179,16 @@ def sampled_reconstruction_loss(h: Tensor, edge_index: np.ndarray,
         return Tensor(0.0)
     negatives = sample_non_edges(edge_index, num_nodes, positives.shape[1],
                                  rng)
-    pairs = np.concatenate([positives, negatives], axis=1)
+    # Score positives and negatives separately: the positive pair rows are
+    # views of a static edge list, so their gathers reuse cached segment
+    # plans, whereas a concatenated pair array would be a fresh allocation
+    # (hence a plan-cache miss) every epoch.
+    from ..tensor import concat
+    logits = concat([pair_logits(h, positives), pair_logits(h, negatives)],
+                    axis=0)
     labels = np.concatenate([np.ones(positives.shape[1]),
                              np.zeros(negatives.shape[1])])
-    return binary_cross_entropy_with_logits(pair_logits(h, pairs), labels)
+    return binary_cross_entropy_with_logits(logits, labels)
 
 
 def link_probabilities(h: Tensor, pairs: np.ndarray) -> np.ndarray:

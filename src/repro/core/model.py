@@ -21,10 +21,11 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
-from ..graph import normalize_edges
+from ..graph import StructureCache, normalize_edges
 from ..layers import GCNConv, mean_max_readout
 from ..nn import Dropout, Linear, Module, ModuleList
 from ..tensor import Tensor, relu
+from ..utils.timing import profile_phase
 from .flyback import FlybackAggregator
 from .pooling import AdaptiveGraphPooling, PooledLevel
 from .unpooling import unpool
@@ -106,6 +107,11 @@ class AdamGNN(Module):
         self.dropout = Dropout(dropout,
                                rng=np.random.default_rng(int(seeds[-1])))
         self.hidden = hidden
+        # Plain attribute (not a Parameter/Module), so it stays out of
+        # state_dict and checkpoints.  Memoises level-0 structure — GCN
+        # normalisation and ego-network pair lists — across epochs; see
+        # repro.graph.cache.
+        self.structure_cache = StructureCache()
 
     def forward(self, x: Tensor, edge_index: np.ndarray,
                 edge_weight: Optional[np.ndarray] = None,
@@ -117,42 +123,56 @@ class AdamGNN(Module):
         normalisation happens internally at every level.
         """
         n = x.shape[0]
+        cache = self.structure_cache
         if edge_weight is None:
-            edge_weight = np.ones(edge_index.shape[1], dtype=np.float64)
+            # A stable ones array (not a fresh np.ones each call) so the
+            # identity-keyed structure/plan caches hit on epochs 2..N.
+            edge_weight = cache.unit_edge_weights(edge_index)
 
         x = self.dropout(x)
-        norm_e, norm_w = normalize_edges(edge_index, edge_weight, n)
-        h0 = relu(self.input_conv(x, norm_e, norm_w, num_nodes=n))
+        with profile_phase("normalize"):
+            # Level-0 structure is constant across epochs → memoised.
+            norm_e, norm_w = cache.normalized_edges(edge_index, edge_weight, n)
+        with profile_phase("conv"):
+            h0 = relu(self.input_conv(x, norm_e, norm_w, num_nodes=n))
 
         levels: List[PooledLevel] = []
         messages: List[Tensor] = []
         h = h0
         edges_k, weight_k, batch_k = edge_index, edge_weight, batch
-        for pooler, conv in zip(self.poolers, self.level_convs):
+        for k, (pooler, conv) in enumerate(zip(self.poolers,
+                                               self.level_convs)):
             if h.shape[0] < 2 or edges_k.shape[1] == 0:
                 break
-            level = pooler(h, edges_k, weight_k, batch=batch_k)
+            # Only level 0 sees the cache: pooled-level structure depends
+            # on learned fitness scores and must recompute every epoch.
+            level = pooler(h, edges_k, weight_k, batch=batch_k,
+                           cache=cache if k == 0 else None)
             m = level.num_hyper
             if m >= h.shape[0] or m < 1:
                 # No coarsening progress — extra levels would only repeat
                 # the same structure.
                 break
-            norm_e, norm_w = normalize_edges(level.edge_index,
-                                             level.edge_weight, m)
-            h = relu(conv(level.x, norm_e, norm_w, num_nodes=m))
+            with profile_phase("normalize"):
+                norm_e, norm_w = normalize_edges(level.edge_index,
+                                                 level.edge_weight, m)
+            with profile_phase("conv"):
+                h = relu(conv(level.x, norm_e, norm_w, num_nodes=m))
             levels.append(level)
-            messages.append(unpool([lvl.assignment for lvl in levels], h,
-                                   normalize=self.normalize_unpool))
+            with profile_phase("unpool"):
+                messages.append(unpool([lvl.assignment for lvl in levels], h,
+                                       normalize=self.normalize_unpool))
             edges_k, weight_k, batch_k = (level.edge_index,
                                           level.edge_weight, level.batch)
             if m < 2:
                 break
 
-        if self.use_flyback:
-            combined, beta = self.flyback(h0, messages)
-        else:
-            combined = h0
-            beta = Tensor(np.zeros((len(messages), n)))
+        with profile_phase("flyback"):
+            if self.use_flyback:
+                combined, beta = self.flyback(h0, messages)
+            else:
+                combined = h0
+                beta = Tensor(np.zeros((len(messages), n)))
 
         graph_repr = None
         if batch is not None:

@@ -19,9 +19,11 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from ..graph.cache import StructureCache
 from ..nn import Linear, Module, Parameter, init
 from ..tensor import (Tensor, gather_rows, leaky_relu, segment_softmax,
                       segment_sum)
+from ..utils.timing import profile_phase
 from .egonet import EgoNetworks, build_ego_networks, one_hop_neighbors
 from .fitness import FitnessScorer
 from .selection import (Assignment, build_assignment,
@@ -85,8 +87,8 @@ class HyperNodeFeatures(Module):
             ego_h = gather_rows(h, egos.ego[pair_idx])
             a_left = self.attention[:d]
             a_right = self.attention[d:]
-            logits = (leaky_relu(scaled) * a_left).sum(axis=-1) \
-                + (leaky_relu(ego_h) * a_right).sum(axis=-1)
+            logits = leaky_relu(scaled) @ a_left \
+                + leaky_relu(ego_h) @ a_right
             alpha = segment_softmax(logits, cols, n_sel)
             pooled = segment_sum(member_h * alpha.reshape(-1, 1), cols, n_sel)
             ego_features = ego_features + pooled
@@ -125,18 +127,39 @@ class AdaptiveGraphPooling(Module):
 
     def forward(self, h: Tensor, edge_index: np.ndarray,
                 edge_weight: np.ndarray,
-                batch: Optional[np.ndarray] = None) -> PooledLevel:
-        """Coarsen one level; see the module docstring for the steps."""
+                batch: Optional[np.ndarray] = None,
+                cache: Optional[StructureCache] = None) -> PooledLevel:
+        """Coarsen one level; see the module docstring for the steps.
+
+        ``cache`` memoises the (purely structural) ego-network pair lists;
+        the model passes its :class:`StructureCache` for the level-0 graph,
+        whose structure is constant across epochs.  Pooled-level graphs
+        depend on learned fitness and are never passed a cache.
+        """
         n = h.shape[0]
-        egos = build_ego_networks(edge_index, n, radius=self.radius)
-        neighbors = (egos if self.radius == 1
-                     else one_hop_neighbors(edge_index, n))
-        phi_pairs, phi_nodes = self.fitness(h, egos)
-        selected = select_egos(phi_nodes.data, neighbors, egos.sizes())
-        assignment = build_assignment(phi_pairs, egos, selected)
-        x_k = self.features(h, phi_pairs, egos, assignment)
-        new_edges, new_weight = hyper_graph_connectivity(
-            assignment, edge_index, edge_weight)
+        with profile_phase("egonet"):
+            if cache is not None:
+                egos = cache.get(
+                    "ego-networks", (edge_index,), (n, self.radius),
+                    lambda: build_ego_networks(edge_index, n,
+                                               radius=self.radius))
+                neighbors = (egos if self.radius == 1 else cache.get(
+                    "ego-networks", (edge_index,), (n, 1),
+                    lambda: one_hop_neighbors(edge_index, n)))
+            else:
+                egos = build_ego_networks(edge_index, n, radius=self.radius)
+                neighbors = (egos if self.radius == 1
+                             else one_hop_neighbors(edge_index, n))
+        with profile_phase("fitness"):
+            phi_pairs, phi_nodes = self.fitness(h, egos)
+        with profile_phase("selection"):
+            selected = select_egos(phi_nodes.data, neighbors, egos.sizes())
+            assignment = build_assignment(phi_pairs, egos, selected)
+        with profile_phase("hyper_features"):
+            x_k = self.features(h, phi_pairs, egos, assignment)
+        with profile_phase("connectivity"):
+            new_edges, new_weight = hyper_graph_connectivity(
+                assignment, edge_index, edge_weight)
         new_batch = None if batch is None else batch[assignment.seed_of_col]
         return PooledLevel(x=x_k, edge_index=new_edges,
                            edge_weight=new_weight, assignment=assignment,

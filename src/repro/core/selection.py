@@ -76,8 +76,9 @@ def select_egos(phi_nodes: np.ndarray, neighbors: EgoNetworks,
     ego, nbr = neighbors.ego, neighbors.member
     better = (phi_nodes[ego] > phi_nodes[nbr]) | (
         (phi_nodes[ego] == phi_nodes[nbr]) & (ego < nbr))
-    loses = np.zeros(n, dtype=bool)
-    np.logical_or.at(loses, ego, ~better)
+    # bincount over the losing pairs replaces np.logical_or.at, which is an
+    # unbuffered per-pair scatter loop.
+    loses = np.bincount(ego[~better], minlength=n) > 0
     has_members = ego_sizes > 0
     return np.flatnonzero(~loses & has_members)
 

@@ -16,22 +16,46 @@ from .graph import Graph
 
 def normalize_edges(edge_index: np.ndarray, edge_weight: np.ndarray,
                     num_nodes: int, add_self_loops: bool = True,
+                    validate: bool = True,
                     ) -> Tuple[np.ndarray, np.ndarray]:
     """Array-level form of :func:`gcn_normalization`.
 
     Used inside pooling pipelines where the coarsened graph exists only as
     ``(edge_index, edge_weight)`` arrays, not a :class:`Graph`.
+
+    The degree ``d̂_i`` is computed from outgoing edges, which is only
+    correct when the edge list is symmetric (every undirected edge appears
+    in both directions, as all loaders and pooling stages in this library
+    produce).  A one-directional edge list would silently yield asymmetric,
+    wrong GCN weights — e.g. edge {0, 1} given only as ``[[0], [1]]`` gives
+    node 1 a degree that misses the edge entirely.  ``validate=True``
+    therefore checks the cheap necessary condition that weighted in- and
+    out-degrees agree, and raises ``ValueError`` for asymmetric inputs
+    (symmetrise with :meth:`Graph.to_undirected` first, or pass
+    ``validate=False`` if the edge list is known-symmetric).
     """
     edge_index = np.asarray(edge_index, dtype=np.int64)
     edge_weight = np.asarray(edge_weight, dtype=np.float64)
+    if validate and edge_index.size:
+        out_deg = np.bincount(edge_index[0], weights=edge_weight,
+                              minlength=num_nodes)
+        in_deg = np.bincount(edge_index[1], weights=edge_weight,
+                             minlength=num_nodes)
+        # allclose, not exact: pooled hyper-graph weights (S^T Â S) are
+        # symmetric only up to floating-point summation order.
+        if not np.allclose(out_deg, in_deg, rtol=1e-6, atol=1e-9):
+            raise ValueError(
+                "normalize_edges requires a symmetric edge list (every "
+                "undirected edge in both directions): weighted in-degrees "
+                "and out-degrees disagree. Symmetrise the graph (e.g. "
+                "Graph.to_undirected()) or pass validate=False.")
     if add_self_loops:
         loops = np.arange(num_nodes, dtype=np.int64)
         edge_index = np.concatenate([edge_index, np.stack([loops, loops])],
                                     axis=1)
         edge_weight = np.concatenate([edge_weight, np.ones(num_nodes)])
     src, dst = edge_index
-    degree = np.zeros(num_nodes, dtype=np.float64)
-    np.add.at(degree, src, edge_weight)
+    degree = np.bincount(src, weights=edge_weight, minlength=num_nodes)
     inv_sqrt = np.zeros_like(degree)
     positive = degree > 0
     inv_sqrt[positive] = 1.0 / np.sqrt(degree[positive])
@@ -67,6 +91,11 @@ def degree_features(graph: Graph, max_degree: int | None = None) -> np.ndarray:
     ``x = None``: node degree, capped at ``max_degree``, one-hot encoded.
     """
     degree = graph.to_undirected().degrees().astype(np.int64)
+    if degree.size == 0:
+        # Zero-node graph: degree.max() would raise on an empty array; the
+        # feature width must still be well-defined for downstream stacking.
+        cap = max(max_degree if max_degree is not None else 0, 1)
+        return np.zeros((0, cap + 1), dtype=np.float64)
     cap = int(degree.max()) if max_degree is None else max_degree
     cap = max(cap, 1)
     clipped = np.minimum(degree, cap)

@@ -50,8 +50,8 @@ class GATConv(Module):
         src, dst = edge_index
 
         h = self.linear(x)
-        logit_src = (h * self.att_src).sum(axis=-1)
-        logit_dst = (h * self.att_dst).sum(axis=-1)
+        logit_src = h @ self.att_src
+        logit_dst = h @ self.att_dst
         logits = leaky_relu(gather_rows(logit_src, src)
                             + gather_rows(logit_dst, dst),
                             self.negative_slope)

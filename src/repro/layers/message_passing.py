@@ -8,12 +8,15 @@ concrete layers stay close to their published equations.
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from collections import OrderedDict
+from typing import Callable, Optional, Tuple
 
 import numpy as np
+import scipy.sparse as sp
 
-from ..tensor import (Tensor, gather_rows, segment_max, segment_mean,
-                      segment_sum)
+from ..tensor import (Tensor, fast_kernels_enabled, gather_rows, segment_max,
+                      segment_mean, segment_sum)
+from ..tensor._segment_plans import _array_key
 
 #: Supported reduction names → segment reducers.
 _REDUCERS = {
@@ -21,6 +24,50 @@ _REDUCERS = {
     "mean": segment_mean,
     "max": segment_max,
 }
+
+#: Cached ``(Â, Âᵀ)`` CSR operators keyed by the memory identity of the
+#: (src, dst, weight) arrays, so the sum-reduce fast path below pays the
+#: sparse build once per static graph instead of once per call.  Entries pin
+#: their source arrays (same contract as the segment-plan cache).
+_ADJ_CACHE: "OrderedDict[Tuple, Tuple]" = OrderedDict()
+_ADJ_CAPACITY = 64
+
+
+def _adjacency_for(src: np.ndarray, dst: np.ndarray,
+                   edge_weight: Optional[np.ndarray],
+                   num_out: int, num_in: int):
+    key = (_array_key(src), _array_key(dst),
+           None if edge_weight is None else _array_key(edge_weight),
+           num_out, num_in)
+    hit = _ADJ_CACHE.get(key)
+    if hit is not None:
+        _ADJ_CACHE.move_to_end(key)
+        return hit[1]
+    data = (np.ones(src.shape[0])
+            if edge_weight is None
+            else np.asarray(edge_weight, dtype=np.float64))
+    forward_op = sp.csr_matrix((data, (dst, src)), shape=(num_out, num_in))
+    backward_op = sp.csr_matrix((data, (src, dst)), shape=(num_in, num_out))
+    pair = (forward_op, backward_op)
+    _ADJ_CACHE[key] = ((src, dst, edge_weight), pair)
+    if len(_ADJ_CACHE) > _ADJ_CAPACITY:
+        _ADJ_CACHE.popitem(last=False)
+    return pair
+
+
+def _spmm(x: Tensor, forward_op, backward_op) -> Tensor:
+    """``Â @ x`` with a constant sparse operator; backward is ``Âᵀ @ grad``.
+
+    One sparse-dense product replaces the gather → weight → segment-sum
+    chain, which materialised three ``(E, d)`` temporaries per call.
+    """
+
+    out_data = forward_op @ x.data
+
+    def backward(grad: np.ndarray) -> None:
+        x._accumulate(backward_op @ np.ascontiguousarray(grad))
+
+    return x._make_child(out_data, (x,), backward)
 
 
 def propagate(x: Tensor, edge_index: np.ndarray, num_nodes: int,
@@ -50,6 +97,13 @@ def propagate(x: Tensor, edge_index: np.ndarray, num_nodes: int,
     if reduce not in _REDUCERS:
         raise ValueError(f"unknown reduce {reduce!r}; choose from {sorted(_REDUCERS)}")
     src, dst = edge_index
+    if (reduce == "sum" and message_fn is None and x.data.ndim == 2
+            and fast_kernels_enabled()):
+        # Weighted-sum aggregation is a sparse matrix product; the edge
+        # weights carry no gradient (they are detached normalisations or
+        # relation strengths), so the operator is a constant.
+        ops = _adjacency_for(src, dst, edge_weight, num_nodes, x.data.shape[0])
+        return _spmm(x, *ops)
     messages = gather_rows(x, src)
     if message_fn is not None:
         messages = message_fn(messages)

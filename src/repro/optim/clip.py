@@ -19,7 +19,9 @@ def clip_grad_norm(params: Iterable[Parameter], max_norm: float) -> float:
     if total > max_norm and total > 0:
         scale = max_norm / total
         for p in params:
-            p.grad *= scale
+            # Out of place: a parameter's grad buffer may be shared with an
+            # interior node of the autograd graph (see Tensor._accumulate).
+            p.grad = p.grad * scale
     return total
 
 
@@ -27,4 +29,5 @@ def clip_grad_value(params: Iterable[Parameter], max_value: float) -> None:
     """Clamp each gradient element to ``[-max_value, max_value]``."""
     for p in params:
         if p.grad is not None:
-            np.clip(p.grad, -max_value, max_value, out=p.grad)
+            # Out of place for the same aliasing reason as clip_grad_norm.
+            p.grad = np.clip(p.grad, -max_value, max_value)

@@ -2,20 +2,25 @@
 
 from .tensor import DEFAULT_DTYPE, Tensor
 from .ops import (absolute, clip, concat, dropout, elu, exp, gather_rows,
-                  leaky_relu, log, log_softmax, matmul, relu, sigmoid,
-                  softmax, sqrt, square_norm, stack, tanh, where)
+                  leaky_relu, log, log_softmax, matmul, relu, rowwise_dot,
+                  sigmoid, softmax, sqrt, square_norm, stack, tanh, where)
 from .segment import (segment_count, segment_max, segment_mean,
                       segment_normalize, segment_softmax, segment_sum)
+from ._segment_plans import (SegmentReductionPlan, clear_plan_cache,
+                             fast_kernels_enabled, naive_kernels,
+                             plan_cache_stats, plan_for, scatter_add_rows)
 from .gradcheck import assert_gradients_close, check_gradients, numeric_gradient
 from .random import make_rng, spawn
 
 __all__ = [
     "DEFAULT_DTYPE", "Tensor",
     "absolute", "clip", "concat", "dropout", "elu", "exp", "gather_rows",
-    "leaky_relu", "log", "log_softmax", "matmul", "relu", "sigmoid",
-    "softmax", "sqrt", "square_norm", "stack", "tanh", "where",
+    "leaky_relu", "log", "log_softmax", "matmul", "relu", "rowwise_dot",
+    "sigmoid", "softmax", "sqrt", "square_norm", "stack", "tanh", "where",
     "segment_count", "segment_max", "segment_mean", "segment_normalize",
     "segment_softmax", "segment_sum",
+    "SegmentReductionPlan", "clear_plan_cache", "fast_kernels_enabled",
+    "naive_kernels", "plan_cache_stats", "plan_for", "scatter_add_rows",
     "assert_gradients_close", "check_gradients", "numeric_gradient",
     "make_rng", "spawn",
 ]

@@ -1,0 +1,220 @@
+"""Sorted-reduction plans for the segment/scatter kernels.
+
+``np.add.at`` / ``np.maximum.at`` are unbuffered scatter loops and run
+10-100x slower than NumPy's vectorised reductions.  Every segment reduction
+over the same ``segment_ids`` array can instead share one *plan*: argsort
+the ids once, then every sum/max over those ids becomes a gather into
+sorted order followed by a single ``ufunc.reduceat`` sweep.
+
+Plans are cached per ids array.  The cache key is the array's memory
+identity (data pointer, shape, strides, dtype), not its contents, so a hit
+costs O(1) regardless of how many pairs the array holds, and two NumPy
+*views* of the same rows (e.g. ``src, dst = edge_index`` unpacked freshly
+each forward pass) resolve to the same plan.  Each cache entry keeps a
+strong reference to its ids array, which pins the memory and guarantees the
+key can never alias a different live array.  The one contract this imposes
+on callers: segment-id arrays must be treated as immutable while in use
+(all structural arrays in this library already are).
+
+The module depends only on NumPy/SciPy, so both :mod:`repro.tensor.ops`
+and :mod:`repro.tensor.segment` can build on it without an import cycle.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from contextlib import contextmanager
+from typing import Iterator, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+#: Upper bound on cached plans; LRU-evicted beyond this.  Each entry pins
+#: its ids array, so the bound also caps the pinned memory.
+PLAN_CACHE_CAPACITY = 256
+
+#: 2-D segment sums switch from ``add.reduceat`` to a CSR sparse-dense
+#: product at this many input rows — below it the matrix build costs more
+#: than it saves.
+_SPARSE_MIN_ROWS = 512
+
+_FAST = True
+
+
+def fast_kernels_enabled() -> bool:
+    """Whether the sorted-reduction kernels are active (default True)."""
+    return _FAST
+
+
+@contextmanager
+def naive_kernels() -> Iterator[None]:
+    """Context manager forcing the original ``ufunc.at`` code paths.
+
+    Exists so the test suite can run the fast kernels against the old
+    semantics on identical inputs; has no production use.
+    """
+    global _FAST
+    previous = _FAST
+    _FAST = False
+    try:
+        yield
+    finally:
+        _FAST = previous
+
+
+class SegmentReductionPlan:
+    """One ids array, argsorted once, reusable for any reduction over it.
+
+    Attributes
+    ----------
+    ids:
+        The segment-id array the plan was built for (pinned).
+    num_segments:
+        Number of output rows.
+    order:
+        Permutation sorting ``ids`` (stable, so reductions over equal ids
+        keep the original relative order — relevant for float summation).
+    starts:
+        Index into the sorted order where each *present* segment begins.
+    present:
+        The distinct segment ids, ascending (one per ``starts`` entry).
+    counts:
+        Per-segment element counts, length ``num_segments``.
+    """
+
+    __slots__ = ("ids", "num_segments", "order", "starts", "present",
+                 "_counts", "_scatter_matrix")
+
+    def __init__(self, ids: np.ndarray, num_segments: int):
+        self.ids = ids
+        self.num_segments = int(num_segments)
+        order = np.argsort(ids, kind="stable")
+        sorted_ids = ids[order]
+        if sorted_ids.size:
+            boundary = np.empty(sorted_ids.size, dtype=bool)
+            boundary[0] = True
+            np.not_equal(sorted_ids[1:], sorted_ids[:-1], out=boundary[1:])
+            starts = np.flatnonzero(boundary)
+            present = sorted_ids[starts]
+        else:
+            starts = np.zeros(0, dtype=np.int64)
+            present = np.zeros(0, dtype=np.int64)
+        self.order = order
+        self.starts = starts
+        self.present = present
+        self._counts = None
+        self._scatter_matrix = None
+
+    @property
+    def counts(self) -> np.ndarray:
+        if self._counts is None:
+            self._counts = np.bincount(self.ids,
+                                       minlength=self.num_segments)
+        return self._counts
+
+    @property
+    def scatter_matrix(self) -> sp.csr_matrix:
+        """``(num_segments, len(ids))`` CSR selector: row s hits its rows.
+
+        A sparse-dense product with this matrix is the fastest segment-sum
+        for wide 2-D values (single C pass, no (P, d) gather materialised).
+        Built lazily — 1-D reductions never need it.
+        """
+        if self._scatter_matrix is None:
+            # The plan already holds the CSR structure: row s of the
+            # selector covers positions ``order[indptr[s]:indptr[s+1]]``
+            # (ascending, because the argsort is stable), so the matrix is
+            # assembled directly — no COO round-trip, no transpose/sort.
+            p = self.ids.shape[0]
+            indptr = np.zeros(self.num_segments + 1, dtype=np.int64)
+            np.cumsum(self.counts, out=indptr[1:])
+            self._scatter_matrix = sp.csr_matrix(
+                (np.ones(p), self.order, indptr),
+                shape=(self.num_segments, p))
+        return self._scatter_matrix
+
+    def sum(self, values: np.ndarray,
+            dtype: np.dtype = np.float64) -> np.ndarray:
+        """``out[s] = Σ_{i: ids[i]==s} values[i]``; empty segments are 0."""
+        if values.ndim == 1:
+            out = np.bincount(self.ids, weights=values,
+                              minlength=self.num_segments)
+            return out if out.dtype == dtype else out.astype(dtype)
+        if values.ndim == 2 and values.shape[0] and (
+                self._scatter_matrix is not None
+                or values.shape[0] >= _SPARSE_MIN_ROWS):
+            # Sparse-dense product: fastest for wide inputs, but the CSR
+            # build is not free, so small one-shot plans (fresh pooled-level
+            # ids every epoch) take the reduceat path below instead.
+            out = self.scatter_matrix @ np.ascontiguousarray(
+                values, dtype=np.float64)
+            return out if out.dtype == dtype else out.astype(dtype)
+        out = np.zeros((self.num_segments,) + values.shape[1:], dtype=dtype)
+        if self.starts.size:
+            out[self.present] = np.add.reduceat(values[self.order],
+                                                self.starts, axis=0)
+        return out
+
+    def max(self, values: np.ndarray,
+            dtype: np.dtype = np.float64) -> np.ndarray:
+        """Per-segment maximum; empty or non-finite segments yield 0.
+
+        Matches the semantics of the original ``np.maximum.at`` kernel,
+        which seeded with ``-inf`` and zeroed every non-finite result.
+        """
+        out = np.zeros((self.num_segments,) + values.shape[1:], dtype=dtype)
+        if self.starts.size:
+            peak = np.maximum.reduceat(values[self.order], self.starts,
+                                       axis=0)
+            out[self.present] = np.where(np.isfinite(peak), peak, 0.0)
+        return out
+
+
+def _array_key(arr: np.ndarray) -> Tuple:
+    interface = arr.__array_interface__
+    return (interface["data"][0], arr.shape, arr.strides, arr.dtype.str)
+
+
+_CACHE: "OrderedDict[Tuple, SegmentReductionPlan]" = OrderedDict()
+_HITS = 0
+_MISSES = 0
+
+
+def plan_for(ids: np.ndarray, num_segments: int) -> SegmentReductionPlan:
+    """Return the (possibly cached) reduction plan for ``ids``."""
+    global _HITS, _MISSES
+    key = _array_key(ids) + (int(num_segments),)
+    plan = _CACHE.get(key)
+    if plan is not None:
+        _HITS += 1
+        _CACHE.move_to_end(key)
+        return plan
+    _MISSES += 1
+    plan = SegmentReductionPlan(ids, num_segments)
+    _CACHE[key] = plan
+    if len(_CACHE) > PLAN_CACHE_CAPACITY:
+        _CACHE.popitem(last=False)
+    return plan
+
+
+def scatter_add_rows(values: np.ndarray, ids: np.ndarray,
+                     num_rows: int) -> np.ndarray:
+    """Fast ``np.add.at(zeros, ids, values)`` for 1-D integer ``ids``.
+
+    This is the backward pass of every row gather (``x[idx]``), which is
+    the single hottest scatter in training.
+    """
+    return plan_for(ids, num_rows).sum(values, dtype=np.float64)
+
+
+def plan_cache_stats() -> Tuple[int, int, int]:
+    """``(hits, misses, live_entries)`` — diagnostics for tests/benches."""
+    return _HITS, _MISSES, len(_CACHE)
+
+
+def clear_plan_cache() -> None:
+    """Drop all cached plans (releases the pinned ids arrays)."""
+    global _HITS, _MISSES
+    _CACHE.clear()
+    _HITS = 0
+    _MISSES = 0

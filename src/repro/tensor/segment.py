@@ -9,14 +9,22 @@ module provides the reductions.
 output segment; segments need not be sorted or contiguous.  Empty segments
 yield zeros (sum/mean) or zeros (max, by convention, so that isolated nodes
 keep a well-defined state).
+
+Since the Table-4 performance pass, every reduction runs through a
+:class:`~repro.tensor._segment_plans.SegmentReductionPlan` — the ids array
+is argsorted once, cached by memory identity, and each forward *and*
+backward reduction over it is a single ``ufunc.reduceat`` sweep instead of
+an unbuffered ``np.add.at`` / ``np.maximum.at`` scatter loop.  The original
+scatter-loop kernels are retained (reachable via
+:func:`repro.tensor._segment_plans.naive_kernels`) so the test suite can
+check the fast paths against the old semantics on identical inputs.
 """
 
 from __future__ import annotations
 
-from typing import Optional
-
 import numpy as np
 
+from . import _segment_plans as _plans
 from .ops import exp, gather_rows
 from .tensor import DEFAULT_DTYPE, ArrayLike, Tensor
 
@@ -34,6 +42,22 @@ def _check_ids(segment_ids: np.ndarray, num_segments: int, n_rows: int) -> np.nd
     return ids
 
 
+def _naive_segment_sum(data: np.ndarray, ids: np.ndarray,
+                       num_segments: int) -> np.ndarray:
+    out = np.zeros((num_segments,) + data.shape[1:], dtype=DEFAULT_DTYPE)
+    np.add.at(out, ids, data)
+    return out
+
+
+def _naive_segment_max(data: np.ndarray, ids: np.ndarray,
+                       num_segments: int) -> np.ndarray:
+    out = np.full((num_segments,) + data.shape[1:], -np.inf,
+                  dtype=DEFAULT_DTYPE)
+    np.maximum.at(out, ids, data)
+    out[~np.isfinite(out)] = 0.0
+    return out
+
+
 def segment_sum(values: ArrayLike, segment_ids: np.ndarray,
                 num_segments: int) -> Tensor:
     """Sum rows of ``values`` into ``num_segments`` output rows.
@@ -42,9 +66,11 @@ def segment_sum(values: ArrayLike, segment_ids: np.ndarray,
     """
     values = values if isinstance(values, Tensor) else Tensor(values)
     ids = _check_ids(segment_ids, num_segments, values.data.shape[0])
-    out_shape = (num_segments,) + values.data.shape[1:]
-    out_data = np.zeros(out_shape, dtype=DEFAULT_DTYPE)
-    np.add.at(out_data, ids, values.data)
+    if _plans.fast_kernels_enabled():
+        plan = _plans.plan_for(ids, num_segments)
+        out_data = plan.sum(values.data, dtype=DEFAULT_DTYPE)
+    else:
+        out_data = _naive_segment_sum(values.data, ids, num_segments)
 
     def backward(grad: np.ndarray) -> None:
         values._accumulate(grad[ids])
@@ -76,17 +102,20 @@ def segment_max(values: ArrayLike, segment_ids: np.ndarray,
     """
     values = values if isinstance(values, Tensor) else Tensor(values)
     ids = _check_ids(segment_ids, num_segments, values.data.shape[0])
-    out_shape = (num_segments,) + values.data.shape[1:]
-    out_data = np.full(out_shape, -np.inf, dtype=DEFAULT_DTYPE)
-    np.maximum.at(out_data, ids, values.data)
-    empty = ~np.isfinite(out_data)
-    out_data[empty] = 0.0
+    fast = _plans.fast_kernels_enabled()
+    if fast:
+        plan = _plans.plan_for(ids, num_segments)
+        out_data = plan.max(values.data, dtype=DEFAULT_DTYPE)
+    else:
+        out_data = _naive_segment_max(values.data, ids, num_segments)
 
     def backward(grad: np.ndarray) -> None:
         winners = (values.data == out_data[ids]).astype(DEFAULT_DTYPE)
         # Split gradient among ties within each segment.
-        tie_counts = np.zeros(out_shape, dtype=DEFAULT_DTYPE)
-        np.add.at(tie_counts, ids, winners)
+        if fast:
+            tie_counts = plan.sum(winners, dtype=DEFAULT_DTYPE)
+        else:
+            tie_counts = _naive_segment_sum(winners, ids, num_segments)
         tie_counts = np.maximum(tie_counts, 1.0)
         values._accumulate(winners * grad[ids] / tie_counts[ids])
 
@@ -101,22 +130,40 @@ def segment_softmax(scores: ArrayLike, segment_ids: np.ndarray,
     fitness score f_s in Eq. 2 of the paper: scores on edges incident to the
     same target node are normalised to a probability distribution.
 
-    Built compositionally from :func:`segment_max`, :func:`exp`,
-    :func:`segment_sum` and :func:`gather_rows`, so the backward pass comes
-    from autograd and is exact.
+    The fast path is a fused kernel: one plan-based max (stabilisation), one
+    exp, one plan-based sum, and an analytic backward
+    ``ds = out * (g - Σ_segment g·out)`` — the exact softmax Jacobian-vector
+    product, identical to what autograd derives for the compositional form.
     """
     scores = scores if isinstance(scores, Tensor) else Tensor(scores)
     ids = _check_ids(segment_ids, num_segments, scores.data.shape[0])
-    # Stabilise with the (non-differentiable) per-segment max: subtracting a
-    # constant per segment does not change the softmax value or gradient.
-    seg_peak = np.full((num_segments,) + scores.data.shape[1:], -np.inf,
-                       dtype=DEFAULT_DTYPE)
-    np.maximum.at(seg_peak, ids, scores.data)
-    seg_peak[~np.isfinite(seg_peak)] = 0.0
+    if not _plans.fast_kernels_enabled():
+        return _segment_softmax_reference(scores, ids, num_segments)
+
+    plan = _plans.plan_for(ids, num_segments)
+    # Subtracting the per-segment max is a constant shift: it changes
+    # neither the value nor the gradient of the softmax.
+    peak = plan.max(scores.data, dtype=DEFAULT_DTYPE)
+    e = np.exp(scores.data - peak[ids])
+    denom = plan.sum(e, dtype=DEFAULT_DTYPE)
+    # Guard empty segments (no entries reference them, value is irrelevant).
+    denom[denom == 0.0] = 1.0
+    out_data = e / denom[ids]
+
+    def backward(grad: np.ndarray) -> None:
+        dot = plan.sum(grad * out_data, dtype=DEFAULT_DTYPE)
+        scores._accumulate(out_data * (grad - dot[ids]))
+
+    return scores._make_child(out_data, (scores,), backward)
+
+
+def _segment_softmax_reference(scores: Tensor, ids: np.ndarray,
+                               num_segments: int) -> Tensor:
+    """Original compositional softmax; backward comes from autograd."""
+    seg_peak = _naive_segment_max(scores.data, ids, num_segments)
     shifted = scores - Tensor(seg_peak[ids])
     numer = exp(shifted)
     denom = segment_sum(numer, ids, num_segments)
-    # Guard empty segments (no entries reference them, value is irrelevant).
     denom_safe = denom + Tensor((denom.data == 0).astype(DEFAULT_DTYPE))
     return numer / gather_rows(denom_safe, ids)
 

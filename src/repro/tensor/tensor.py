@@ -24,6 +24,8 @@ from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from . import _segment_plans as _plans
+
 Number = Union[int, float]
 ArrayLike = Union[Number, Sequence, np.ndarray, "Tensor"]
 
@@ -65,7 +67,8 @@ class Tensor:
         receive a ``.grad`` buffer on :meth:`backward`.
     """
 
-    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents")
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents",
+                 "_grad_owned")
 
     def __init__(self, data: ArrayLike, requires_grad: bool = False):
         if isinstance(data, Tensor):
@@ -82,6 +85,7 @@ class Tensor:
         self.requires_grad: bool = bool(requires_grad)
         self._backward: Optional[Callable[[np.ndarray], None]] = None
         self._parents: Tuple["Tensor", ...] = ()
+        self._grad_owned: bool = False
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -165,12 +169,25 @@ class Tensor:
         return out
 
     def _accumulate(self, grad: np.ndarray) -> None:
-        """Add ``grad`` into this tensor's gradient buffer."""
+        """Add ``grad`` into this tensor's gradient buffer.
+
+        Copy-on-write: the first contribution is adopted by reference (the
+        arrays handed in by backward closures are freshly computed, so
+        copying them only to add later contributions is wasted work for the
+        common single-contribution case).  A second contribution allocates
+        an owned buffer; from then on accumulation is in place.  Nothing in
+        this library mutates ``.grad`` in place from the outside — see
+        ``optim/clip.py``, which is deliberately out-of-place.
+        """
         grad = _unbroadcast(np.asarray(grad, dtype=DEFAULT_DTYPE), self.data.shape)
         if self.grad is None:
-            self.grad = grad.copy()
-        else:
+            self.grad = grad
+            self._grad_owned = False
+        elif self._grad_owned:
             self.grad += grad
+        else:
+            self.grad = self.grad + grad
+            self._grad_owned = True
 
     def backward(self, grad: Optional[ArrayLike] = None) -> None:
         """Run reverse-mode differentiation from this tensor.
@@ -224,6 +241,7 @@ class Tensor:
     def zero_grad(self) -> None:
         """Drop the accumulated gradient."""
         self.grad = None
+        self._grad_owned = False
 
     # ------------------------------------------------------------------
     # Arithmetic (broadcasting, both tensor and scalar operands)
@@ -372,9 +390,16 @@ class Tensor:
         out_data = self.data[index]
 
         def backward(grad: np.ndarray) -> None:
-            full = np.zeros_like(self.data, dtype=DEFAULT_DTYPE)
-            np.add.at(full, index, grad)
-            self._accumulate(full)
+            if (isinstance(index, np.ndarray) and index.ndim == 1
+                    and index.dtype.kind in "iu"
+                    and _plans.fast_kernels_enabled()):
+                self._accumulate(_plans.scatter_add_rows(
+                    grad, index.astype(np.int64, copy=False),
+                    self.data.shape[0]))
+            else:
+                full = np.zeros_like(self.data, dtype=DEFAULT_DTYPE)
+                np.add.at(full, index, grad)
+                self._accumulate(full)
 
         return self._make_child(out_data, (self,), backward)
 

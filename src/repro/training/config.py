@@ -25,6 +25,7 @@ class TrainConfig:
     use_recon: bool = True    #: include L_R (ablation hook, Table 3)
     seed: int = 0
     verbose: bool = False
+    profile: bool = False     #: collect per-epoch phase timings (Table 4)
 
     def __post_init__(self) -> None:
         if self.epochs < 1:

@@ -9,9 +9,10 @@ loss tensor (DiffPool's link/entropy terms, zero for most baselines) or an
 
 from __future__ import annotations
 
+import contextlib
 import time
 from dataclasses import dataclass, field
-from typing import Iterator, List, Optional
+from typing import Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
@@ -22,6 +23,7 @@ from ..graph import GraphBatch
 from ..nn import Module, cross_entropy
 from ..optim import Adam, clip_grad_norm
 from ..tensor import Tensor
+from ..utils.timing import PhaseTimer, profile_phase
 from .config import TrainConfig
 from .early_stopping import EarlyStopping
 from .metrics import accuracy
@@ -37,6 +39,8 @@ class GraphTrainResult:
     seconds: float
     seconds_per_epoch: float
     history: List[float] = field(default_factory=list)
+    #: mean seconds per phase per epoch (only with ``config.profile``)
+    phase_seconds: Optional[Dict[str, float]] = None
 
 
 def iterate_batches(dataset: GraphDataset, index: np.ndarray,
@@ -104,26 +108,36 @@ class GraphClassificationTrainer:
         history: List[float] = []
         start = time.time()
         epochs_run = 0
+        profiler = PhaseTimer() if cfg.profile else None
+        scope = profiler.activate() if profiler else contextlib.nullcontext()
 
-        for epoch in range(cfg.epochs):
-            epochs_run = epoch + 1
-            model.train()
-            for batch in iterate_batches(dataset, dataset.train_index,
-                                         cfg.batch_size, rng=rng):
-                model.zero_grad()
-                logits, extra = _model_forward(model, batch)
-                loss = self._loss(logits, extra, batch, rng)
-                loss.backward()
-                if cfg.grad_clip:
-                    clip_grad_norm(model.parameters(), cfg.grad_clip)
-                optimizer.step()
+        with scope:
+            for epoch in range(cfg.epochs):
+                epochs_run = epoch + 1
+                model.train()
+                for batch in iterate_batches(dataset, dataset.train_index,
+                                             cfg.batch_size, rng=rng):
+                    model.zero_grad()
+                    with profile_phase("forward"):
+                        logits, extra = _model_forward(model, batch)
+                    with profile_phase("loss"):
+                        loss = self._loss(logits, extra, batch, rng)
+                    with profile_phase("backward"):
+                        loss.backward()
+                    with profile_phase("optimizer"):
+                        if cfg.grad_clip:
+                            clip_grad_norm(model.parameters(), cfg.grad_clip)
+                        optimizer.step()
 
-            val_acc = self.evaluate(model, dataset, dataset.val_index)
-            history.append(val_acc)
-            if cfg.verbose:
-                print(f"epoch {epoch:3d}  val {val_acc:.4f}")
-            if stopper.step(val_acc, model):
-                break
+                with profile_phase("eval"):
+                    val_acc = self.evaluate(model, dataset, dataset.val_index)
+                history.append(val_acc)
+                if profiler:
+                    profiler.end_epoch()
+                if cfg.verbose:
+                    print(f"epoch {epoch:3d}  val {val_acc:.4f}")
+                if stopper.step(val_acc, model):
+                    break
 
         elapsed = time.time() - start
         stopper.restore(model)
@@ -133,21 +147,35 @@ class GraphClassificationTrainer:
             epochs_run=epochs_run,
             seconds=elapsed,
             seconds_per_epoch=elapsed / max(epochs_run, 1),
-            history=history)
+            history=history,
+            phase_seconds=profiler.mean_epoch() if profiler else None)
 
     def time_one_epoch(self, model: Module, dataset: GraphDataset) -> float:
         """Wall-clock seconds for a single training epoch (Table 4)."""
+        seconds, _ = self.profile_one_epoch(model, dataset)
+        return seconds
+
+    def profile_one_epoch(self, model: Module, dataset: GraphDataset,
+                          ) -> Tuple[float, Dict[str, float]]:
+        """One training epoch's wall seconds plus its phase breakdown."""
         cfg = self.config
         rng = np.random.default_rng(cfg.seed + 307)
         optimizer = Adam(model.parameters(), lr=cfg.lr,
                          weight_decay=cfg.weight_decay)
         model.train()
+        profiler = PhaseTimer()
         start = time.time()
-        for batch in iterate_batches(dataset, dataset.train_index,
-                                     cfg.batch_size, rng=rng):
-            model.zero_grad()
-            logits, extra = _model_forward(model, batch)
-            loss = self._loss(logits, extra, batch, rng)
-            loss.backward()
-            optimizer.step()
-        return time.time() - start
+        with profiler.activate():
+            for batch in iterate_batches(dataset, dataset.train_index,
+                                         cfg.batch_size, rng=rng):
+                model.zero_grad()
+                with profile_phase("forward"):
+                    logits, extra = _model_forward(model, batch)
+                with profile_phase("loss"):
+                    loss = self._loss(logits, extra, batch, rng)
+                with profile_phase("backward"):
+                    loss.backward()
+                with profile_phase("optimizer"):
+                    optimizer.step()
+            profiler.end_epoch()
+        return time.time() - start, profiler.mean_epoch()

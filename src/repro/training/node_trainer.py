@@ -7,9 +7,10 @@ losses ``γ·L_KL + δ·L_R`` for the latter (Eq. 7).
 
 from __future__ import annotations
 
+import contextlib
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -20,6 +21,7 @@ from ..graph import degree_features
 from ..nn import Module, cross_entropy
 from ..optim import Adam, clip_grad_norm
 from ..tensor import Tensor
+from ..utils.timing import PhaseTimer, profile_phase
 from .config import TrainConfig
 from .early_stopping import EarlyStopping
 from .metrics import accuracy
@@ -46,6 +48,8 @@ class NodeTrainResult:
     epochs_run: int
     seconds: float
     history: List[float] = field(default_factory=list)
+    #: mean seconds per phase per epoch (only with ``config.profile``)
+    phase_seconds: Optional[Dict[str, float]] = None
 
 
 class NodeClassificationTrainer:
@@ -75,37 +79,47 @@ class NodeClassificationTrainer:
         history: List[float] = []
         start = time.time()
         epochs_run = 0
+        profiler = PhaseTimer() if cfg.profile else None
+        scope = profiler.activate() if profiler else contextlib.nullcontext()
 
-        for epoch in range(cfg.epochs):
-            epochs_run = epoch + 1
-            model.train()
-            model.zero_grad()
-            logits, extra = self._forward(model, x, graph.edge_index,
-                                          graph.edge_weight)
-            loss = cross_entropy(logits, labels, mask=masks["train"])
-            if isinstance(extra, AdamGNNOutput):
-                if cfg.use_kl and cfg.gamma:
-                    loss = loss + self_optimisation_loss(
-                        extra.h, extra.level1_egos()) * cfg.gamma
-                if cfg.use_recon and cfg.delta:
-                    loss = loss + sampled_reconstruction_loss(
-                        extra.h, graph.edge_index, graph.num_nodes,
-                        rng) * cfg.delta
-            loss.backward()
-            if cfg.grad_clip:
-                clip_grad_norm(model.parameters(), cfg.grad_clip)
-            optimizer.step()
+        with scope:
+            for epoch in range(cfg.epochs):
+                epochs_run = epoch + 1
+                model.train()
+                model.zero_grad()
+                with profile_phase("forward"):
+                    logits, extra = self._forward(model, x, graph.edge_index,
+                                                  graph.edge_weight)
+                with profile_phase("loss"):
+                    loss = cross_entropy(logits, labels, mask=masks["train"])
+                    if isinstance(extra, AdamGNNOutput):
+                        if cfg.use_kl and cfg.gamma:
+                            loss = loss + self_optimisation_loss(
+                                extra.h, extra.level1_egos()) * cfg.gamma
+                        if cfg.use_recon and cfg.delta:
+                            loss = loss + sampled_reconstruction_loss(
+                                extra.h, graph.edge_index, graph.num_nodes,
+                                rng) * cfg.delta
+                with profile_phase("backward"):
+                    loss.backward()
+                with profile_phase("optimizer"):
+                    if cfg.grad_clip:
+                        clip_grad_norm(model.parameters(), cfg.grad_clip)
+                    optimizer.step()
 
-            model.eval()
-            logits, _ = self._forward(model, x, graph.edge_index,
-                                      graph.edge_weight)
-            val_acc = accuracy(logits.data, labels, masks["val"])
-            history.append(val_acc)
-            if cfg.verbose:
-                print(f"epoch {epoch:3d}  loss {loss.item():.4f}  "
-                      f"val {val_acc:.4f}")
-            if stopper.step(val_acc, model):
-                break
+                model.eval()
+                with profile_phase("eval"):
+                    logits, _ = self._forward(model, x, graph.edge_index,
+                                              graph.edge_weight)
+                    val_acc = accuracy(logits.data, labels, masks["val"])
+                history.append(val_acc)
+                if profiler:
+                    profiler.end_epoch()
+                if cfg.verbose:
+                    print(f"epoch {epoch:3d}  loss {loss.item():.4f}  "
+                          f"val {val_acc:.4f}")
+                if stopper.step(val_acc, model):
+                    break
 
         stopper.restore(model)
         model.eval()
@@ -116,7 +130,58 @@ class NodeClassificationTrainer:
             val_accuracy=accuracy(logits.data, labels, masks["val"]),
             epochs_run=epochs_run,
             seconds=time.time() - start,
-            history=history)
+            history=history,
+            phase_seconds=profiler.mean_epoch() if profiler else None)
+
+    def time_one_epoch(self, model: Module, dataset: NodeDataset,
+                       epochs: int = 4,
+                       ) -> Tuple[float, Dict[str, float]]:
+        """Mean wall seconds per *training* epoch, with phase breakdown.
+
+        Runs ``epochs`` full-batch training epochs (forward, loss,
+        backward, optimiser step — no eval pass, matching the Table-4
+        protocol) and averages all but the first, which pays the one-off
+        structural cache builds the later epochs reuse.
+        """
+        cfg = self.config
+        graph = dataset.graph
+        x = Tensor(prepare_node_features(dataset))
+        labels = np.asarray(graph.y, dtype=np.int64)
+        masks = dataset.splits.masks(graph.num_nodes)
+        rng = np.random.default_rng(cfg.seed + 101)
+        optimizer = Adam(model.parameters(), lr=cfg.lr,
+                         weight_decay=cfg.weight_decay)
+        profiler = PhaseTimer()
+        laps: List[float] = []
+        with profiler.activate():
+            for _ in range(max(epochs, 1)):
+                model.train()
+                tic = time.perf_counter()
+                model.zero_grad()
+                with profile_phase("forward"):
+                    logits, extra = self._forward(model, x, graph.edge_index,
+                                                  graph.edge_weight)
+                with profile_phase("loss"):
+                    loss = cross_entropy(logits, labels, mask=masks["train"])
+                    if isinstance(extra, AdamGNNOutput):
+                        if cfg.use_kl and cfg.gamma:
+                            loss = loss + self_optimisation_loss(
+                                extra.h, extra.level1_egos()) * cfg.gamma
+                        if cfg.use_recon and cfg.delta:
+                            loss = loss + sampled_reconstruction_loss(
+                                extra.h, graph.edge_index, graph.num_nodes,
+                                rng) * cfg.delta
+                with profile_phase("backward"):
+                    loss.backward()
+                with profile_phase("optimizer"):
+                    if cfg.grad_clip:
+                        clip_grad_norm(model.parameters(), cfg.grad_clip)
+                    optimizer.step()
+                laps.append(time.perf_counter() - tic)
+                profiler.end_epoch()
+        steady = laps[1:] if len(laps) > 1 else laps
+        return (sum(steady) / len(steady),
+                profiler.mean_epoch(skip_first=True))
 
 
 def evaluate_node_model(model: Module, dataset: NodeDataset,

@@ -1,6 +1,7 @@
 """Utility helpers: checkpointing and timing."""
 
 from .checkpoint import load_checkpoint, save_checkpoint
-from .timing import Timer
+from .timing import PhaseTimer, Timer, active_phase_timer, profile_phase
 
-__all__ = ["load_checkpoint", "save_checkpoint", "Timer"]
+__all__ = ["load_checkpoint", "save_checkpoint", "PhaseTimer", "Timer",
+           "active_phase_timer", "profile_phase"]

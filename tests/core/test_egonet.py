@@ -66,3 +66,46 @@ def test_property_radius_monotone(n, p, seed):
     one = build_ego_networks(edges, n, radius=1)
     two = build_ego_networks(edges, n, radius=2)
     assert (two.sizes() >= one.sizes()).all()
+
+
+class TestMembersOfIndex:
+    def test_members_match_boolean_scan(self, two_cliques_graph):
+        egos = build_ego_networks(two_cliques_graph.edge_index,
+                                  two_cliques_graph.num_nodes, radius=2)
+        for node in range(egos.num_nodes):
+            via_index = np.sort(egos.members_of(node))
+            via_scan = np.sort(egos.member[egos.ego == node])
+            np.testing.assert_array_equal(via_index, via_scan)
+
+    def test_isolated_node_yields_empty(self):
+        g = Graph(edge_index=np.array([[0, 1], [1, 0]]), num_nodes=3)
+        egos = build_ego_networks(g.edge_index, g.num_nodes)
+        assert egos.members_of(2).size == 0
+
+    def test_index_built_lazily_and_reused(self, triangle_graph):
+        egos = build_ego_networks(triangle_graph.edge_index,
+                                  triangle_graph.num_nodes)
+        assert egos._csr_index is None
+        egos.members_of(0)
+        index = egos._csr_index
+        assert index is not None
+        egos.members_of(1)
+        assert (egos._csr_index[0] is index[0]
+                and egos._csr_index[1] is index[1])
+
+
+@settings(max_examples=20, deadline=None)
+@given(n=st.integers(min_value=2, max_value=12),
+       p=st.floats(min_value=0.1, max_value=0.9),
+       seed=st.integers(min_value=0, max_value=99))
+def test_property_members_of_matches_scan(n, p, seed):
+    rng = np.random.default_rng(seed)
+    mask = rng.random((n, n)) < p
+    src, dst = np.nonzero(np.triu(mask, k=1))
+    edge_index = np.concatenate(
+        [np.stack([src, dst]), np.stack([dst, src])], axis=1)
+    egos = build_ego_networks(edge_index, n, radius=2)
+    for node in range(n):
+        np.testing.assert_array_equal(
+            np.sort(egos.members_of(node)),
+            np.sort(egos.member[egos.ego == node]))

@@ -1,0 +1,132 @@
+"""StructureCache: identity keying, LRU eviction, and model integration."""
+
+import numpy as np
+import pytest
+
+from repro.graph import StructureCache
+from repro.graph.normalize import normalize_edges
+
+
+EDGES = np.array([[0, 1, 1, 2], [1, 0, 2, 1]], dtype=np.int64)
+
+
+class TestGenericGet:
+    def test_builder_runs_once_per_structure(self):
+        cache = StructureCache()
+        calls = []
+        for _ in range(3):
+            value = cache.get("demo", (EDGES,), (3,),
+                              lambda: calls.append(1) or "built")
+        assert value == "built"
+        assert len(calls) == 1
+        assert cache.stats()["hits"] == 2
+        assert cache.stats()["misses"] == 1
+
+    def test_views_of_same_memory_hit(self):
+        cache = StructureCache()
+        src1, _ = EDGES
+        src2, _ = EDGES          # distinct view objects, same buffer
+        first = cache.get("demo", (src1,), (), lambda: object())
+        second = cache.get("demo", (src2,), (), lambda: object())
+        assert first is second
+
+    def test_equal_content_different_memory_misses(self):
+        cache = StructureCache()
+        copy = EDGES.copy()
+        first = cache.get("demo", (EDGES,), (), lambda: object())
+        second = cache.get("demo", (copy,), (), lambda: object())
+        assert first is not second
+
+    def test_kind_and_params_namespace_the_key(self):
+        cache = StructureCache()
+        a = cache.get("ego", (EDGES,), (1,), lambda: "radius-1")
+        b = cache.get("ego", (EDGES,), (2,), lambda: "radius-2")
+        c = cache.get("other", (EDGES,), (1,), lambda: "other-kind")
+        assert (a, b, c) == ("radius-1", "radius-2", "other-kind")
+
+    def test_lru_eviction(self):
+        cache = StructureCache(capacity=2)
+        arrays = [np.arange(i + 1) for i in range(3)]
+        for arr in arrays:
+            cache.get("demo", (arr,), (), lambda: object())
+        assert len(cache) == 2
+        # arrays[0] was evicted: asking again rebuilds (a miss).
+        before = cache.stats()["misses"]
+        cache.get("demo", (arrays[0],), (), lambda: object())
+        assert cache.stats()["misses"] == before + 1
+
+    def test_clear(self):
+        cache = StructureCache()
+        cache.get("demo", (EDGES,), (), lambda: 1)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats() == {"hits": 0, "misses": 0, "entries": 0,
+                                 "capacity": cache.capacity}
+
+
+class TestHelpers:
+    def test_unit_edge_weights_stable_identity(self):
+        cache = StructureCache()
+        first = cache.unit_edge_weights(EDGES)
+        second = cache.unit_edge_weights(EDGES)
+        assert first is second
+        np.testing.assert_array_equal(first, np.ones(EDGES.shape[1]))
+
+    def test_normalized_edges_matches_direct_call(self):
+        cache = StructureCache()
+        cached_ei, cached_w = cache.normalized_edges(EDGES, None, 3)
+        direct_ei, direct_w = normalize_edges(EDGES, np.ones(EDGES.shape[1]),
+                                              3)
+        np.testing.assert_array_equal(cached_ei, direct_ei)
+        np.testing.assert_allclose(cached_w, direct_w)
+        # Second call returns the same objects (a hit).
+        again_ei, again_w = cache.normalized_edges(EDGES, None, 3)
+        assert again_ei is cached_ei and again_w is cached_w
+
+
+class TestModelIntegration:
+    def test_epochs_after_first_hit_the_cache(self):
+        from repro.core import AdamGNNNodeClassifier
+        from repro.tensor import Tensor
+
+        rng = np.random.default_rng(0)
+        n = 20
+        src = rng.integers(0, n, size=60)
+        dst = rng.integers(0, n, size=60)
+        keep = src != dst
+        edge_index = np.concatenate([
+            np.stack([src[keep], dst[keep]]),
+            np.stack([dst[keep], src[keep]])], axis=1)
+        x = Tensor(rng.normal(size=(n, 8)))
+        model = AdamGNNNodeClassifier(8, 3, num_levels=2, rng=rng)
+        model.eval()
+        model(x, edge_index, None)
+        first = model.encoder.structure_cache.stats()
+        assert first["misses"] > 0
+        model(x, edge_index, None)
+        second = model.encoder.structure_cache.stats()
+        assert second["misses"] == first["misses"]
+        assert second["hits"] > first["hits"]
+
+    def test_cached_forward_matches_uncached(self):
+        from repro.core import AdamGNNNodeClassifier
+        from repro.tensor import Tensor
+
+        rng = np.random.default_rng(1)
+        n = 16
+        src = rng.integers(0, n, size=40)
+        dst = rng.integers(0, n, size=40)
+        keep = src != dst
+        edge_index = np.concatenate([
+            np.stack([src[keep], dst[keep]]),
+            np.stack([dst[keep], src[keep]])], axis=1)
+        x_data = rng.normal(size=(n, 8))
+        model = AdamGNNNodeClassifier(8, 3, num_levels=2,
+                                      rng=np.random.default_rng(2))
+        model.eval()
+        warm1, _ = model(Tensor(x_data), edge_index, None)
+        warm2, _ = model(Tensor(x_data), edge_index, None)
+        model.encoder.structure_cache.clear()
+        cold, _ = model(Tensor(x_data), edge_index, None)
+        np.testing.assert_allclose(warm2.data, warm1.data, atol=1e-12)
+        np.testing.assert_allclose(cold.data, warm1.data, atol=1e-12)

@@ -153,3 +153,46 @@ def test_property_batch_unbatch_round_trip(sizes, seed):
         assert restored.num_nodes == original.num_nodes
         assert np.allclose(restored.x, original.x)
         assert restored.num_edges == original.num_edges
+
+
+class TestNormalizeEdgesValidation:
+    def test_asymmetric_edge_list_rejected(self):
+        # Edge {0, 1} present in one direction only: src-only degrees would
+        # give node 1 a degree of zero and silently wrong GCN weights.
+        edge_index = np.array([[0], [1]])
+        with pytest.raises(ValueError, match="symmetric"):
+            normalize_edges(edge_index, np.ones(1), 2)
+
+    def test_validate_false_escape_hatch(self):
+        edge_index = np.array([[0], [1]])
+        _, weight = normalize_edges(edge_index, np.ones(1), 2,
+                                    validate=False)
+        assert weight.shape == (3,)  # edge + 2 self-loops
+
+    def test_symmetric_weighted_list_accepted(self):
+        edge_index = np.array([[0, 1, 1, 2], [1, 0, 2, 1]])
+        edge_weight = np.array([2.0, 2.0, 0.5, 0.5])
+        _, weight = normalize_edges(edge_index, edge_weight, 3)
+        assert np.all(weight > 0)
+
+    def test_empty_edge_list_skips_validation(self):
+        edge_index = np.zeros((2, 0), dtype=np.int64)
+        ei, weight = normalize_edges(edge_index, np.zeros(0), 3)
+        # Only the three self-loops remain, each with weight 1.
+        assert ei.shape == (2, 3)
+        np.testing.assert_allclose(weight, 1.0)
+
+
+class TestDegreeFeaturesZeroNodes:
+    def test_zero_node_graph_returns_empty_matrix(self):
+        empty = Graph(edge_index=np.zeros((2, 0), dtype=np.int64),
+                      num_nodes=0)
+        feats = degree_features(empty)
+        assert feats.shape == (0, 2)  # cap clamps to 1 -> width 2
+
+    def test_zero_node_graph_respects_max_degree_width(self):
+        # Width must match non-empty graphs in the same batch so that
+        # feature stacking stays well-defined.
+        empty = Graph(edge_index=np.zeros((2, 0), dtype=np.int64),
+                      num_nodes=0)
+        assert degree_features(empty, max_degree=5).shape == (0, 6)

@@ -20,6 +20,7 @@ from repro.training import (GraphClassificationTrainer,
 
 
 class TestNodeClassificationPipeline:
+    @pytest.mark.slow
     def test_adamgnn_beats_majority_on_cora(self):
         ds = load_node_dataset("cora", seed=0)
         in_features = prepare_node_features(ds).shape[1]
@@ -59,6 +60,7 @@ class TestNodeClassificationPipeline:
 
 
 class TestLinkPredictionPipeline:
+    @pytest.mark.slow
     def test_gcn_beats_random(self):
         ds = load_node_dataset("cora", seed=0)
         splits = split_links(ds.graph, np.random.default_rng(0))
@@ -67,6 +69,7 @@ class TestLinkPredictionPipeline:
         result = LinkPredictionTrainer(cfg).fit(model, ds, splits)
         assert result.test_auc > 0.6
 
+    @pytest.mark.slow
     def test_adamgnn_link_pipeline(self):
         ds = load_node_dataset("cora", seed=0)
         splits = split_links(ds.graph, np.random.default_rng(0))
@@ -78,6 +81,7 @@ class TestLinkPredictionPipeline:
 
 
 class TestGraphClassificationPipeline:
+    @pytest.mark.slow
     def test_adamgnn_learns_mutag(self):
         ds = load_graph_dataset("mutag", seed=0)
         model = make_graph_classifier("adamgnn", ds.num_features, 2,
@@ -86,6 +90,7 @@ class TestGraphClassificationPipeline:
         result = GraphClassificationTrainer(cfg).fit(model, ds)
         assert result.test_accuracy > 0.55
 
+    @pytest.mark.slow
     def test_flyback_ablation_variant_runs(self):
         ds = load_graph_dataset("mutag", seed=0)
         model = make_graph_classifier("adamgnn", ds.num_features, 2,
@@ -97,6 +102,7 @@ class TestGraphClassificationPipeline:
 
 
 class TestExplainabilityPipeline:
+    @pytest.mark.slow
     def test_trained_model_attention_table(self):
         ds = load_node_dataset("cora", seed=0)
         in_features = prepare_node_features(ds).shape[1]

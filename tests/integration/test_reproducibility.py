@@ -1,6 +1,7 @@
 """Reproducibility guarantees: same seed ⇒ identical results end to end."""
 
 import numpy as np
+import pytest
 
 from repro.datasets import load_graph_dataset, load_node_dataset
 from repro.training import (NodeClassificationTrainer, TrainConfig,
@@ -8,6 +9,7 @@ from repro.training import (NodeClassificationTrainer, TrainConfig,
 
 
 class TestEndToEndDeterminism:
+    @pytest.mark.slow
     def test_identical_training_runs(self):
         """Two full training runs from one seed agree bit-for-bit."""
         results = []
