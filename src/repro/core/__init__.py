@@ -1,6 +1,7 @@
 """AdamGNN — the paper's primary contribution."""
 
-from .egonet import EgoNetworks, build_ego_networks, one_hop_neighbors
+from .egonet import (EgoNetworks, build_ego_networks, compose_ego_networks,
+                     one_hop_neighbors)
 from .fitness import FitnessScorer
 from .selection import (Assignment, build_assignment,
                         hyper_graph_connectivity, select_egos)
@@ -13,12 +14,17 @@ from .losses import (dense_reconstruction_loss, link_probabilities,
                      soft_assignment, target_distribution)
 from .model import (AdamGNN, AdamGNNGraphClassifier, AdamGNNLinkPredictor,
                     AdamGNNNodeClassifier, AdamGNNOutput)
+from .structure import (BatchStructure, DatasetStructures, GraphStructure,
+                        compose_batch, precompute_graph_structure)
 from .explain import (attention_by_class, format_attention_heatmap,
                       level_usage_summary)
 from .hetero import HeteroAdamGNN, RelationalGCNConv, TypedFitnessScorer
 
 __all__ = [
-    "EgoNetworks", "build_ego_networks", "one_hop_neighbors",
+    "EgoNetworks", "build_ego_networks", "compose_ego_networks",
+    "one_hop_neighbors",
+    "BatchStructure", "DatasetStructures", "GraphStructure",
+    "compose_batch", "precompute_graph_structure",
     "FitnessScorer",
     "Assignment", "build_assignment", "hyper_graph_connectivity",
     "select_egos",

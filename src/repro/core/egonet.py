@@ -10,7 +10,7 @@ trivial (i, i) pair (the ego itself is handled explicitly where needed).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Tuple
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 import scipy.sparse as sp
@@ -93,3 +93,28 @@ def build_ego_networks(edge_index: np.ndarray, num_nodes: int,
 def one_hop_neighbors(edge_index: np.ndarray, num_nodes: int) -> EgoNetworks:
     """1-hop neighbour pairs (the ``N_i^1`` of the selection rule)."""
     return build_ego_networks(edge_index, num_nodes, radius=1)
+
+
+def compose_ego_networks(parts: "Sequence[EgoNetworks]",
+                         offsets: np.ndarray,
+                         num_nodes: int) -> EgoNetworks:
+    """Ego-networks of a block-diagonal union from its members'.
+
+    λ-hop reachability never crosses connected components, so the pair
+    list of a batch is exactly the union of the per-graph pair lists with
+    node ids shifted by each graph's node offset.  The concatenation order
+    (graphs in batch order; within a graph, the part's own order, which
+    :func:`build_ego_networks` emits row-major with sorted members) makes
+    the result identical to running :func:`build_ego_networks` on the
+    collated edge list — the property the composition tests pin down.
+    """
+    if not parts:
+        raise ValueError("cannot compose zero ego-network parts")
+    radius = parts[0].radius
+    if any(p.radius != radius for p in parts):
+        raise ValueError("all parts must share the same radius")
+    ego = np.concatenate([p.ego + off for p, off in zip(parts, offsets)])
+    member = np.concatenate([p.member + off
+                             for p, off in zip(parts, offsets)])
+    return EgoNetworks(ego=ego, member=member, num_nodes=int(num_nodes),
+                       radius=radius)

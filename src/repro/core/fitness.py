@@ -20,7 +20,7 @@ from typing import Optional, Tuple
 import numpy as np
 
 from ..nn import Linear, Module, Parameter, init
-from ..tensor import (Tensor, gather_rows, leaky_relu, rowwise_dot,
+from ..tensor import (Tensor, gather_rows, leaky_relu, pair_dot,
                       segment_mean, segment_softmax, sigmoid)
 from .egonet import EgoNetworks
 
@@ -73,8 +73,9 @@ class FitnessScorer(Module):
         f_s = segment_softmax(logits, egos.member, egos.num_nodes)
         if not self.use_linearity:
             return f_s
-        dots = rowwise_dot(gather_rows(h, egos.member),
-                           gather_rows(h, egos.ego))
+        # Fused gather-gather-dot: one graph node instead of three, no
+        # (P, d) member/ego tensors retained in the graph.
+        dots = pair_dot(h, egos.member, egos.ego)
         f_c = sigmoid(dots)
         return f_s * f_c
 

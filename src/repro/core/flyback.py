@@ -15,7 +15,37 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..nn import Linear, Module, Parameter, init
-from ..tensor import Tensor, leaky_relu, softmax, stack
+from ..tensor import (Tensor, fast_kernels_enabled, leaky_relu,
+                      leaky_relu_project, softmax, stack)
+
+
+def _weighted_combine(h0: Tensor, messages: Sequence[Tensor],
+                      beta: Tensor) -> Tensor:
+    """``H = H_0 + Σ_k β_k ⊙ Ĥ_k`` as one autograd node.
+
+    The compositional loop builds a getitem/reshape/mul/add chain per
+    level (four graph nodes and three ``(n, d)`` temporaries each); the
+    fused node accumulates in place and hands each parent its exact VJP:
+    ``grad`` to ``H_0``, ``β_k·grad`` to message k, and the row-wise dot
+    ``⟨grad, Ĥ_k⟩`` to row k of β.
+    """
+    out_data = h0.data.copy()
+    for k, message in enumerate(messages):
+        out_data += message.data * beta.data[k][:, None]
+
+    def backward(grad: np.ndarray) -> None:
+        if h0.requires_grad:
+            h0._accumulate(grad)
+        if beta.requires_grad:
+            gb = np.empty_like(beta.data)
+            for k, message in enumerate(messages):
+                np.einsum("ij,ij->i", grad, message.data, out=gb[k])
+            beta._accumulate(gb)
+        for k, message in enumerate(messages):
+            if message.requires_grad:
+                message._accumulate(grad * beta.data[k][:, None])
+
+    return h0._make_child(out_data, (h0, beta) + tuple(messages), backward)
 
 
 class FlybackAggregator(Module):
@@ -41,10 +71,10 @@ class FlybackAggregator(Module):
         d = h0.shape[-1]
         a_left = self.attention[:d]
         a_right = self.attention[d:]
-        right = leaky_relu(h0) @ a_right
+        right = leaky_relu_project(h0, a_right)
         rows: List[Tensor] = []
         for message in messages:
-            left = leaky_relu(self.transform(message)) @ a_left
+            left = leaky_relu_project(self.transform(message), a_left)
             rows.append(left + right)
         return stack(rows, axis=0)
 
@@ -61,6 +91,8 @@ class FlybackAggregator(Module):
             return h0, Tensor(np.zeros((0, h0.shape[0])))
         logits = self.level_logits(h0, messages)
         beta = softmax(logits, axis=0)
+        if fast_kernels_enabled():
+            return _weighted_combine(h0, messages, beta), beta
         combined = h0
         for k, message in enumerate(messages):
             combined = combined + message * beta[k].reshape(-1, 1)

@@ -18,7 +18,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-from ..tensor import (Tensor, clip, gather_rows, log, rowwise_dot, sigmoid,
+from ..tensor import (Tensor, clip, gather_rows, log, pair_dot, sigmoid,
                       square_norm)
 from ..nn.losses import binary_cross_entropy_with_logits
 
@@ -56,12 +56,9 @@ def target_distribution(q: np.ndarray) -> np.ndarray:
     return weight / np.maximum(weight.sum(axis=1, keepdims=True), 1e-12)
 
 
-def self_optimisation_loss(h: Tensor, ego_ids: np.ndarray,
-                           mu: float = 1.0) -> Tensor:
-    """``L_KL = KL(P ‖ Q)`` per node, averaged (Eq. 5)."""
-    ego_ids = np.asarray(ego_ids, dtype=np.int64)
-    if ego_ids.size == 0:
-        return Tensor(0.0)
+def _self_optimisation_loss_reference(h: Tensor, ego_ids: np.ndarray,
+                                      mu: float) -> Tensor:
+    """Compositional Eq. 5 (autograd-derived backward); kept for tests."""
     q = soft_assignment(h, ego_ids, mu=mu)
     p = target_distribution(q.data)
     q_safe = clip(q, 1e-12, 1.0)
@@ -70,6 +67,99 @@ def self_optimisation_loss(h: Tensor, ego_ids: np.ndarray,
     cross = (Tensor(p) * log(q_safe)).sum()
     n = h.shape[0]
     return (Tensor(p_entropy) - cross) * (1.0 / float(n))
+
+
+def self_optimisation_loss(h: Tensor, ego_ids: np.ndarray,
+                           mu: float = 1.0) -> Tensor:
+    """``L_KL = KL(P ‖ Q)`` per node, averaged (Eq. 5).
+
+    The fast path fuses the whole computation — Student-t kernel, row
+    normalisation, target sharpening, KL — into one autograd node with a
+    hand-derived backward.  The compositional form builds ~15 ``(n, m)``
+    intermediate tensors per call, which made this loss a double-digit
+    share of every graph-classification epoch; the fused form does one
+    ``(n, m)`` matmul forward and two backward, plus a handful of
+    elementwise passes.  The compositional reference is retained under
+    :func:`repro.tensor.naive_kernels` and the equivalence (values and
+    gradients) is covered by tests.
+    """
+    ego_ids = np.asarray(ego_ids, dtype=np.int64)
+    if ego_ids.size == 0:
+        return Tensor(0.0)
+    from ..tensor import fast_kernels_enabled
+    if not fast_kernels_enabled():
+        return _self_optimisation_loss_reference(h, ego_ids, mu)
+
+    data = h.data
+    n = data.shape[0]
+    ego_h = data[ego_ids]                                     # (m, d)
+    node_sq = np.einsum("ij,ij->i", data, data)               # (n,)
+    ego_sq = node_sq[ego_ids]                                 # (m,)
+    raw = data @ ego_h.T                                      # (n, m)
+    raw *= -2.0
+    raw += node_sq[:, None]
+    raw += ego_sq[None, :]
+    kernel = np.maximum(raw, 0.0)                             # distances
+    kernel *= 1.0 / mu
+    kernel += 1.0
+    np.reciprocal(kernel, out=kernel)                         # (1+d/μ)^{-1}
+    denom = kernel.sum(axis=1, keepdims=True)                 # > 0 always
+    q = kernel / denom
+    # Target distribution (Eq. 5) inlined so its intermediates feed the
+    # loss identity below: p = (q²/g) / rowsum with g the soft frequency.
+    freq = np.maximum(q.sum(axis=0, keepdims=True), 1e-12)    # (1, m)
+    p = q * q
+    p /= freq
+    rowsum = np.maximum(p.sum(axis=1, keepdims=True), 1e-12)  # (n, 1)
+    p /= rowsum
+    # KL(P ‖ Q) via log p = 2·log q − log g − log rowsum (rows of p sum
+    # to 1), so a single (n, m) logarithm serves both KL terms:
+    # Σ p log p − Σ p log q = Σ p log q − Σ_j colp_j log g_j − Σ_i log s_i.
+    # q ≤ 1 by construction, so clip(q, 1e-12, 1) is just a lower floor.
+    log_q = np.maximum(q, 1e-12)
+    np.log(log_q, out=log_q)
+    cross_sum = np.einsum("ij,ij->", p, log_q)
+    colp = p.sum(axis=0)                                      # (m,)
+    out_data = np.asarray(
+        (cross_sum - colp @ np.log(freq.ravel())
+         - np.log(rowsum).sum()) / n)
+
+    def backward(grad: np.ndarray) -> None:
+        scale = float(grad) / n
+        # d(-Σ p log q_safe)/dq, zero where the clip was active (q < 1e-12
+        # floors to the clip constant — same subgradient the compositional
+        # clip node uses).  P is the detached target: no gradient through
+        # it, and p itself is dead after this line, so gq reuses its buffer.
+        small = q < 1e-12
+        gq = np.divide(p, q, out=p, where=~small)
+        gq *= -scale
+        gq[small] = 0.0
+        # q = kernel / denom (denom = row sum of kernel).
+        row_dot = np.einsum("ij,ij->i", gq, q)
+        gd = gq
+        gd -= row_dot[:, None]
+        # kernel = (1 + d/μ)^{-1}  →  dk/dd = -k²/μ; distances = max(raw, 0).
+        # The 1/denom of dq/dk, the -1/μ and the per-row sign fold into one
+        # broadcast factor.
+        gd *= (-1.0 / mu) / denom
+        gd *= kernel
+        gd *= kernel
+        gd[raw < 0.0] = 0.0
+        # raw_ij = |h_i|² + |e_j|² − 2·cross_ij.
+        row_gd = gd.sum(axis=1)
+        col_gd = gd.sum(axis=0)
+        gh = gd @ ego_h                                       # via cross, h
+        gh *= -2.0
+        gh += (2.0 * row_gd)[:, None] * data                  # via node_sq
+        ge = gd.T @ data                                      # via cross, e
+        ge *= -2.0
+        ge += (2.0 * col_gd)[:, None] * ego_h                 # via ego_sq
+        # e = h[ego_ids]; selected egos are distinct, but stay correct for
+        # duplicate ids (the public API allows them).
+        np.add.at(gh, ego_ids, ge)
+        h._accumulate(gh)
+
+    return h._make_child(out_data, (h,), backward)
 
 
 def dense_reconstruction_loss(h: Tensor, adjacency: np.ndarray) -> Tensor:
@@ -161,7 +251,7 @@ def sample_non_edges(edge_index: np.ndarray, num_nodes: int, count: int,
 
 def pair_logits(h: Tensor, pairs: np.ndarray) -> Tensor:
     """Inner-product decoder logits ``h_uᵀ h_v`` for ``(2, m)`` pairs."""
-    return rowwise_dot(gather_rows(h, pairs[0]), gather_rows(h, pairs[1]))
+    return pair_dot(h, pairs[0], pairs[1])
 
 
 def sampled_reconstruction_loss(h: Tensor, edge_index: np.ndarray,
@@ -179,16 +269,65 @@ def sampled_reconstruction_loss(h: Tensor, edge_index: np.ndarray,
         return Tensor(0.0)
     negatives = sample_non_edges(edge_index, num_nodes, positives.shape[1],
                                  rng)
-    # Score positives and negatives separately: the positive pair rows are
-    # views of a static edge list, so their gathers reuse cached segment
-    # plans, whereas a concatenated pair array would be a fresh allocation
-    # (hence a plan-cache miss) every epoch.
-    from ..tensor import concat
-    logits = concat([pair_logits(h, positives), pair_logits(h, negatives)],
-                    axis=0)
-    labels = np.concatenate([np.ones(positives.shape[1]),
-                             np.zeros(negatives.shape[1])])
-    return binary_cross_entropy_with_logits(logits, labels)
+    from ..tensor import fast_kernels_enabled
+    if not fast_kernels_enabled():
+        # Compositional reference: score both pair sets, concatenate, BCE.
+        from ..tensor import concat
+        logits = concat([pair_logits(h, positives),
+                         pair_logits(h, negatives)], axis=0)
+        labels = np.concatenate([np.ones(positives.shape[1]),
+                                 np.zeros(negatives.shape[1])])
+        return binary_cross_entropy_with_logits(logits, labels)
+    return _pair_bce_fused(h, positives, negatives)
+
+
+def _pair_bce_fused(h: Tensor, positives: np.ndarray,
+                    negatives: np.ndarray) -> Tensor:
+    """One autograd node for the sampled decoder BCE.
+
+    Scoring positives and negatives separately keeps their gathers on the
+    cached segment plans (the positive pair rows are views of a static
+    edge list), while the fusion drops the concat node, the two pair-dot
+    nodes and their retained ``(P, d)`` gathers from the graph.  The
+    backward pushes the BCE residual ``σ(logit) − target`` straight into
+    the four scatters of the pair-dot VJPs.
+    """
+    from ..tensor import _segment_plans as _plans
+    data = h.data
+    n = data.shape[0]
+    pu, pv = positives[0], positives[1]
+    nu, nv = negatives[0], negatives[1]
+    pos_logits = np.einsum("ij,ij->i", data[pu], data[pv])
+    neg_logits = np.einsum("ij,ij->i", data[nu], data[nv])
+    count = pos_logits.shape[0] + neg_logits.shape[0]
+    # Stable softplus forms: BCE(x, 1) = max(x,0) − x + log1p(e^{−|x|}),
+    # BCE(x, 0) = max(x,0) + log1p(e^{−|x|}) — identical to the fused
+    # binary_cross_entropy_with_logits on the concatenated logits.
+    pos_term = (np.maximum(pos_logits, 0.0) - pos_logits
+                + np.log1p(np.exp(-np.abs(pos_logits))))
+    neg_term = (np.maximum(neg_logits, 0.0)
+                + np.log1p(np.exp(-np.abs(neg_logits))))
+    out_data = np.asarray((pos_term.sum() + neg_term.sum()) / count)
+
+    def backward(grad: np.ndarray) -> None:
+        scale = float(grad) / count
+        ep = np.exp(-np.abs(pos_logits))
+        sig_p = np.where(pos_logits >= 0, 1.0, ep) / (1.0 + ep)
+        en = np.exp(-np.abs(neg_logits))
+        sig_n = np.where(neg_logits >= 0, 1.0, en) / (1.0 + en)
+        rp = ((sig_p - 1.0) * scale)[:, None]
+        rn = (sig_n * scale)[:, None]
+        tmp = rp * data[pv]
+        gh = _plans.scatter_add_rows(tmp, pu, n)
+        np.multiply(rp, data[pu], out=tmp)
+        gh += _plans.scatter_add_rows(tmp, pv, n)
+        tmp = rn * data[nv]
+        gh += _plans.scatter_add_rows(tmp, nu, n)
+        np.multiply(rn, data[nu], out=tmp)
+        gh += _plans.scatter_add_rows(tmp, nv, n)
+        h._accumulate(gh)
+
+    return h._make_child(out_data, (h,), backward)
 
 
 def link_probabilities(h: Tensor, pairs: np.ndarray) -> np.ndarray:

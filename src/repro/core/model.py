@@ -28,6 +28,7 @@ from ..tensor import Tensor, relu
 from ..utils.timing import profile_phase
 from .flyback import FlybackAggregator
 from .pooling import AdaptiveGraphPooling, PooledLevel
+from .structure import BatchStructure
 from .unpooling import unpool
 
 
@@ -88,6 +89,7 @@ class AdamGNN(Module):
         seeds = rng.integers(0, 2 ** 31, size=2 * num_levels + 3)
 
         self.num_levels = num_levels
+        self.radius = radius
         self.use_flyback = use_flyback
         self.normalize_unpool = normalize_unpool
         self.input_conv = GCNConv(in_features, hidden,
@@ -116,14 +118,24 @@ class AdamGNN(Module):
     def forward(self, x: Tensor, edge_index: np.ndarray,
                 edge_weight: Optional[np.ndarray] = None,
                 batch: Optional[np.ndarray] = None,
-                num_graphs: Optional[int] = None) -> AdamGNNOutput:
+                num_graphs: Optional[int] = None,
+                structure: Optional["BatchStructure"] = None,
+                ) -> AdamGNNOutput:
         """Encode a graph (or a block-diagonal batch of graphs).
 
         ``edge_index``/``edge_weight`` are the *raw* structural edges; GCN
-        normalisation happens internally at every level.
+        normalisation happens internally at every level.  ``structure``
+        optionally supplies precomputed level-0 structure (normalised
+        edges + ego-network pair lists composed per batch, see
+        ``repro.core.structure``) so the ``normalize`` and ``egonet``
+        phases become lookups; it must describe exactly this input.
         """
         n = x.shape[0]
         cache = self.structure_cache
+        if structure is not None and structure.num_nodes != n:
+            raise ValueError(
+                f"precomputed structure is for {structure.num_nodes} "
+                f"nodes, input has {n}")
         if edge_weight is None:
             # A stable ones array (not a fresh np.ones each call) so the
             # identity-keyed structure/plan caches hit on epochs 2..N.
@@ -131,8 +143,14 @@ class AdamGNN(Module):
 
         x = self.dropout(x)
         with profile_phase("normalize"):
-            # Level-0 structure is constant across epochs → memoised.
-            norm_e, norm_w = cache.normalized_edges(edge_index, edge_weight, n)
+            # Level-0 structure is constant across epochs → precomputed
+            # (minibatch composition) or memoised (full-batch identity).
+            if structure is not None:
+                norm_e, norm_w = (structure.norm_edge_index,
+                                  structure.norm_edge_weight)
+            else:
+                norm_e, norm_w = cache.normalized_edges(edge_index,
+                                                        edge_weight, n)
         with profile_phase("conv"):
             h0 = relu(self.input_conv(x, norm_e, norm_w, num_nodes=n))
 
@@ -144,10 +162,17 @@ class AdamGNN(Module):
                                                self.level_convs)):
             if h.shape[0] < 2 or edges_k.shape[1] == 0:
                 break
-            # Only level 0 sees the cache: pooled-level structure depends
-            # on learned fitness scores and must recompute every epoch.
-            level = pooler(h, edges_k, weight_k, batch=batch_k,
-                           cache=cache if k == 0 else None)
+            # Only level 0 sees the cache / precomputed pair lists:
+            # pooled-level structure depends on learned fitness scores and
+            # must recompute every epoch.
+            level0 = k == 0
+            level = pooler(
+                h, edges_k, weight_k, batch=batch_k,
+                cache=cache if level0 else None,
+                egos=structure.egos
+                if level0 and structure is not None else None,
+                neighbors=structure.neighbors
+                if level0 and structure is not None else None)
             m = level.num_hyper
             if m >= h.shape[0] or m < 1:
                 # No coarsening progress — extra levels would only repeat
@@ -261,8 +286,10 @@ class AdamGNNGraphClassifier(Module):
 
     def forward(self, x: Tensor, edge_index: np.ndarray,
                 edge_weight: np.ndarray, batch: np.ndarray,
-                num_graphs: int) -> Tuple[Tensor, AdamGNNOutput]:
+                num_graphs: int,
+                structure: Optional[BatchStructure] = None,
+                ) -> Tuple[Tensor, AdamGNNOutput]:
         out = self.encoder(x, edge_index, edge_weight, batch=batch,
-                           num_graphs=num_graphs)
+                           num_graphs=num_graphs, structure=structure)
         logits = self.head_out(relu(self.head_hidden(out.graph_repr)))
         return logits, out

@@ -21,8 +21,8 @@ import numpy as np
 
 from ..graph.cache import StructureCache
 from ..nn import Linear, Module, Parameter, init
-from ..tensor import (Tensor, gather_rows, leaky_relu, segment_softmax,
-                      segment_sum)
+from ..tensor import (Tensor, gather_rows, gather_scale_segment_sum,
+                      leaky_relu_project, segment_softmax)
 from ..utils.timing import profile_phase
 from .egonet import EgoNetworks, build_ego_networks, one_hop_neighbors
 from .fitness import FitnessScorer
@@ -84,13 +84,17 @@ class HyperNodeFeatures(Module):
             phi = phi_pairs[pair_idx].reshape(-1, 1)
             member_h = gather_rows(h, members)
             scaled = self.transform(member_h * phi)
-            ego_h = gather_rows(h, egos.ego[pair_idx])
             a_left = self.attention[:d]
             a_right = self.attention[d:]
-            logits = leaky_relu(scaled) @ a_left \
-                + leaky_relu(ego_h) @ a_right
+            # The ego half of the attention logit is per-node: σ and the
+            # projection commute with the per-pair gather, so compute it
+            # once per node and gather per pair — O(n·d + P) instead of
+            # O(P·d), bit-identical (same trick as the fitness scorer).
+            right_nodes = leaky_relu_project(h, a_right)
+            logits = leaky_relu_project(scaled, a_left) \
+                + gather_rows(right_nodes, egos.ego[pair_idx])
             alpha = segment_softmax(logits, cols, n_sel)
-            pooled = segment_sum(member_h * alpha.reshape(-1, 1), cols, n_sel)
+            pooled = gather_scale_segment_sum(h, members, alpha, cols, n_sel)
             ego_features = ego_features + pooled
 
         if assignment.retained.size:
@@ -128,17 +132,31 @@ class AdaptiveGraphPooling(Module):
     def forward(self, h: Tensor, edge_index: np.ndarray,
                 edge_weight: np.ndarray,
                 batch: Optional[np.ndarray] = None,
-                cache: Optional[StructureCache] = None) -> PooledLevel:
+                cache: Optional[StructureCache] = None,
+                egos: Optional[EgoNetworks] = None,
+                neighbors: Optional[EgoNetworks] = None) -> PooledLevel:
         """Coarsen one level; see the module docstring for the steps.
 
         ``cache`` memoises the (purely structural) ego-network pair lists;
         the model passes its :class:`StructureCache` for the level-0 graph,
-        whose structure is constant across epochs.  Pooled-level graphs
-        depend on learned fitness and are never passed a cache.
+        whose structure is constant across epochs.  ``egos``/``neighbors``
+        short-circuit the formation entirely with precomputed pair lists
+        (the minibatch composition path, ``repro.core.structure``) and
+        must describe the same graph as ``edge_index``.  Pooled-level
+        graphs depend on learned fitness and are never passed either.
         """
         n = h.shape[0]
         with profile_phase("egonet"):
-            if cache is not None:
+            if egos is not None:
+                if egos.radius != self.radius or egos.num_nodes != n:
+                    raise ValueError(
+                        f"precomputed ego-networks (radius {egos.radius}, "
+                        f"{egos.num_nodes} nodes) do not match this pooler "
+                        f"(radius {self.radius}, {n} nodes)")
+                if neighbors is None:
+                    neighbors = (egos if self.radius == 1
+                                 else one_hop_neighbors(edge_index, n))
+            elif cache is not None:
                 egos = cache.get(
                     "ego-networks", (edge_index,), (n, self.radius),
                     lambda: build_ego_networks(edge_index, n,

@@ -14,6 +14,7 @@ paper contrasts with top-k pooling.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Tuple
 
@@ -131,6 +132,39 @@ def build_assignment(phi_pairs: Tensor, egos: EgoNetworks,
                       seed_of_col=seed_of_col)
 
 
+#: LRU of self-looped adjacency matrices keyed by memory identity of
+#: ``(edge_index, edge_weight)``, same contract as the segment-plan cache:
+#: entries pin their key arrays, callers treat structural arrays as
+#: immutable.  Level-0 batch structures are reused across epochs (the
+#: collated-batch cache), so their Â builds amortise to one per dataset;
+#: pooled-level edge lists are fresh tensors every step and simply rotate
+#: through the LRU.
+_A_HAT_CACHE_CAPACITY = 64
+_A_HAT_CACHE: "OrderedDict[Tuple, Tuple]" = OrderedDict()
+
+
+def _a_hat_for(edge_index: np.ndarray, edge_weight: np.ndarray,
+               n: int) -> sp.csr_matrix:
+    ei = edge_index.__array_interface__
+    ew = edge_weight.__array_interface__
+    key = (ei["data"][0], edge_index.shape, edge_index.strides,
+           ew["data"][0], edge_weight.shape, n)
+    entry = _A_HAT_CACHE.get(key)
+    if entry is not None:
+        _A_HAT_CACHE.move_to_end(key)
+        return entry[0]
+    src, dst = edge_index
+    loops = np.arange(n, dtype=np.int64)
+    a_hat = sp.csr_matrix(
+        (np.concatenate([edge_weight, np.ones(n)]),
+         (np.concatenate([src, loops]), np.concatenate([dst, loops]))),
+        shape=(n, n))
+    _A_HAT_CACHE[key] = (a_hat, edge_index, edge_weight)
+    if len(_A_HAT_CACHE) > _A_HAT_CACHE_CAPACITY:
+        _A_HAT_CACHE.popitem(last=False)
+    return a_hat
+
+
 def hyper_graph_connectivity(assignment: Assignment, edge_index: np.ndarray,
                              edge_weight: np.ndarray
                              ) -> Tuple[np.ndarray, np.ndarray]:
@@ -144,12 +178,7 @@ def hyper_graph_connectivity(assignment: Assignment, edge_index: np.ndarray,
     implementations of this operator family.
     """
     n = assignment.num_nodes
-    src, dst = edge_index
-    loops = np.arange(n, dtype=np.int64)
-    a_hat = sp.csr_matrix(
-        (np.concatenate([edge_weight, np.ones(n)]),
-         (np.concatenate([src, loops]), np.concatenate([dst, loops]))),
-        shape=(n, n))
+    a_hat = _a_hat_for(edge_index, edge_weight, n)
     s = assignment.matrix()
     a_k = (s.T @ a_hat @ s).tocoo()
     keep = a_k.row != a_k.col

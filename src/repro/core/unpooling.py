@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from ..tensor import Tensor, gather_rows, segment_normalize, segment_sum
+from ..tensor import (Tensor, gather_scale_segment_sum, segment_normalize)
 from .selection import Assignment
 
 
@@ -34,8 +34,8 @@ def apply_assignment(assignment: Assignment, h_hyper: Tensor,
     if normalize:
         values = segment_normalize(values, assignment.rows,
                                    assignment.num_nodes)
-    messages = gather_rows(h_hyper, assignment.cols) * values.reshape(-1, 1)
-    return segment_sum(messages, assignment.rows, assignment.num_nodes)
+    return gather_scale_segment_sum(h_hyper, assignment.cols, values,
+                                    assignment.rows, assignment.num_nodes)
 
 
 def unpool(assignments: Sequence[Assignment], h_top: Tensor,

@@ -75,7 +75,14 @@ class NodeDataset:
 
 @dataclass
 class GraphDataset:
-    """A collection of labelled graphs for graph classification."""
+    """A collection of labelled graphs for graph classification.
+
+    Graph labels are gathered into ``label_array`` once at construction
+    (``None`` when any graph is unlabelled), so per-batch label lookups
+    are fancy-index slices instead of Python loops over graphs.  Graphs
+    and their labels are treated as immutable after construction — the
+    same contract the identity-keyed structure caches rely on.
+    """
 
     name: str
     graphs: List[Graph]
@@ -84,6 +91,14 @@ class GraphDataset:
     train_index: np.ndarray = field(default_factory=lambda: np.zeros(0, np.int64))
     val_index: np.ndarray = field(default_factory=lambda: np.zeros(0, np.int64))
     test_index: np.ndarray = field(default_factory=lambda: np.zeros(0, np.int64))
+    label_array: Optional[np.ndarray] = field(default=None, init=False,
+                                              repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if all(g.y is not None for g in self.graphs):
+            self.label_array = np.asarray(
+                [int(np.atleast_1d(g.y)[0]) for g in self.graphs],
+                dtype=np.int64)
 
     def __len__(self) -> int:
         return len(self.graphs)
@@ -92,8 +107,12 @@ class GraphDataset:
         return [self.graphs[i] for i in np.asarray(index, dtype=np.int64)]
 
     def labels(self, index: Optional[np.ndarray] = None) -> np.ndarray:
-        graphs = self.graphs if index is None else self.subset(index)
-        return np.asarray([int(np.atleast_1d(g.y)[0]) for g in graphs])
+        if self.label_array is None:
+            graphs = self.graphs if index is None else self.subset(index)
+            return np.asarray([int(np.atleast_1d(g.y)[0]) for g in graphs])
+        if index is None:
+            return self.label_array
+        return self.label_array[np.asarray(index, dtype=np.int64)]
 
 
 def split_nodes(num_nodes: int, rng: np.random.Generator,

@@ -5,15 +5,16 @@ from .batch import GraphBatch
 from .algorithms import (adjacency_lists, bfs_distances, connected_components,
                          is_connected, k_hop_reachability, largest_component,
                          triangle_count)
-from .cache import StructureCache
-from .normalize import (degree_features, gcn_normalization, normalize_edges,
+from .cache import BatchStructureCache, StructureCache
+from .normalize import (degree_features, gcn_edge_weight_parts,
+                        gcn_normalization, normalize_edges,
                         row_normalize_features)
 
 __all__ = [
-    "Graph", "GraphBatch", "StructureCache",
+    "Graph", "GraphBatch", "BatchStructureCache", "StructureCache",
     "adjacency_lists", "bfs_distances", "connected_components",
     "is_connected", "k_hop_reachability", "largest_component",
     "triangle_count",
-    "degree_features", "gcn_normalization", "normalize_edges",
-    "row_normalize_features",
+    "degree_features", "gcn_edge_weight_parts", "gcn_normalization",
+    "normalize_edges", "row_normalize_features",
 ]

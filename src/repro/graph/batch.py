@@ -27,6 +27,11 @@ class GraphBatch:
         self.batch = batch
         self.num_graphs = num_graphs
         self.y = y
+        # Lazy memos for graph_sizes / node_offsets.  Batches are reused
+        # across epochs by the collated-batch cache, so the bincount/cumsum
+        # book-keeping is worth computing once per batch, not per call.
+        self._sizes: np.ndarray | None = None
+        self._offsets: np.ndarray | None = None
 
     @property
     def num_nodes(self) -> int:
@@ -41,43 +46,62 @@ class GraphBatch:
                 f"num_nodes={self.num_nodes}, num_edges={self.num_edges})")
 
     @staticmethod
-    def from_graphs(graphs: Sequence[Graph]) -> "GraphBatch":
-        """Assemble the block-diagonal batch from individual graphs."""
+    def from_graphs(graphs: Sequence[Graph],
+                    y: np.ndarray | None = None) -> "GraphBatch":
+        """Assemble the block-diagonal batch from individual graphs.
+
+        ``y`` optionally supplies the per-graph label array directly (one
+        entry per graph, in order), skipping the per-graph ``atleast_1d``
+        gather — callers with a precomputed dataset label array (see
+        :meth:`repro.datasets.GraphDataset.labels`) pass a fancy-indexed
+        slice of it.
+        """
         if not graphs:
             raise ValueError("cannot batch zero graphs")
         xs: List[np.ndarray] = []
         edges: List[np.ndarray] = []
         weights: List[np.ndarray] = []
-        batch_ids: List[np.ndarray] = []
+        sizes: List[int] = []
         labels: List[np.ndarray] = []
         offset = 0
         has_x = graphs[0].x is not None
-        for gid, graph in enumerate(graphs):
+        for graph in graphs:
             if (graph.x is not None) != has_x:
                 raise ValueError("all graphs must agree on having features")
             if has_x:
                 xs.append(graph.x)
             edges.append(graph.edge_index + offset)
             weights.append(graph.edge_weight)
-            batch_ids.append(np.full(graph.num_nodes, gid, dtype=np.int64))
-            if graph.y is not None:
+            sizes.append(graph.num_nodes)
+            if y is None and graph.y is not None:
                 labels.append(np.atleast_1d(graph.y))
             offset += graph.num_nodes
         x = np.concatenate(xs, axis=0) if has_x else None
         edge_index = (np.concatenate(edges, axis=1)
                       if edges else np.zeros((2, 0), dtype=np.int64))
-        y = np.concatenate(labels) if len(labels) == len(graphs) else None
-        return GraphBatch(x, edge_index, np.concatenate(weights),
-                          np.concatenate(batch_ids), len(graphs), y=y)
+        if y is None:
+            y = (np.concatenate(labels)
+                 if len(labels) == len(graphs) else None)
+        size_arr = np.asarray(sizes, dtype=np.int64)
+        batch_ids = np.repeat(np.arange(len(graphs), dtype=np.int64),
+                              size_arr)
+        out = GraphBatch(x, edge_index, np.concatenate(weights),
+                         batch_ids, len(graphs), y=y)
+        out._sizes = size_arr
+        return out
 
     def graph_sizes(self) -> np.ndarray:
         """Number of nodes in each member graph."""
-        return np.bincount(self.batch, minlength=self.num_graphs)
+        if self._sizes is None:
+            self._sizes = np.bincount(self.batch, minlength=self.num_graphs)
+        return self._sizes
 
     def node_offsets(self) -> np.ndarray:
         """First node index of each member graph."""
-        sizes = self.graph_sizes()
-        return np.concatenate([[0], np.cumsum(sizes)[:-1]])
+        if self._offsets is None:
+            sizes = self.graph_sizes()
+            self._offsets = np.concatenate([[0], np.cumsum(sizes)[:-1]])
+        return self._offsets
 
     def unbatch(self) -> List[Graph]:
         """Split back into individual :class:`Graph` objects."""

@@ -19,6 +19,18 @@ The cache is deliberately builder-agnostic (:meth:`StructureCache.get`
 takes a callable) so higher layers can memoise their own structures —
 ``core/pooling.py`` uses it for ego networks — without this module
 importing upward across the layering.
+
+Minibatch streams need a second mechanism: batch collation allocates fresh
+arrays, so identity keys alone cannot hit across epochs.
+:class:`BatchStructureCache` closes that gap by keying on the *index
+chunk* that selects the batch's member graphs — content, not memory
+identity, because chunks are tiny (≤ batch_size int64s) and hashing them
+is O(batch_size), not O(graph size).  A hit returns the previously
+collated batch object, whose arrays then hit every identity-keyed cache
+downstream (this one, the segment-plan cache, the SpMV operators).  A
+miss invokes a caller-supplied builder — ``repro.core.structure`` composes
+the batch and its level-0 structures from per-graph precomputations there,
+keeping this module free of upward imports.
 """
 
 from __future__ import annotations
@@ -31,10 +43,14 @@ import numpy as np
 from .normalize import normalize_edges
 
 #: Default bound on distinct cached structures.  Sized for "a handful of
-#: graphs trained on concurrently" (train/val splits, a few datasets), not
-#: for minibatch streams — batch collation allocates fresh arrays, which
-#: miss by design and get evicted LRU-first.
+#: graphs trained on concurrently" (train/val splits, a few datasets);
+#: minibatch streams go through :class:`BatchStructureCache` instead.
 DEFAULT_CAPACITY = 32
+
+#: Default bound on distinct cached collated batches.  Val/test chunks and
+#: one epoch's worth of train chunks fit comfortably; shuffled train
+#: chunks from older epochs are evicted LRU-first.
+DEFAULT_BATCH_CAPACITY = 64
 
 
 def _array_key(arr: np.ndarray) -> Tuple:
@@ -124,6 +140,61 @@ class StructureCache:
     # ------------------------------------------------------------------
     # Introspection / maintenance
     # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        return {"hits": self.hits, "misses": self.misses,
+                "entries": len(self._entries), "capacity": self.capacity}
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+class BatchStructureCache:
+    """Content-keyed LRU of collated minibatches (plus their structures).
+
+    Parameters
+    ----------
+    builder:
+        Called with the int64 index chunk on a miss; its return value is
+        cached verbatim.  ``repro.core.structure.DatasetStructures`` plugs
+        in a builder returning ``(GraphBatch, BatchStructure)`` pairs.
+    capacity:
+        Maximum number of cached chunks (LRU eviction beyond it).
+
+    The key is the chunk's *content* (dtype-normalised bytes), so the
+    fixed val/test chunks and any recurring train chunk hit across epochs
+    even though the caller re-slices a fresh index array every pass.
+    Entries hold collated node-feature arrays, so the capacity bound is
+    also the memory bound.
+    """
+
+    def __init__(self, builder: Callable[[np.ndarray], Any],
+                 capacity: int = DEFAULT_BATCH_CAPACITY):
+        self.builder = builder
+        self.capacity = int(capacity)
+        self._entries: "OrderedDict[bytes, Any]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, chunk: np.ndarray) -> Any:
+        """The collated value for ``chunk`` (built on first sight)."""
+        chunk = np.ascontiguousarray(chunk, dtype=np.int64)
+        key = chunk.tobytes()
+        if key in self._entries:
+            self.hits += 1
+            self._entries.move_to_end(key)
+            return self._entries[key]
+        self.misses += 1
+        value = self.builder(chunk)
+        self._entries[key] = value
+        if len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+        return value
+
     def stats(self) -> dict:
         return {"hits": self.hits, "misses": self.misses,
                 "entries": len(self._entries), "capacity": self.capacity}

@@ -62,6 +62,27 @@ def normalize_edges(edge_index: np.ndarray, edge_weight: np.ndarray,
     return edge_index, edge_weight * inv_sqrt[src] * inv_sqrt[dst]
 
 
+def gcn_edge_weight_parts(edge_index: np.ndarray, edge_weight: np.ndarray,
+                          num_nodes: int, validate: bool = True,
+                          ) -> Tuple[np.ndarray, np.ndarray]:
+    """Normalised GCN weights split into edge and self-loop parts.
+
+    Returns ``(edge_part, loop_part)`` where ``edge_part[e]`` is the
+    normalised weight of input edge ``e`` (original order preserved) and
+    ``loop_part[i]`` the weight of node ``i``'s self-loop.  Because GCN
+    degrees never cross connected components, the normalised weights of a
+    block-diagonal batch are exactly the concatenation of its members'
+    parts: ``concat(edge parts) ++ concat(loop parts)`` reproduces
+    :func:`normalize_edges` on the collated batch bit for bit.  That makes
+    this the per-graph precomputation behind minibatch structure
+    composition (see ``repro.core.structure``).
+    """
+    num_edges = np.asarray(edge_index).shape[1]
+    _, weight = normalize_edges(edge_index, edge_weight, num_nodes,
+                                add_self_loops=True, validate=validate)
+    return weight[:num_edges], weight[num_edges:]
+
+
 def gcn_normalization(graph: Graph, add_self_loops: bool = True,
                       ) -> Tuple[np.ndarray, np.ndarray]:
     """Return ``(edge_index, edge_weight)`` for the normalised operator.

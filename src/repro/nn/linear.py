@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..tensor import Tensor
+from ..tensor import Tensor, affine
 from . import init
 from .module import Module, Parameter
 
@@ -36,10 +36,7 @@ class Linear(Module):
             self.register_parameter("bias", None)
 
     def forward(self, x: Tensor) -> Tensor:
-        out = x @ self.weight
-        if self.bias is not None:
-            out = out + self.bias
-        return out
+        return affine(x, self.weight, self.bias)
 
     def __repr__(self) -> str:
         return (f"Linear(in_features={self.in_features}, "

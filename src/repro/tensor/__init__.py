@@ -1,26 +1,34 @@
 """NumPy-backed autograd engine (the library's computational substrate)."""
 
 from .tensor import DEFAULT_DTYPE, Tensor
-from .ops import (absolute, clip, concat, dropout, elu, exp, gather_rows,
-                  leaky_relu, log, log_softmax, matmul, relu, rowwise_dot,
-                  sigmoid, softmax, sqrt, square_norm, stack, tanh, where)
-from .segment import (segment_count, segment_max, segment_mean,
-                      segment_normalize, segment_softmax, segment_sum)
+from .ops import (absolute, affine, clip, concat, dropout, elu, exp,
+                  gather_rows, leaky_relu, leaky_relu_project, log,
+                  log_softmax, matmul,
+                  pair_dot, relu, rowwise_dot, sigmoid, softmax, sqrt,
+                  square_norm, stack, tanh, where)
+from .segment import (gather_scale_segment_sum, segment_count, segment_max,
+                      segment_mean, segment_normalize, segment_softmax,
+                      segment_sum)
 from ._segment_plans import (SegmentReductionPlan, clear_plan_cache,
                              fast_kernels_enabled, naive_kernels,
-                             plan_cache_stats, plan_for, scatter_add_rows)
+                             plan_cache_stats, plan_for, scatter_add_rows,
+                             segment_plan_stats)
 from .gradcheck import assert_gradients_close, check_gradients, numeric_gradient
 from .random import make_rng, spawn
 
 __all__ = [
     "DEFAULT_DTYPE", "Tensor",
-    "absolute", "clip", "concat", "dropout", "elu", "exp", "gather_rows",
-    "leaky_relu", "log", "log_softmax", "matmul", "relu", "rowwise_dot",
-    "sigmoid", "softmax", "sqrt", "square_norm", "stack", "tanh", "where",
-    "segment_count", "segment_max", "segment_mean", "segment_normalize",
-    "segment_softmax", "segment_sum",
+    "absolute", "affine", "clip", "concat", "dropout", "elu", "exp",
+    "gather_rows",
+    "leaky_relu", "leaky_relu_project", "log", "log_softmax",
+    "matmul", "pair_dot", "relu",
+    "rowwise_dot", "sigmoid", "softmax", "sqrt", "square_norm", "stack",
+    "tanh", "where",
+    "gather_scale_segment_sum", "segment_count", "segment_max",
+    "segment_mean", "segment_normalize", "segment_softmax", "segment_sum",
     "SegmentReductionPlan", "clear_plan_cache", "fast_kernels_enabled",
     "naive_kernels", "plan_cache_stats", "plan_for", "scatter_add_rows",
+    "segment_plan_stats",
     "assert_gradients_close", "check_gradients", "numeric_gradient",
     "make_rng", "spawn",
 ]

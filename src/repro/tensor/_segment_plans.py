@@ -29,9 +29,18 @@ from typing import Iterator, Tuple
 import numpy as np
 import scipy.sparse as sp
 
+try:  # pragma: no cover - import guard for scipy internals
+    from scipy.sparse import _sparsetools as _sptools
+except ImportError:  # pragma: no cover
+    _sptools = None
+
 #: Upper bound on cached plans; LRU-evicted beyond this.  Each entry pins
-#: its ids array, so the bound also caps the pinned memory.
-PLAN_CACHE_CAPACITY = 256
+#: its ids array, so the bound also caps the pinned memory.  Sized above a
+#: minibatch epoch's working set (stable per-batch structural ids plus the
+#: fresh pooled-level ids of every step): a smaller bound made the LRU lap
+#: itself once per epoch, evicting the long-lived entries the cache exists
+#: to keep.
+PLAN_CACHE_CAPACITY = 1024
 
 #: 2-D segment sums switch from ``add.reduceat`` to a CSR sparse-dense
 #: product at this many input rows — below it the matrix build costs more
@@ -146,8 +155,19 @@ class SegmentReductionPlan:
             # Sparse-dense product: fastest for wide inputs, but the CSR
             # build is not free, so small one-shot plans (fresh pooled-level
             # ids every epoch) take the reduceat path below instead.
-            out = self.scatter_matrix @ np.ascontiguousarray(
-                values, dtype=np.float64)
+            matrix = self.scatter_matrix
+            dense = np.ascontiguousarray(values, dtype=np.float64)
+            if _sptools is not None:
+                # Direct kernel call: scipy's ``@`` re-derives index dtypes
+                # and re-validates shapes on every product, which is
+                # measurable at this call frequency.
+                out = np.zeros((self.num_segments, dense.shape[1]))
+                _sptools.csr_matvecs(
+                    self.num_segments, dense.shape[0], dense.shape[1],
+                    matrix.indptr, matrix.indices, matrix.data,
+                    dense.ravel(), out.ravel())
+            else:  # pragma: no cover - exercised only without scipy internals
+                out = matrix @ dense
             return out if out.dtype == dtype else out.astype(dtype)
         out = np.zeros((self.num_segments,) + values.shape[1:], dtype=dtype)
         if self.starts.size:
@@ -210,6 +230,16 @@ def scatter_add_rows(values: np.ndarray, ids: np.ndarray,
 def plan_cache_stats() -> Tuple[int, int, int]:
     """``(hits, misses, live_entries)`` — diagnostics for tests/benches."""
     return _HITS, _MISSES, len(_CACHE)
+
+
+def segment_plan_stats() -> dict:
+    """Dict-shaped counters matching ``StructureCache.stats()``.
+
+    The uniform shape lets trainers surface every cache's effectiveness
+    in one profile report (``TrainConfig(profile=True)``).
+    """
+    return {"hits": _HITS, "misses": _MISSES, "entries": len(_CACHE),
+            "capacity": PLAN_CACHE_CAPACITY}
 
 
 def clear_plan_cache() -> None:

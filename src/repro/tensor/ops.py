@@ -107,9 +107,38 @@ def leaky_relu(x: ArrayLike, negative_slope: float = 0.2) -> Tensor:
         out_data = np.where(mask, x.data, negative_slope * x.data)
 
     def backward(grad: np.ndarray) -> None:
-        x._accumulate(grad * np.where(mask, 1.0, negative_slope))
+        x._accumulate(np.where(mask, grad, negative_slope * grad))
 
     return x._make_child(out_data, (x,), backward)
+
+
+def leaky_relu_project(x: ArrayLike, a: Tensor,
+                       negative_slope: float = 0.2) -> Tensor:
+    """Fused ``leaky_relu(x) @ a`` (GAT-style attention projection).
+
+    ``a`` may be ``(d,)`` or ``(d, k)``.  The compositional spelling
+    retains the activated ``(n, d)`` array plus a mask and runs four full
+    passes on the backward; the fused node keeps only the activation and
+    applies the slope mask in place on the outer-product gradient.
+    """
+    x = _as_tensor(x)
+    a = _as_tensor(a)
+    if not _plans.fast_kernels_enabled():
+        return leaky_relu(x, negative_slope=negative_slope) @ a
+    act = np.maximum(x.data, negative_slope * x.data)
+    out_data = act @ a.data
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            gact = (grad[:, None] * a.data[None, :] if a.data.ndim == 1
+                    else grad @ a.data.T)
+            factor = np.where(x.data > 0, 1.0, negative_slope)
+            gact *= factor
+            x._accumulate(gact)
+        if a.requires_grad:
+            a._accumulate(act.T @ grad)
+
+    return x._make_child(out_data, (x, a), backward)
 
 
 def elu(x: ArrayLike, alpha: float = 1.0) -> Tensor:
@@ -285,6 +314,74 @@ def square_norm(x: ArrayLike, axis: int = -1, keepdims: bool = False) -> Tensor:
     """Squared L2 norm along ``axis``."""
     x = _as_tensor(x)
     return (x * x).sum(axis=axis, keepdims=keepdims)
+
+
+def affine(x: ArrayLike, weight: Tensor, bias: Optional[Tensor]) -> Tensor:
+    """``x @ weight + bias`` as one autograd node.
+
+    The compositional spelling allocates the matmul output, then a second
+    ``(n, d)`` array for the bias add; here the bias is added in place on
+    the fresh matmul result.  Backward is the standard affine VJP: the
+    bias gradient is the column sum of ``grad`` (what the broadcast add
+    node's unbroadcast would compute).
+    """
+    x = _as_tensor(x)
+    if x.data.ndim != 2 or not _plans.fast_kernels_enabled():
+        out = x @ weight
+        return out + bias if bias is not None else out
+    out_data = x.data @ weight.data
+    if bias is not None:
+        out_data += bias.data
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            x._accumulate(grad @ weight.data.T)
+        if weight.requires_grad:
+            weight._accumulate(x.data.T @ grad)
+        if bias is not None and bias.requires_grad:
+            bias._accumulate(grad.sum(axis=0))
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+    return x._make_child(out_data, parents, backward)
+
+
+def pair_dot(x: ArrayLike, index_a: np.ndarray,
+             index_b: np.ndarray) -> Tensor:
+    """``out[p] = x[index_a[p]] · x[index_b[p]]`` as one autograd node.
+
+    Fused form of ``rowwise_dot(gather_rows(x, a), gather_rows(x, b))``:
+    the compositional spelling creates three graph nodes and four
+    ``(P, d)`` temporaries on the backward pass, while the pair lists this
+    op serves (decoder logits over sampled edges, the ``f_φ^c`` linearity
+    term over ego-network pairs) sit on the training hot path.  The fused
+    backward is the exact same vector-Jacobian product: scatter
+    ``g_p · x[b_p]`` into rows ``a_p`` and ``g_p · x[a_p]`` into ``b_p``.
+    """
+    x = _as_tensor(x)
+    idx_a = np.asarray(index_a, dtype=np.int64)
+    idx_b = np.asarray(index_b, dtype=np.int64)
+    if idx_a.shape != idx_b.shape or idx_a.ndim != 1:
+        raise ValueError(f"pair_dot expects matching 1-D index arrays, got "
+                         f"{idx_a.shape} and {idx_b.shape}")
+    xa = x.data[idx_a]
+    xb = x.data[idx_b]
+    out_data = np.einsum("ij,ij->i", xa, xb)
+
+    def backward(grad: np.ndarray) -> None:
+        g = grad[:, None]
+        n = x.data.shape[0]
+        if _plans.fast_kernels_enabled():
+            tmp = g * xb
+            gx = _plans.scatter_add_rows(tmp, idx_a, n)
+            np.multiply(g, xa, out=tmp)
+            gx += _plans.scatter_add_rows(tmp, idx_b, n)
+        else:
+            gx = np.zeros_like(x.data, dtype=DEFAULT_DTYPE)
+            np.add.at(gx, idx_a, g * xb)
+            np.add.at(gx, idx_b, g * xa)
+        x._accumulate(gx)
+
+    return x._make_child(out_data, (x,), backward)
 
 
 def rowwise_dot(a: ArrayLike, b: ArrayLike) -> Tensor:

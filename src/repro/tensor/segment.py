@@ -111,15 +111,59 @@ def segment_max(values: ArrayLike, segment_ids: np.ndarray,
 
     def backward(grad: np.ndarray) -> None:
         winners = (values.data == out_data[ids]).astype(DEFAULT_DTYPE)
-        # Split gradient among ties within each segment.
+        # Split gradient among ties within each segment.  Dividing at
+        # segment granularity keeps the per-row work to one gather and one
+        # multiply (num_segments ≪ rows on the readout path).
         if fast:
             tie_counts = plan.sum(winners, dtype=DEFAULT_DTYPE)
         else:
             tie_counts = _naive_segment_sum(winners, ids, num_segments)
-        tie_counts = np.maximum(tie_counts, 1.0)
-        values._accumulate(winners * grad[ids] / tie_counts[ids])
+        np.maximum(tie_counts, 1.0, out=tie_counts)
+        shared = grad / tie_counts
+        winners *= shared[ids]
+        values._accumulate(winners)
 
     return values._make_child(out_data, (values,), backward)
+
+
+def gather_scale_segment_sum(x: ArrayLike, gather_ids: np.ndarray,
+                             scale: ArrayLike, segment_ids: np.ndarray,
+                             num_segments: int) -> Tensor:
+    """Fused ``segment_sum(x[gather_ids] * scale[:, None], segment_ids)``.
+
+    This is the sparse-matrix product at the heart of unpooling
+    (``S @ H``) and of the attention-weighted hyper-node pooling: row ``p``
+    of the implicit message matrix is ``scale_p · x[gather_ids_p]``,
+    reduced into ``segment_ids_p``.  Both ``x`` and ``scale`` may carry
+    gradients.  The compositional spelling builds three graph nodes and
+    four ``(P, d)`` temporaries on the backward pass; the fused node does
+    the same vector-Jacobian products in two passes.
+    """
+    x = x if isinstance(x, Tensor) else Tensor(x)
+    scale = scale if isinstance(scale, Tensor) else Tensor(scale)
+    cols = np.asarray(gather_ids, dtype=np.int64)
+    ids = _check_ids(segment_ids, num_segments, cols.shape[0])
+    if scale.data.shape != cols.shape:
+        raise ValueError(f"scale must be 1-D of length {cols.shape[0]}, "
+                         f"got shape {scale.data.shape}")
+    if not _plans.fast_kernels_enabled():
+        messages = gather_rows(x, cols) * scale.reshape(-1, 1)
+        return segment_sum(messages, ids, num_segments)
+
+    gathered = x.data[cols]
+    weights = scale.data[:, None]
+    plan = _plans.plan_for(ids, num_segments)
+    out_data = plan.sum(gathered * weights, dtype=DEFAULT_DTYPE)
+
+    def backward(grad: np.ndarray) -> None:
+        pulled = grad[ids]
+        if x.requires_grad:
+            x._accumulate(_plans.scatter_add_rows(
+                pulled * weights, cols, x.data.shape[0]))
+        if scale.requires_grad:
+            scale._accumulate(np.einsum("ij,ij->i", pulled, gathered))
+
+    return x._make_child(out_data, (x, scale), backward)
 
 
 def segment_softmax(scores: ArrayLike, segment_ids: np.ndarray,

@@ -26,6 +26,12 @@ class TrainConfig:
     seed: int = 0
     verbose: bool = False
     profile: bool = False     #: collect per-epoch phase timings (Table 4)
+    #: Graph classification: collate minibatches through the per-dataset
+    #: structure pipeline (per-graph precompute + block-diagonal
+    #: composition + collated-batch cache).  Off = the original
+    #: recompute-per-batch path; kept as an escape hatch and as the
+    #: baseline arm of the epoch-time benchmark.
+    batch_cache: bool = True
 
     def __post_init__(self) -> None:
         if self.epochs < 1:

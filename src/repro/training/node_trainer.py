@@ -20,7 +20,7 @@ from ..datasets import NodeDataset
 from ..graph import degree_features
 from ..nn import Module, cross_entropy
 from ..optim import Adam, clip_grad_norm
-from ..tensor import Tensor
+from ..tensor import Tensor, segment_plan_stats
 from ..utils.timing import PhaseTimer, profile_phase
 from .config import TrainConfig
 from .early_stopping import EarlyStopping
@@ -50,6 +50,18 @@ class NodeTrainResult:
     history: List[float] = field(default_factory=list)
     #: mean seconds per phase per epoch (only with ``config.profile``)
     phase_seconds: Optional[Dict[str, float]] = None
+    #: per-cache hit/miss counters (only with ``config.profile``)
+    cache_stats: Optional[Dict[str, dict]] = None
+
+
+def _cache_stats(model: Module) -> Dict[str, dict]:
+    """Structure-cache + segment-plan counters for the profile report."""
+    stats: Dict[str, dict] = {"segment_plans": segment_plan_stats()}
+    structure_cache = getattr(getattr(model, "encoder", None),
+                              "structure_cache", None)
+    if structure_cache is not None:
+        stats["structure_cache"] = structure_cache.stats()
+    return stats
 
 
 class NodeClassificationTrainer:
@@ -131,7 +143,8 @@ class NodeClassificationTrainer:
             epochs_run=epochs_run,
             seconds=time.time() - start,
             history=history,
-            phase_seconds=profiler.mean_epoch() if profiler else None)
+            phase_seconds=profiler.mean_epoch() if profiler else None,
+            cache_stats=_cache_stats(model) if profiler else None)
 
     def time_one_epoch(self, model: Module, dataset: NodeDataset,
                        epochs: int = 4,

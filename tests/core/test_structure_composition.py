@@ -1,0 +1,239 @@
+"""Exactness of block-diagonal structure composition.
+
+``repro.core.structure`` claims that composing per-graph precomputations
+by node-id offsetting is *bit-identical* to recomputing level-0 structure
+(λ-hop ego-networks, GCN normalisation) directly on the collated batch.
+These tests pin that claim down — including the hostile shapes: graphs
+with a single node, graphs containing isolated nodes, batches of one
+graph, and radius 2, where ego-networks span multiple hops.
+
+Unlike the fused-vs-naive kernel comparisons (which tolerate 1-ulp
+reduction-order noise), composition must be *exactly* equal: both sides
+run the same arithmetic on per-component data, only in different batching.
+Every assertion here is ``array_equal``, never ``allclose``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.egonet import build_ego_networks, one_hop_neighbors
+from repro.core.structure import (BatchStructure, DatasetStructures,
+                                  compose_batch, precompute_graph_structure)
+from repro.graph import Graph, GraphBatch
+from repro.graph.cache import BatchStructureCache
+from repro.graph.normalize import normalize_edges
+
+
+def random_graph(rng, num_nodes, edge_prob=0.3, label=0):
+    """Random undirected graph; may contain isolated nodes."""
+    upper = np.triu(rng.random((num_nodes, num_nodes)) < edge_prob, k=1)
+    src, dst = np.nonzero(upper)
+    edge_index = np.concatenate(
+        [np.stack([src, dst]), np.stack([dst, src])], axis=1)
+    x = rng.normal(size=(num_nodes, 4))
+    return Graph(edge_index=edge_index, x=x, y=np.int64(label),
+                 num_nodes=num_nodes)
+
+
+def single_node_graph(rng, label=0):
+    return Graph(edge_index=np.zeros((2, 0), dtype=np.int64),
+                 x=rng.normal(size=(1, 4)), y=np.int64(label), num_nodes=1)
+
+
+def graph_with_isolated_nodes(rng, label=0):
+    """A path 0-1-2 plus two isolated nodes 3, 4."""
+    edge_index = np.array([[0, 1, 1, 2], [1, 0, 2, 1]], dtype=np.int64)
+    return Graph(edge_index=edge_index, x=rng.normal(size=(5, 4)),
+                 y=np.int64(label), num_nodes=5)
+
+
+def assert_structure_equals_direct(graphs, structure, batch, radius):
+    """Composed structure must equal direct recomputation bit for bit."""
+    n = batch.num_nodes
+    direct_egos = build_ego_networks(batch.edge_index, n, radius=radius)
+    assert np.array_equal(structure.egos.ego, direct_egos.ego)
+    assert np.array_equal(structure.egos.member, direct_egos.member)
+    assert structure.egos.num_nodes == n
+    assert structure.egos.radius == radius
+
+    direct_nb = (direct_egos if radius == 1
+                 else one_hop_neighbors(batch.edge_index, n))
+    assert np.array_equal(structure.neighbors.ego, direct_nb.ego)
+    assert np.array_equal(structure.neighbors.member, direct_nb.member)
+
+    direct_e, direct_w = normalize_edges(batch.edge_index, batch.edge_weight,
+                                         n)
+    assert np.array_equal(structure.norm_edge_index, direct_e)
+    assert np.array_equal(structure.norm_edge_weight, direct_w)
+
+
+def compose_case(graphs, radius):
+    structures = [precompute_graph_structure(g, radius=radius)
+                  for g in graphs]
+    batch, structure = compose_batch(graphs, structures)
+    direct = GraphBatch.from_graphs(graphs)
+    assert np.array_equal(batch.x, direct.x)
+    assert np.array_equal(batch.edge_index, direct.edge_index)
+    assert np.array_equal(batch.batch, direct.batch)
+    assert_structure_equals_direct(graphs, structure, batch, radius)
+
+
+@pytest.mark.parametrize("radius", [1, 2])
+def test_composition_matches_direct_random_batches(radius):
+    rng = np.random.default_rng(0)
+    for trial in range(5):
+        graphs = [random_graph(rng, int(rng.integers(2, 12)))
+                  for _ in range(int(rng.integers(2, 6)))]
+        compose_case(graphs, radius)
+
+
+@pytest.mark.parametrize("radius", [1, 2])
+def test_composition_single_node_graphs(radius):
+    """Graphs of one node contribute nothing to pair lists, one self-loop."""
+    rng = np.random.default_rng(1)
+    graphs = [single_node_graph(rng), random_graph(rng, 6),
+              single_node_graph(rng)]
+    compose_case(graphs, radius)
+
+
+@pytest.mark.parametrize("radius", [1, 2])
+def test_composition_isolated_nodes(radius):
+    """Isolated nodes have empty ego-networks but still get self-loops."""
+    rng = np.random.default_rng(2)
+    graphs = [graph_with_isolated_nodes(rng), random_graph(rng, 7)]
+    compose_case(graphs, radius)
+
+
+@pytest.mark.parametrize("radius", [1, 2])
+def test_composition_batch_of_one(radius):
+    """A singleton batch: offsets are trivial but paths must still agree."""
+    rng = np.random.default_rng(3)
+    compose_case([random_graph(rng, 9)], radius)
+
+
+def test_radius_one_shares_neighbor_object():
+    """λ = 1: the 1-hop list IS the ego list — no duplicate composition."""
+    rng = np.random.default_rng(4)
+    graphs = [random_graph(rng, 6) for _ in range(3)]
+    structures = [precompute_graph_structure(g, radius=1) for g in graphs]
+    assert all(s.neighbors is s.egos for s in structures)
+    _, structure = compose_batch(graphs, structures)
+    assert structure.neighbors is structure.egos
+
+
+def test_radius_two_distinct_neighbor_lists():
+    rng = np.random.default_rng(5)
+    graphs = [random_graph(rng, 8, edge_prob=0.4) for _ in range(2)]
+    structures = [precompute_graph_structure(g, radius=2) for g in graphs]
+    _, structure = compose_batch(graphs, structures)
+    assert structure.neighbors is not structure.egos
+    assert structure.neighbors.radius == 1
+    assert structure.egos.radius == 2
+
+
+def test_compose_batch_length_mismatch_raises():
+    rng = np.random.default_rng(6)
+    graphs = [random_graph(rng, 5) for _ in range(2)]
+    structures = [precompute_graph_structure(graphs[0], radius=1)]
+    with pytest.raises(ValueError):
+        compose_batch(graphs, structures)
+
+
+# ---------------------------------------------------------------------------
+# BatchStructureCache
+# ---------------------------------------------------------------------------
+def test_batch_cache_hits_on_chunk_content_not_identity():
+    built = []
+
+    def builder(chunk):
+        built.append(chunk.copy())
+        return ("batch", tuple(chunk.tolist()))
+
+    cache = BatchStructureCache(builder, capacity=8)
+    first = cache.get(np.array([3, 1, 4], dtype=np.int64))
+    # A freshly allocated chunk with the same content must hit.
+    second = cache.get(np.array([3, 1, 4], dtype=np.int32))
+    assert second is first
+    assert cache.stats() == {"hits": 1, "misses": 1, "entries": 1,
+                             "capacity": 8}
+    assert len(built) == 1
+
+
+def test_batch_cache_order_sensitive():
+    """Chunks are ordered node lists: [1, 2] and [2, 1] collate differently."""
+    cache = BatchStructureCache(lambda c: tuple(c.tolist()), capacity=8)
+    assert cache.get(np.array([1, 2])) != cache.get(np.array([2, 1]))
+    assert cache.stats()["misses"] == 2
+
+
+def test_batch_cache_lru_eviction():
+    cache = BatchStructureCache(lambda c: tuple(c.tolist()), capacity=2)
+    cache.get(np.array([0]))
+    cache.get(np.array([1]))
+    cache.get(np.array([0]))          # refresh [0]
+    cache.get(np.array([2]))          # evicts [1]
+    assert len(cache) == 2
+    misses = cache.stats()["misses"]
+    cache.get(np.array([1]))          # rebuilt
+    assert cache.stats()["misses"] == misses + 1
+
+
+# ---------------------------------------------------------------------------
+# DatasetStructures
+# ---------------------------------------------------------------------------
+def make_graphs(count, seed=7):
+    rng = np.random.default_rng(seed)
+    return [random_graph(rng, int(rng.integers(2, 9)), label=i % 2)
+            for i in range(count)]
+
+
+def test_dataset_structures_returns_same_batch_object():
+    graphs = make_graphs(6)
+    ds = DatasetStructures(graphs, radius=1,
+                           labels=np.array([g.y for g in graphs]))
+    chunk = np.array([0, 2, 4], dtype=np.int64)
+    batch1, structure1 = ds.batch(chunk)
+    batch2, structure2 = ds.batch(chunk.copy())
+    assert batch1 is batch2 and structure1 is structure2
+    assert isinstance(structure1, BatchStructure)
+    assert np.array_equal(batch1.y, np.array([0, 0, 0]))
+    stats = ds.stats()
+    assert stats["hits"] == 1 and stats["misses"] == 1
+    assert stats["graphs_precomputed"] == 3
+    assert stats["graphs_total"] == 6
+
+
+def test_dataset_structures_matches_plain_collation():
+    graphs = make_graphs(5, seed=8)
+    labels = np.array([int(g.y) for g in graphs])
+    ds = DatasetStructures(graphs, radius=1, labels=labels)
+    chunk = np.array([4, 0, 3], dtype=np.int64)
+    batch, structure = ds.batch(chunk)
+    direct = GraphBatch.from_graphs([graphs[i] for i in chunk],
+                                    y=labels[chunk])
+    assert np.array_equal(batch.x, direct.x)
+    assert np.array_equal(batch.edge_index, direct.edge_index)
+    assert np.array_equal(batch.y, direct.y)
+    assert_structure_equals_direct(graphs, structure, batch, radius=1)
+
+
+def test_dataset_structures_radius_none_disables_composition():
+    graphs = make_graphs(4, seed=9)
+    ds = DatasetStructures(graphs, radius=None)
+    batch, structure = ds.batch(np.array([1, 3]))
+    assert structure is None
+    assert batch.num_graphs == 2
+    with pytest.raises(ValueError):
+        ds.structure(0)
+
+
+def test_per_graph_precomputation_is_lazy_and_shared():
+    graphs = make_graphs(5, seed=10)
+    ds = DatasetStructures(graphs, radius=1)
+    assert ds.stats()["graphs_precomputed"] == 0
+    ds.batch(np.array([0, 1]))
+    assert ds.stats()["graphs_precomputed"] == 2
+    first = ds.structure(0)
+    ds.batch(np.array([0, 4]))        # graph 0 reused, graph 4 fresh
+    assert ds.structure(0) is first
+    assert ds.stats()["graphs_precomputed"] == 3
