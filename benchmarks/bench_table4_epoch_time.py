@@ -23,6 +23,7 @@ root next to the recorded pre-optimisation baseline.
 """
 
 import json
+import os
 import statistics
 from pathlib import Path
 from typing import Dict
@@ -31,6 +32,7 @@ import numpy as np
 import pytest
 
 from repro.datasets import load_graph_dataset, load_node_dataset
+from repro.tensor import get_num_workers, serial_execution
 from repro.training import TrainConfig
 from repro.training.experiment import (make_graph_classifier,
                                        make_node_classifier)
@@ -125,6 +127,34 @@ GRAPH_EPOCH_BASELINE = {
 GRAPH_EPOCH_JSON = Path(__file__).resolve().parent.parent \
     / "BENCH_graph_epoch.json"
 
+#: Environment knobs that change what a wall-clock number means.  BLAS
+#: thread counts matter because the fused kernels lean on matmul; the
+#: kernel worker count is the chunk-parallel executor's pool size.
+_THREAD_ENV_KEYS = ("REPRO_NUM_WORKERS", "OMP_NUM_THREADS",
+                    "OPENBLAS_NUM_THREADS", "MKL_NUM_THREADS",
+                    "NUMEXPR_NUM_THREADS")
+
+
+def _environment(dtype: str) -> dict:
+    """Precision/parallelism context for a recorded measurement."""
+    return {
+        "dtype": dtype,
+        "kernel_workers": get_num_workers(),
+        "cpu_count": os.cpu_count(),
+        "thread_env": {key: os.environ.get(key)
+                       for key in _THREAD_ENV_KEYS},
+    }
+
+
+def _merge_into_json(section: str, payload: dict) -> None:
+    """Update one top-level section of ``BENCH_graph_epoch.json`` in place,
+    preserving whatever the other benchmark sections recorded."""
+    existing = {}
+    if GRAPH_EPOCH_JSON.exists():
+        existing = json.loads(GRAPH_EPOCH_JSON.read_text())
+    existing[section] = payload
+    GRAPH_EPOCH_JSON.write_text(json.dumps(existing, indent=2) + "\n")
+
 
 def generate_graph_epoch_benchmark() -> str:
     """Steady-state AdamGNN minibatch epoch time (graph classification).
@@ -161,6 +191,7 @@ def generate_graph_epoch_benchmark() -> str:
             "protocol": (f"{epochs} epochs, first excluded, median of "
                          f"the rest; smoke={is_smoke()}"),
         },
+        "environment": _environment(trainer.config.dtype),
         "baseline": GRAPH_EPOCH_BASELINE,
         "current": {
             "median_epoch_ms": round(median_ms, 1),
@@ -173,6 +204,11 @@ def generate_graph_epoch_benchmark() -> str:
                                                  key=lambda kv: -kv[1])},
         "cache_stats": cache_stats,
     }
+    # Preserve the precision A/B section if its benchmark recorded one.
+    if GRAPH_EPOCH_JSON.exists():
+        prior = json.loads(GRAPH_EPOCH_JSON.read_text())
+        if "precision_ab" in prior:
+            payload["precision_ab"] = prior["precision_ab"]
     GRAPH_EPOCH_JSON.write_text(json.dumps(payload, indent=2) + "\n")
 
     lines = [
@@ -194,6 +230,92 @@ def generate_graph_epoch_benchmark() -> str:
               for name, c in cache_stats.items()]
     lines.append(f"\nmachine-readable copy: {GRAPH_EPOCH_JSON.name}")
     return "\n".join(lines)
+
+
+def generate_precision_ab() -> str:
+    """Interleaved float32-vs-float64 A/B on the steady PROTEINS epoch.
+
+    Both arms run the same seeded workload; the float32 arm uses the
+    default compute path (chunk-parallel where the machine has cores to
+    spare), the float64 arm runs under ``serial_execution()`` — i.e. the
+    pre-policy reference configuration.  Rounds alternate between the two
+    arms so the machine's wall-clock drift hits both equally, and the
+    paired per-round ratio is the headline figure.  Medians land in the
+    ``precision_ab`` section of ``BENCH_graph_epoch.json``.
+    """
+    rounds = 1 if is_smoke() else 3
+    epochs_per_round = 2 if is_smoke() else 3
+    data = load_graph_dataset("proteins", seed=0)
+    arms = {}
+    for dtype in ("float32", "float64"):
+        arms[dtype] = {
+            "trainer": GraphClassificationTrainer(
+                TrainConfig(epochs=1, batch_size=32, seed=0, dtype=dtype)),
+            "model": make_graph_classifier("adamgnn", data.num_features, 2,
+                                           seed=0),
+            "round_medians": [],
+        }
+
+    def epoch_ms(arm, dtype):
+        if dtype == "float64":
+            with serial_execution():
+                seconds, _ = arm["trainer"].profile_one_epoch(
+                    arm["model"], data)
+        else:
+            seconds, _ = arm["trainer"].profile_one_epoch(arm["model"], data)
+        return seconds * 1000.0
+
+    # Warm both arms: the cold epoch pays the one-off structure
+    # precomputation and cache builds and belongs to neither measurement.
+    for dtype, arm in arms.items():
+        epoch_ms(arm, dtype)
+
+    for _ in range(rounds):
+        for dtype, arm in arms.items():
+            arm["round_medians"].append(statistics.median(
+                epoch_ms(arm, dtype) for _ in range(epochs_per_round)))
+
+    m32 = statistics.median(arms["float32"]["round_medians"])
+    m64 = statistics.median(arms["float64"]["round_medians"])
+    paired = [b / a for a, b in zip(arms["float32"]["round_medians"],
+                                    arms["float64"]["round_medians"])]
+    payload = {
+        "environment": _environment("float32 vs float64"),
+        "protocol": (f"interleaved A/B, {rounds} rounds, median of "
+                     f"{epochs_per_round} steady epochs per round per arm "
+                     f"(cold epoch excluded); float64 arm under "
+                     f"serial_execution(); smoke={is_smoke()}"),
+        "float32_round_medians_ms": [round(v, 1) for v in
+                                     arms["float32"]["round_medians"]],
+        "float64_round_medians_ms": [round(v, 1) for v in
+                                     arms["float64"]["round_medians"]],
+        "float32_median_ms": round(m32, 1),
+        "float64_median_ms": round(m64, 1),
+        "paired_round_speedups": [round(r, 2) for r in paired],
+        "float32_speedup": round(m64 / m32, 2),
+    }
+    _merge_into_json("precision_ab", payload)
+
+    lines = [
+        f"float64 serial:        {m64:8.1f} ms/epoch  "
+        f"rounds {payload['float64_round_medians_ms']}",
+        f"float32 chunk-parallel:{m32:8.1f} ms/epoch  "
+        f"rounds {payload['float32_round_medians_ms']}",
+        f"float32 speedup:       {m64 / m32:8.2f}x  "
+        f"(paired per round: {payload['paired_round_speedups']})",
+        f"kernel workers: {get_num_workers()}, cpus: {os.cpu_count()}",
+        f"\nmachine-readable copy: {GRAPH_EPOCH_JSON.name} (precision_ab)",
+    ]
+    return "\n".join(lines)
+
+
+@pytest.mark.benchmark(group="table4")
+def test_graph_epoch_precision_ab(benchmark):
+    table = benchmark.pedantic(generate_precision_ab, rounds=1,
+                               iterations=1)
+    emit("Table 4 (supplement): float32 vs float64 steady epoch", table)
+    assert table
+    assert GRAPH_EPOCH_JSON.exists()
 
 
 @pytest.mark.benchmark(group="table4")

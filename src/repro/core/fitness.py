@@ -54,7 +54,8 @@ class FitnessScorer(Module):
     def pair_scores(self, h: Tensor, egos: EgoNetworks) -> Tensor:
         """φ_ij for every (ego i, member j) pair, in pair-list order."""
         if egos.num_pairs == 0:
-            return Tensor(np.zeros(0))
+            return Tensor(np.zeros(0, dtype=h.data.dtype),
+                          dtype=h.data.dtype)
         wh = self.transform(h)
         d = wh.shape[-1]
         a_left = self.attention[:d]

@@ -88,7 +88,9 @@ class FlybackAggregator(Module):
         """
         messages = list(messages)
         if not messages:
-            return h0, Tensor(np.zeros((0, h0.shape[0])))
+            return h0, Tensor(np.zeros((0, h0.shape[0]),
+                                       dtype=h0.data.dtype),
+                              dtype=h0.data.dtype)
         logits = self.level_logits(h0, messages)
         beta = softmax(logits, axis=0)
         if fast_kernels_enabled():

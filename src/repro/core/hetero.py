@@ -117,7 +117,10 @@ class TypedFitnessScorer(Module):
     def forward(self, h: Tensor, egos: EgoNetworks, edge_index: np.ndarray,
                 edge_type: np.ndarray) -> Tuple[Tensor, Tensor]:
         if egos.num_pairs == 0:
-            return Tensor(np.zeros(0)), Tensor(np.zeros(egos.num_nodes))
+            dtype = h.data.dtype
+            return (Tensor(np.zeros(0, dtype=dtype), dtype=dtype),
+                    Tensor(np.zeros(egos.num_nodes, dtype=dtype),
+                           dtype=dtype))
         wh = self.transform(h)
         d = wh.shape[-1]
         types = self.pair_types(egos, edge_index, edge_type)
@@ -182,7 +185,7 @@ class HeteroAdamGNN(Module):
         selected = select_egos(phi_nodes.data, egos, egos.sizes())
         assignment = build_assignment(phi_pairs, egos, selected)
         x1 = self.features(h0, phi_pairs, egos, assignment)
-        edge_weight = np.ones(edge_index.shape[1])
+        edge_weight = np.ones(edge_index.shape[1], dtype=h0.data.dtype)
         edges1, weight1 = hyper_graph_connectivity(assignment, edge_index,
                                                    edge_weight)
         from .pooling import PooledLevel

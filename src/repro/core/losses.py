@@ -118,11 +118,16 @@ def self_optimisation_loss(h: Tensor, ego_ids: np.ndarray,
     # q ≤ 1 by construction, so clip(q, 1e-12, 1) is just a lower floor.
     log_q = np.maximum(q, 1e-12)
     np.log(log_q, out=log_q)
-    cross_sum = np.einsum("ij,ij->", p, log_q)
-    colp = p.sum(axis=0)                                      # (m,)
+    # The three scalar KL reductions accumulate in float64 whatever the
+    # compute dtype — thousands of small signed terms cancel here, and
+    # float32 accumulation visibly degrades the loss.  The boundary cast
+    # keeps the loss scalar in the graph's dtype.
+    cross_sum = np.einsum("ij,ij->", p, log_q, dtype=np.float64)
+    colp = p.sum(axis=0, dtype=np.float64)                    # (m,)
     out_data = np.asarray(
-        (cross_sum - colp @ np.log(freq.ravel())
-         - np.log(rowsum).sum()) / n)
+        (cross_sum - colp @ np.log(freq.ravel()).astype(np.float64)
+         - np.log(rowsum).sum(dtype=np.float64)) / n,
+        dtype=data.dtype)
 
     def backward(grad: np.ndarray) -> None:
         scale = float(grad) / n
@@ -307,7 +312,11 @@ def _pair_bce_fused(h: Tensor, positives: np.ndarray,
                 + np.log1p(np.exp(-np.abs(pos_logits))))
     neg_term = (np.maximum(neg_logits, 0.0)
                 + np.log1p(np.exp(-np.abs(neg_logits))))
-    out_data = np.asarray((pos_term.sum() + neg_term.sum()) / count)
+    # Pair-BCE accumulates its scalar sums in float64 (cast at the
+    # boundary) — one of the precision-policy's accumulation exceptions.
+    out_data = np.asarray((pos_term.sum(dtype=np.float64)
+                           + neg_term.sum(dtype=np.float64)) / count,
+                          dtype=data.dtype)
 
     def backward(grad: np.ndarray) -> None:
         scale = float(grad) / count

@@ -139,7 +139,8 @@ class AdamGNN(Module):
         if edge_weight is None:
             # A stable ones array (not a fresh np.ones each call) so the
             # identity-keyed structure/plan caches hit on epochs 2..N.
-            edge_weight = cache.unit_edge_weights(edge_index)
+            edge_weight = cache.unit_edge_weights(edge_index,
+                                                  dtype=x.data.dtype)
 
         x = self.dropout(x)
         with profile_phase("normalize"):
@@ -197,7 +198,9 @@ class AdamGNN(Module):
                 combined, beta = self.flyback(h0, messages)
             else:
                 combined = h0
-                beta = Tensor(np.zeros((len(messages), n)))
+                beta = Tensor(np.zeros((len(messages), n),
+                                       dtype=h0.data.dtype),
+                              dtype=h0.data.dtype)
 
         graph_repr = None
         if batch is not None:

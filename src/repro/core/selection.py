@@ -122,7 +122,9 @@ def build_assignment(phi_pairs: Tensor, egos: EgoNetworks,
 
     rows = np.concatenate([member_rows, ego_rows, retained_rows])
     cols = np.concatenate([member_cols, ego_cols, retained_cols])
-    ones = Tensor(np.ones(ego_rows.shape[0] + retained_rows.shape[0]))
+    dtype = phi_pairs.data.dtype
+    ones = Tensor(np.ones(ego_rows.shape[0] + retained_rows.shape[0],
+                          dtype=dtype), dtype=dtype)
     values = (concat([member_values, ones])
               if member_values.shape[0] else ones)
     seed_of_col = np.concatenate([selected, retained])
@@ -156,7 +158,7 @@ def _a_hat_for(edge_index: np.ndarray, edge_weight: np.ndarray,
     src, dst = edge_index
     loops = np.arange(n, dtype=np.int64)
     a_hat = sp.csr_matrix(
-        (np.concatenate([edge_weight, np.ones(n)]),
+        (np.concatenate([edge_weight, np.ones(n, dtype=edge_weight.dtype)]),
          (np.concatenate([src, loops]), np.concatenate([dst, loops]))),
         shape=(n, n))
     _A_HAT_CACHE[key] = (a_hat, edge_index, edge_weight)

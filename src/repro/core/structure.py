@@ -135,13 +135,24 @@ class DatasetStructures:
         slice instead of a per-graph Python loop.
     capacity:
         Collated-batch LRU bound (see :class:`BatchStructureCache`).
+    dtype:
+        Optional compute precision.  Member graphs are cast **once** here
+        (via :meth:`Graph.astype`) so every downstream array — collated
+        features, composed normalised weights, cached scatter matrices —
+        is stored in compute precision instead of being re-cast per batch
+        per epoch.  ``None`` keeps the graphs' own dtype (float64 for all
+        bundled loaders).
     """
 
     def __init__(self, graphs: Sequence[Graph],
                  radius: Optional[int] = None,
                  labels: Optional[np.ndarray] = None,
-                 capacity: int = DEFAULT_BATCH_CAPACITY):
-        self.graphs = list(graphs)
+                 capacity: int = DEFAULT_BATCH_CAPACITY,
+                 dtype=None):
+        if dtype is None:
+            self.graphs = list(graphs)
+        else:
+            self.graphs = [g.astype(dtype) for g in graphs]
         self.radius = radius
         self.labels = None if labels is None else np.asarray(labels)
         self._per_graph: List[Optional[GraphStructure]] = \

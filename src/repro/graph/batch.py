@@ -90,6 +90,27 @@ class GraphBatch:
         out._sizes = size_arr
         return out
 
+    def astype(self, dtype) -> "GraphBatch":
+        """Return this batch with float arrays cast to ``dtype``.
+
+        Mirrors :meth:`Graph.astype`: returns ``self`` when nothing needs
+        casting; structural arrays (``edge_index``, ``batch``) and labels
+        keep their dtypes.
+        """
+        target = np.dtype(dtype)
+        needs_x = self.x is not None and self.x.dtype != target
+        needs_w = self.edge_weight.dtype != target
+        if not needs_x and not needs_w:
+            return self
+        out = GraphBatch(
+            self.x if self.x is None or not needs_x
+            else self.x.astype(target),
+            self.edge_index, self.edge_weight.astype(target),
+            self.batch, self.num_graphs, y=self.y)
+        out._sizes = self._sizes
+        out._offsets = self._offsets
+        return out
+
     def graph_sizes(self) -> np.ndarray:
         """Number of nodes in each member graph."""
         if self._sizes is None:

@@ -103,17 +103,19 @@ class StructureCache:
     # ------------------------------------------------------------------
     # Structure-specific helpers
     # ------------------------------------------------------------------
-    def unit_edge_weights(self, edge_index: np.ndarray) -> np.ndarray:
+    def unit_edge_weights(self, edge_index: np.ndarray,
+                          dtype=np.float64) -> np.ndarray:
         """A stable all-ones weight array for ``edge_index``.
 
         Synthesising ``np.ones(E)`` fresh every forward pass would defeat
         every identity-keyed cache downstream; this returns the same array
-        object for the same edge list.
+        object for the same edge list (per requested ``dtype``, so a
+        float32 run does not alias a float64 one).
         """
+        dt = np.dtype(dtype)
         return self.get("unit-weights", (edge_index,),
-                        (edge_index.shape[1],),
-                        lambda: np.ones(edge_index.shape[1],
-                                        dtype=np.float64))
+                        (edge_index.shape[1], dt.str),
+                        lambda: np.ones(edge_index.shape[1], dtype=dt))
 
     def normalized_edges(self, edge_index: np.ndarray,
                          edge_weight: Optional[np.ndarray], num_nodes: int,

@@ -45,7 +45,15 @@ class Graph:
         if edge_index.ndim != 2 or edge_index.shape[0] != 2:
             raise ValueError(f"edge_index must have shape (2, E), got {edge_index.shape}")
         self.edge_index = edge_index
-        self.x = None if x is None else np.asarray(x, dtype=np.float64)
+        if x is None:
+            self.x = None
+        else:
+            x = np.asarray(x)
+            # float32/float64 features pass through at their precision (the
+            # compute-dtype policy decides which one a trainer wants);
+            # anything else (ints, bools) is promoted to float64.
+            self.x = (x if x.dtype in (np.float32, np.float64)
+                      else x.astype(np.float64))
         self.y = None if y is None else np.asarray(y)
 
         if num_nodes is None:
@@ -65,7 +73,11 @@ class Graph:
         if edge_weight is None:
             self.edge_weight = np.ones(edge_index.shape[1], dtype=np.float64)
         else:
-            self.edge_weight = np.asarray(edge_weight, dtype=np.float64)
+            edge_weight = np.asarray(edge_weight)
+            self.edge_weight = (edge_weight
+                                if edge_weight.dtype in (np.float32,
+                                                         np.float64)
+                                else edge_weight.astype(np.float64))
             if self.edge_weight.shape != (edge_index.shape[1],):
                 raise ValueError("edge_weight must have one entry per edge")
 
@@ -177,6 +189,23 @@ class Graph:
             sub_y = self.y[nodes]
         return (Graph(sub_edges, x=sub_x, y=sub_y, num_nodes=nodes.shape[0],
                       edge_weight=self.edge_weight[keep]), nodes)
+
+    def astype(self, dtype) -> "Graph":
+        """Return this graph with float arrays cast to ``dtype``.
+
+        Returns ``self`` when nothing needs casting, so calling it per
+        epoch is free after the first conversion.  ``edge_index`` and ``y``
+        are structural/label data and keep their dtypes.
+        """
+        target = np.dtype(dtype)
+        needs_x = self.x is not None and self.x.dtype != target
+        needs_w = self.edge_weight.dtype != target
+        if not needs_x and not needs_w:
+            return self
+        return Graph(self.edge_index,
+                     x=None if self.x is None else self.x.astype(target),
+                     y=self.y, num_nodes=self.num_nodes,
+                     edge_weight=self.edge_weight.astype(target))
 
     def copy(self) -> "Graph":
         """Deep copy of arrays."""

@@ -11,6 +11,7 @@ from typing import Tuple
 
 import numpy as np
 
+from ..tensor.precision import get_default_dtype
 from .graph import Graph
 
 
@@ -35,7 +36,14 @@ def normalize_edges(edge_index: np.ndarray, edge_weight: np.ndarray,
     ``validate=False`` if the edge list is known-symmetric).
     """
     edge_index = np.asarray(edge_index, dtype=np.int64)
-    edge_weight = np.asarray(edge_weight, dtype=np.float64)
+    edge_weight = np.asarray(edge_weight)
+    # Degrees and inverse square roots are always formed in float64; the
+    # returned weights come back in the input's precision (float64 inputs
+    # are bitwise unchanged from the pre-policy path).
+    out_dtype = (edge_weight.dtype
+                 if edge_weight.dtype in (np.float32, np.float64)
+                 else np.dtype(np.float64))
+    edge_weight = edge_weight.astype(np.float64, copy=False)
     if validate and edge_index.size:
         out_deg = np.bincount(edge_index[0], weights=edge_weight,
                               minlength=num_nodes)
@@ -59,7 +67,8 @@ def normalize_edges(edge_index: np.ndarray, edge_weight: np.ndarray,
     inv_sqrt = np.zeros_like(degree)
     positive = degree > 0
     inv_sqrt[positive] = 1.0 / np.sqrt(degree[positive])
-    return edge_index, edge_weight * inv_sqrt[src] * inv_sqrt[dst]
+    normalized = edge_weight * inv_sqrt[src] * inv_sqrt[dst]
+    return edge_index, normalized.astype(out_dtype, copy=False)
 
 
 def gcn_edge_weight_parts(edge_index: np.ndarray, edge_weight: np.ndarray,
@@ -100,9 +109,12 @@ def gcn_normalization(graph: Graph, add_self_loops: bool = True,
 
 def row_normalize_features(x: np.ndarray, eps: float = 1e-12) -> np.ndarray:
     """L1-normalise feature rows (the Planetoid bag-of-words convention)."""
-    x = np.asarray(x, dtype=np.float64)
-    sums = np.abs(x).sum(axis=1, keepdims=True)
-    return x / np.maximum(sums, eps)
+    x = np.asarray(x)
+    if x.dtype not in (np.float32, np.float64):
+        x = x.astype(np.float64)
+    # Row sums accumulate in float64; the result keeps the input's dtype.
+    sums = np.abs(x).sum(axis=1, keepdims=True, dtype=np.float64)
+    return (x / np.maximum(sums, eps)).astype(x.dtype, copy=False)
 
 
 def degree_features(graph: Graph, max_degree: int | None = None) -> np.ndarray:
@@ -116,10 +128,10 @@ def degree_features(graph: Graph, max_degree: int | None = None) -> np.ndarray:
         # Zero-node graph: degree.max() would raise on an empty array; the
         # feature width must still be well-defined for downstream stacking.
         cap = max(max_degree if max_degree is not None else 0, 1)
-        return np.zeros((0, cap + 1), dtype=np.float64)
+        return np.zeros((0, cap + 1), dtype=get_default_dtype())
     cap = int(degree.max()) if max_degree is None else max_degree
     cap = max(cap, 1)
     clipped = np.minimum(degree, cap)
-    out = np.zeros((graph.num_nodes, cap + 1), dtype=np.float64)
+    out = np.zeros((graph.num_nodes, cap + 1), dtype=get_default_dtype())
     out[np.arange(graph.num_nodes), clipped] = 1.0
     return out

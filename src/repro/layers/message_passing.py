@@ -35,17 +35,20 @@ _ADJ_CAPACITY = 64
 
 def _adjacency_for(src: np.ndarray, dst: np.ndarray,
                    edge_weight: Optional[np.ndarray],
-                   num_out: int, num_in: int):
+                   num_out: int, num_in: int, dtype=np.float64):
+    # dtype is part of the key: a float64 CSR operator applied to float32
+    # node states would silently promote the whole layer back to float64.
+    dtype = np.dtype(dtype)
     key = (_array_key(src), _array_key(dst),
            None if edge_weight is None else _array_key(edge_weight),
-           num_out, num_in)
+           num_out, num_in, dtype.str)
     hit = _ADJ_CACHE.get(key)
     if hit is not None:
         _ADJ_CACHE.move_to_end(key)
         return hit[1]
-    data = (np.ones(src.shape[0])
+    data = (np.ones(src.shape[0], dtype=dtype)
             if edge_weight is None
-            else np.asarray(edge_weight, dtype=np.float64))
+            else np.asarray(edge_weight).astype(dtype, copy=False))
     forward_op = sp.csr_matrix((data, (dst, src)), shape=(num_out, num_in))
     backward_op = sp.csr_matrix((data, (src, dst)), shape=(num_in, num_out))
     pair = (forward_op, backward_op)
@@ -102,12 +105,14 @@ def propagate(x: Tensor, edge_index: np.ndarray, num_nodes: int,
         # Weighted-sum aggregation is a sparse matrix product; the edge
         # weights carry no gradient (they are detached normalisations or
         # relation strengths), so the operator is a constant.
-        ops = _adjacency_for(src, dst, edge_weight, num_nodes, x.data.shape[0])
+        ops = _adjacency_for(src, dst, edge_weight, num_nodes,
+                             x.data.shape[0], dtype=x.data.dtype)
         return _spmm(x, *ops)
     messages = gather_rows(x, src)
     if message_fn is not None:
         messages = message_fn(messages)
     if edge_weight is not None:
-        weights = Tensor(np.asarray(edge_weight, dtype=np.float64).reshape(-1, 1))
+        weights = Tensor(np.asarray(edge_weight).reshape(-1, 1),
+                         dtype=x.data.dtype)
         messages = messages * weights
     return _REDUCERS[reduce](messages, dst, num_nodes)

@@ -33,7 +33,9 @@ def batch_to_pairwise_tensor(batch: GraphBatch) -> Tuple[np.ndarray, np.ndarray]
     slot, mask, n_max = dense_slots(batch.batch, batch.num_graphs)
     b = batch.num_graphs
     f = batch.x.shape[1]
-    tensor = np.zeros((b, n_max, n_max, f + 1), dtype=DEFAULT_DTYPE)
+    dtype = (batch.x.dtype if batch.x.dtype in (np.float32, np.float64)
+             else DEFAULT_DTYPE)
+    tensor = np.zeros((b, n_max, n_max, f + 1), dtype=dtype)
     position = slot - batch.batch * n_max
     src, dst = batch.edge_index
     tensor[batch.batch[src], position[src], position[dst], 0] = \
@@ -93,14 +95,14 @@ class ThreeWLGraphClassifier(Module):
 
     def forward(self, batch: GraphBatch) -> Tuple[Tensor, Tensor]:
         array, mask = batch_to_pairwise_tensor(batch)
-        t = Tensor(array)
+        t = Tensor(array, dtype=array.dtype)
         for block in self.blocks:
             t = block(t)
         b, n = array.shape[0], array.shape[1]
-        eye = np.eye(n, dtype=DEFAULT_DTYPE)[None, :, :, None]
-        valid = (mask[:, :, None] & mask[:, None, :]).astype(DEFAULT_DTYPE)
-        valid = Tensor(valid[..., None])
+        eye = np.eye(n, dtype=array.dtype)[None, :, :, None]
+        valid = (mask[:, :, None] & mask[:, None, :]).astype(array.dtype)
+        valid = Tensor(valid[..., None], dtype=array.dtype)
         t = t * valid
-        diag_sum = (t * Tensor(eye)).sum(axis=(1, 2))
+        diag_sum = (t * Tensor(eye, dtype=array.dtype)).sum(axis=(1, 2))
         off_sum = t.sum(axis=(1, 2)) - diag_sum
         return self.head(concat([diag_sum, off_sum], axis=-1)), Tensor(0.0)

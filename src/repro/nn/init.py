@@ -3,6 +3,11 @@
 Glorot (Xavier) initialisation is the PyTorch-Geometric default for GCN/GAT
 weight matrices and is what the paper's reference implementation uses, so it
 is the default throughout this library.
+
+All initialisers emit the compute-policy dtype (or an explicit ``dtype``)
+while *drawing* in float64 — a fixed seed therefore produces the same
+weights at float32 and float64, differing only by the final rounding (see
+:func:`repro.tensor.random.draw_uniform`).
 """
 
 from __future__ import annotations
@@ -11,37 +16,42 @@ import math
 
 import numpy as np
 
-from ..tensor import DEFAULT_DTYPE
+from ..tensor.precision import get_default_dtype, resolve_dtype
+from ..tensor.random import draw_normal, draw_uniform
+
+
+def _dtype(dtype) -> np.dtype:
+    return get_default_dtype() if dtype is None else resolve_dtype(dtype)
 
 
 def glorot_uniform(rng: np.random.Generator, fan_in: int, fan_out: int,
-                   shape: tuple | None = None) -> np.ndarray:
+                   shape: tuple | None = None, dtype=None) -> np.ndarray:
     """Xavier/Glorot uniform: U(-a, a) with a = sqrt(6 / (fan_in + fan_out))."""
     bound = math.sqrt(6.0 / float(fan_in + fan_out))
     shape = shape if shape is not None else (fan_in, fan_out)
-    return rng.uniform(-bound, bound, size=shape).astype(DEFAULT_DTYPE)
+    return draw_uniform(rng, -bound, bound, shape, dtype=_dtype(dtype))
 
 
 def glorot_normal(rng: np.random.Generator, fan_in: int, fan_out: int,
-                  shape: tuple | None = None) -> np.ndarray:
+                  shape: tuple | None = None, dtype=None) -> np.ndarray:
     """Xavier/Glorot normal: N(0, 2 / (fan_in + fan_out))."""
     std = math.sqrt(2.0 / float(fan_in + fan_out))
     shape = shape if shape is not None else (fan_in, fan_out)
-    return (rng.normal(0.0, std, size=shape)).astype(DEFAULT_DTYPE)
+    return draw_normal(rng, 0.0, std, shape, dtype=_dtype(dtype))
 
 
 def kaiming_uniform(rng: np.random.Generator, fan_in: int,
-                    shape: tuple) -> np.ndarray:
+                    shape: tuple, dtype=None) -> np.ndarray:
     """He/Kaiming uniform for ReLU fan-in scaling."""
     bound = math.sqrt(6.0 / float(fan_in))
-    return rng.uniform(-bound, bound, size=shape).astype(DEFAULT_DTYPE)
+    return draw_uniform(rng, -bound, bound, shape, dtype=_dtype(dtype))
 
 
-def zeros(shape: tuple) -> np.ndarray:
+def zeros(shape: tuple, dtype=None) -> np.ndarray:
     """All-zero initialiser (biases)."""
-    return np.zeros(shape, dtype=DEFAULT_DTYPE)
+    return np.zeros(shape, dtype=_dtype(dtype))
 
 
-def ones(shape: tuple) -> np.ndarray:
+def ones(shape: tuple, dtype=None) -> np.ndarray:
     """All-one initialiser (norm scales)."""
-    return np.ones(shape, dtype=DEFAULT_DTYPE)
+    return np.ones(shape, dtype=_dtype(dtype))

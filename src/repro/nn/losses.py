@@ -51,21 +51,24 @@ def binary_cross_entropy_with_logits(logits: Tensor,
     The compositional spelling is retained under
     :func:`repro.tensor.naive_kernels` so tests can compare the two.
     """
-    targets = np.asarray(targets, dtype=np.float64)
     x = logits if isinstance(logits, Tensor) else Tensor(logits)
+    # Targets adopt the logits' dtype so a float32 graph stays float32.
+    targets = np.asarray(targets, dtype=x.data.dtype)
     from ..tensor import fast_kernels_enabled
     if not fast_kernels_enabled():
         # max(x, 0) as 0.5*(x + |x|) keeps everything inside autograd.
         from ..tensor import absolute, exp
         abs_x = absolute(x)
-        loss = (abs_x + x) * 0.5 - x * Tensor(targets) \
+        loss = (abs_x + x) * 0.5 - x * Tensor(targets, dtype=x.data.dtype) \
             + log(exp(-abs_x) + 1.0)
         return loss.mean()
 
     data = x.data
     e = np.exp(-np.abs(data))
     loss_terms = np.maximum(data, 0.0) - data * targets + np.log1p(e)
-    out_data = np.asarray(loss_terms.mean())
+    # The scalar reduction accumulates in float64, cast at the boundary.
+    out_data = np.asarray(loss_terms.mean(dtype=np.float64),
+                          dtype=data.dtype)
     count = max(loss_terms.size, 1)
 
     def backward(grad: np.ndarray) -> None:

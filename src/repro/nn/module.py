@@ -127,6 +127,26 @@ class Module:
         for param in self.parameters():
             param.zero_grad()
 
+    def astype(self, dtype) -> "Module":
+        """Cast every float parameter and buffer to ``dtype``, in place.
+
+        This is how a trainer moves a model onto the configured compute
+        precision (``TrainConfig(dtype=...)``).  Integer buffers (index
+        structures) are untouched; casts to the current dtype are no-ops,
+        so calling it redundantly is free.  Returns ``self`` for chaining.
+        """
+        from ..tensor.precision import resolve_dtype
+        target = resolve_dtype(dtype)
+        for module in self.modules():
+            for param in module._parameters.values():
+                if param.data.dtype.kind == "f" and param.data.dtype != target:
+                    param.data = param.data.astype(target)
+                    param.zero_grad()
+            for name, buf in list(module._buffers.items()):
+                if buf.dtype.kind == "f" and buf.dtype != target:
+                    module.set_buffer(name, buf.astype(target))
+        return self
+
     # ------------------------------------------------------------------
     # Serialisation
     # ------------------------------------------------------------------

@@ -45,8 +45,10 @@ class BatchNorm1d(Module):
         self.momentum = momentum
         self.weight = Parameter(init.ones((dim,)))
         self.bias = Parameter(init.zeros((dim,)))
-        self.register_buffer("running_mean", np.zeros(dim))
-        self.register_buffer("running_var", np.ones(dim))
+        self.register_buffer("running_mean",
+                             np.zeros(dim, dtype=self.weight.data.dtype))
+        self.register_buffer("running_var",
+                             np.ones(dim, dtype=self.weight.data.dtype))
 
     def forward(self, x: Tensor) -> Tensor:
         if self.training and x.shape[0] > 1:
@@ -60,9 +62,11 @@ class BatchNorm1d(Module):
                             (1 - self.momentum) * self.running_var
                             + self.momentum * var.data.reshape(-1))
         else:
-            mean = Tensor(self.running_mean.reshape(1, -1))
+            mean = Tensor(self.running_mean.reshape(1, -1),
+                          dtype=self.running_mean.dtype)
             centered = x - mean
-            var = Tensor(self.running_var.reshape(1, -1))
+            var = Tensor(self.running_var.reshape(1, -1),
+                         dtype=self.running_var.dtype)
         normed = centered / sqrt(var + self.eps)
         return normed * self.weight + self.bias
 

@@ -27,7 +27,12 @@ class Adam(Optimizer):
         self.weight_decay = weight_decay
         self._step = 0
         self._m = [np.zeros_like(p.data) for p in self.params]
-        self._v = [np.zeros_like(p.data) for p in self.params]
+        # Second moments always accumulate in float64: v is a running sum
+        # of squared gradients whose bias-corrected square root divides the
+        # update, and float32 accumulation there visibly degrades late
+        # training.  For float64 parameters this is np.zeros_like as before.
+        self._v = [np.zeros(p.data.shape, dtype=np.float64)
+                   for p in self.params]
 
     def step(self) -> None:
         self._step += 1
@@ -45,7 +50,12 @@ class Adam(Optimizer):
             v += (1.0 - self.beta2) * grad * grad
             m_hat = m / bias1
             v_hat = v / bias2
-            param.data = param.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+            # v_hat is float64, so the whole step is formed in float64 and
+            # cast once at the parameter boundary (a no-op for float64
+            # parameters — bitwise identical to the pre-policy update).
+            step = self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+            param.data = param.data - step.astype(param.data.dtype,
+                                                  copy=False)
 
 
 class AdamW(Adam):

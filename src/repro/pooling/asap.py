@@ -54,8 +54,9 @@ class LEConv(Module):
         n = num_nodes if num_nodes is not None else x.shape[0]
         src, dst = edge_index
         if edge_weight is None:
-            edge_weight = np.ones(src.shape[0])
-        weights = Tensor(np.asarray(edge_weight).reshape(-1, 1))
+            edge_weight = np.ones(src.shape[0], dtype=x.data.dtype)
+        weights = Tensor(np.asarray(edge_weight).reshape(-1, 1),
+                         dtype=x.data.dtype)
         pos = gather_rows(self.lin_pos(x), dst)
         neg = gather_rows(self.lin_neg(x), src)
         messages = (pos - neg) * weights

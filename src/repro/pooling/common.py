@@ -96,7 +96,10 @@ def to_dense_adjacency(edge_index: np.ndarray, edge_weight: np.ndarray,
     """Padded dense adjacency stack ``(B, N_max, N_max)`` (plain array)."""
     slot, mask, n_max = dense_slots(batch, num_graphs)
     position = slot - batch * n_max
-    adj = np.zeros((num_graphs, n_max, n_max), dtype=DEFAULT_DTYPE)
+    weight = np.asarray(edge_weight)
+    dtype = (weight.dtype if weight.dtype in (np.float32, np.float64)
+             else DEFAULT_DTYPE)
+    adj = np.zeros((num_graphs, n_max, n_max), dtype=dtype)
     src, dst = edge_index
     adj[batch[src], position[src], position[dst]] = edge_weight
     del mask

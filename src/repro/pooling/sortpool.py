@@ -40,7 +40,8 @@ class SortPool(Module):
             picked = gather_rows(x, order).reshape(1, -1)
             deficit = self.k * d - picked.shape[1]
             if deficit > 0:
-                picked = concat([picked, Tensor(np.zeros((1, deficit)))],
+                pad = np.zeros((1, deficit), dtype=x.data.dtype)
+                picked = concat([picked, Tensor(pad, dtype=x.data.dtype)],
                                 axis=1)
             rows.append(picked)
         return concat(rows, axis=0)

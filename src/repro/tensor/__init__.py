@@ -1,6 +1,11 @@
 """NumPy-backed autograd engine (the library's computational substrate)."""
 
 from .tensor import DEFAULT_DTYPE, Tensor
+from .precision import (ACCUM_DTYPE, default_dtype, get_default_dtype,
+                        resolve_dtype, set_default_dtype)
+from ._parallel import (PARALLEL_MIN_ROWS, chunk_plan, get_num_workers,
+                        num_workers, parallel_enabled, serial_execution,
+                        set_num_workers)
 from .ops import (absolute, affine, clip, concat, dropout, elu, exp,
                   gather_rows, leaky_relu, leaky_relu_project, log,
                   log_softmax, matmul,
@@ -13,11 +18,16 @@ from ._segment_plans import (SegmentReductionPlan, clear_plan_cache,
                              fast_kernels_enabled, naive_kernels,
                              plan_cache_stats, plan_for, scatter_add_rows,
                              segment_plan_stats)
-from .gradcheck import assert_gradients_close, check_gradients, numeric_gradient
-from .random import make_rng, spawn
+from .gradcheck import (assert_gradients_close, check_gradients,
+                        numeric_gradient, tolerances_for)
+from .random import draw_normal, draw_uniform, make_rng, spawn
 
 __all__ = [
     "DEFAULT_DTYPE", "Tensor",
+    "ACCUM_DTYPE", "default_dtype", "get_default_dtype", "resolve_dtype",
+    "set_default_dtype",
+    "PARALLEL_MIN_ROWS", "chunk_plan", "get_num_workers", "num_workers",
+    "parallel_enabled", "serial_execution", "set_num_workers",
     "absolute", "affine", "clip", "concat", "dropout", "elu", "exp",
     "gather_rows",
     "leaky_relu", "leaky_relu_project", "log", "log_softmax",
@@ -30,5 +40,6 @@ __all__ = [
     "naive_kernels", "plan_cache_stats", "plan_for", "scatter_add_rows",
     "segment_plan_stats",
     "assert_gradients_close", "check_gradients", "numeric_gradient",
-    "make_rng", "spawn",
+    "tolerances_for",
+    "draw_normal", "draw_uniform", "make_rng", "spawn",
 ]

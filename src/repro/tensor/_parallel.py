@@ -1,0 +1,161 @@
+"""Chunk-parallel execution for the largest fused kernels.
+
+The steady AdamGNN epoch is dense NumPy arithmetic; on a multi-core box
+the biggest kernels (``affine``, ``leaky_relu_project``, the 2-D segment
+reductions) can run their row/column blocks concurrently because NumPy
+releases the GIL inside its C loops.  This module owns that machinery:
+
+* :func:`get_num_workers` / :func:`set_num_workers` — worker policy.
+  Defaults to ``REPRO_NUM_WORKERS`` if set, else ``os.cpu_count()``; a
+  value of 1 means every kernel stays on the caller's thread.
+* :func:`chunk_plan` — split ``n`` rows into contiguous blocks.  The plan
+  is a pure function of ``(n, configured workers, threshold)`` — it does
+  NOT depend on whether the pool is enabled, so running the same plan
+  serially (:func:`serial_execution`) or on the pool yields bitwise
+  identical results by construction: the per-block NumPy calls are the
+  same either way, only the thread that runs them differs.
+* :func:`run_chunked` — execute a per-block function over a plan, on the
+  shared pool when parallelism is enabled and on the calling thread
+  otherwise.
+
+Bit-for-bit semantics, stated precisely: block boundaries *do* change the
+floating-point result of a blocked GEMM relative to the unblocked call
+(BLAS is free to reassociate differently per shape), so chunking is part
+of the kernel's definition, not a transparent execution detail.  The
+reference escape hatch is unchanged: under ``naive_kernels()`` the fused
+kernels fall back to their compositional formulations, which never chunk
+and therefore reproduce the pre-policy float64 path exactly.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from contextlib import contextmanager
+from typing import Callable, Iterator, List, Optional, Sequence, Tuple
+
+#: Kernels smaller than this many rows (or columns, for column-chunked
+#: reductions) never split: pool dispatch costs ~50 µs per block, so tiny
+#: blocks lose more than they gain.
+PARALLEL_MIN_ROWS = 2048
+
+
+def _workers_from_env() -> int:
+    value = os.environ.get("REPRO_NUM_WORKERS")
+    if value is not None:
+        try:
+            return max(1, int(value))
+        except ValueError:
+            pass
+    return max(1, os.cpu_count() or 1)
+
+
+_num_workers = _workers_from_env()
+_serial_only = False
+_pool: Optional[ThreadPoolExecutor] = None
+_pool_size = 0
+_pool_lock = threading.Lock()
+
+
+def get_num_workers() -> int:
+    """Configured worker count (1 = fully serial)."""
+    return _num_workers
+
+
+def set_num_workers(workers: int) -> int:
+    """Set the worker count; returns the previous value.
+
+    Changing the count changes chunk plans, and therefore (for GEMM-backed
+    kernels) the floating-point results — treat it as a run-level setting,
+    not something to flip mid-training.
+    """
+    global _num_workers
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    previous = _num_workers
+    _num_workers = int(workers)
+    return previous
+
+
+@contextmanager
+def num_workers(workers: int) -> Iterator[int]:
+    """Scope a worker-count change to a ``with`` block."""
+    previous = set_num_workers(workers)
+    try:
+        yield _num_workers
+    finally:
+        set_num_workers(previous)
+
+
+@contextmanager
+def serial_execution() -> Iterator[None]:
+    """Run chunked kernels on the calling thread, same chunk plan.
+
+    The plan (and hence every floating-point result) is identical to the
+    pooled execution — this is the bit-for-bit determinism check used by
+    the integration tests, and a debugging aid when a worker thread hides
+    a traceback.
+    """
+    global _serial_only
+    previous = _serial_only
+    _serial_only = True
+    try:
+        yield
+    finally:
+        _serial_only = previous
+
+
+def parallel_enabled() -> bool:
+    """True when chunked kernels may dispatch to the worker pool."""
+    return _num_workers > 1 and not _serial_only
+
+
+def chunk_plan(n: int, *, min_rows: int = PARALLEL_MIN_ROWS,
+               workers: Optional[int] = None) -> Optional[List[Tuple[int, int]]]:
+    """Contiguous ``[start, stop)`` blocks covering ``range(n)``.
+
+    Returns ``None`` when the work should not split: fewer than two
+    workers configured, or ``n`` below the threshold.  A pure function of
+    its arguments — the serial/parallel execution mode does not affect it.
+    """
+    w = _num_workers if workers is None else workers
+    if w <= 1 or n < min_rows:
+        return None
+    blocks = min(w, max(1, n // (min_rows // 2)))
+    if blocks <= 1:
+        return None
+    step = -(-n // blocks)            # ceil division
+    return [(start, min(start + step, n)) for start in range(0, n, step)]
+
+
+def _get_pool(size: int) -> ThreadPoolExecutor:
+    global _pool, _pool_size
+    with _pool_lock:
+        if _pool is None or _pool_size < size:
+            if _pool is not None:
+                _pool.shutdown(wait=False)
+            _pool = ThreadPoolExecutor(max_workers=size,
+                                       thread_name_prefix="repro-kernel")
+            _pool_size = size
+        return _pool
+
+
+def run_chunked(fn: Callable[[int, int], None],
+                plan: Sequence[Tuple[int, int]]) -> None:
+    """Run ``fn(start, stop)`` for every block of ``plan``.
+
+    ``fn`` must write its results into preallocated output storage (the
+    blocks are disjoint, so no synchronisation is needed).  Dispatches to
+    the shared pool when parallelism is enabled; otherwise runs the very
+    same blocks in order on the calling thread.  Exceptions propagate
+    either way.
+    """
+    if not parallel_enabled() or len(plan) <= 1:
+        for start, stop in plan:
+            fn(start, stop)
+        return
+    pool = _get_pool(min(_num_workers, len(plan)))
+    futures = [pool.submit(fn, start, stop) for start, stop in plan]
+    for future in futures:
+        future.result()

@@ -24,10 +24,12 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from contextlib import contextmanager
-from typing import Iterator, Tuple
+from typing import Dict, Iterator, Optional, Tuple
 
 import numpy as np
 import scipy.sparse as sp
+
+from . import _parallel
 
 try:  # pragma: no cover - import guard for scipy internals
     from scipy.sparse import _sparsetools as _sptools
@@ -92,7 +94,7 @@ class SegmentReductionPlan:
     """
 
     __slots__ = ("ids", "num_segments", "order", "starts", "present",
-                 "_counts", "_scatter_matrix")
+                 "_counts", "_scatter")
 
     def __init__(self, ids: np.ndarray, num_segments: int):
         self.ids = ids
@@ -112,7 +114,7 @@ class SegmentReductionPlan:
         self.starts = starts
         self.present = present
         self._counts = None
-        self._scatter_matrix = None
+        self._scatter: Dict[str, sp.csr_matrix] = {}
 
     @property
     def counts(self) -> np.ndarray:
@@ -121,54 +123,95 @@ class SegmentReductionPlan:
                                        minlength=self.num_segments)
         return self._counts
 
-    @property
-    def scatter_matrix(self) -> sp.csr_matrix:
-        """``(num_segments, len(ids))`` CSR selector: row s hits its rows.
+    def scatter_for(self, dtype: np.dtype) -> sp.csr_matrix:
+        """``(num_segments, len(ids))`` CSR selector in ``dtype``.
 
         A sparse-dense product with this matrix is the fastest segment-sum
         for wide 2-D values (single C pass, no (P, d) gather materialised).
-        Built lazily — 1-D reductions never need it.
+        Built lazily per dtype — the raw C kernel requires the matrix data
+        and the dense operand to agree — with the index structure shared
+        between the float32 and float64 variants.
         """
-        if self._scatter_matrix is None:
-            # The plan already holds the CSR structure: row s of the
-            # selector covers positions ``order[indptr[s]:indptr[s+1]]``
-            # (ascending, because the argsort is stable), so the matrix is
-            # assembled directly — no COO round-trip, no transpose/sort.
+        key = np.dtype(dtype).char
+        matrix = self._scatter.get(key)
+        if matrix is None:
             p = self.ids.shape[0]
-            indptr = np.zeros(self.num_segments + 1, dtype=np.int64)
-            np.cumsum(self.counts, out=indptr[1:])
-            self._scatter_matrix = sp.csr_matrix(
-                (np.ones(p), self.order, indptr),
-                shape=(self.num_segments, p))
-        return self._scatter_matrix
+            if self._scatter:
+                # Reuse the structure arrays of an existing variant.
+                existing = next(iter(self._scatter.values()))
+                indices, indptr = existing.indices, existing.indptr
+            else:
+                # The plan already holds the CSR structure: row s of the
+                # selector covers positions ``order[indptr[s]:indptr[s+1]]``
+                # (ascending, because the argsort is stable), so the matrix
+                # is assembled directly — no COO round-trip, no sort.
+                indptr = np.zeros(self.num_segments + 1, dtype=np.int64)
+                np.cumsum(self.counts, out=indptr[1:])
+                indices = self.order
+            matrix = sp.csr_matrix((np.ones(p, dtype=dtype), indices,
+                                    indptr), shape=(self.num_segments, p))
+            self._scatter[key] = matrix
+        return matrix
+
+    @property
+    def scatter_matrix(self) -> sp.csr_matrix:
+        """Back-compat alias: the float64 selector."""
+        return self.scatter_for(np.float64)
+
+    def _csr_sum(self, values: np.ndarray, dtype: np.dtype) -> np.ndarray:
+        matrix = self.scatter_for(dtype)
+        dense = np.ascontiguousarray(values, dtype=dtype)
+        if _sptools is None:  # pragma: no cover - without scipy internals
+            return np.asarray(matrix @ dense, dtype=dtype)
+        # Direct kernel call: scipy's ``@`` re-derives index dtypes
+        # and re-validates shapes on every product, which is
+        # measurable at this call frequency.
+        out = np.zeros((self.num_segments, dense.shape[1]), dtype=dtype)
+        n_rows, n_vecs = dense.shape
+        indptr, indices, data = matrix.indptr, matrix.indices, matrix.data
+        plan = _parallel.chunk_plan(self.num_segments)
+        if plan is None:
+            _sptools.csr_matvecs(self.num_segments, n_rows, n_vecs,
+                                 indptr, indices, data,
+                                 dense.ravel(), out.ravel())
+            return out
+
+        flat = dense.ravel()
+
+        def block(start: int, stop: int) -> None:
+            # Output rows are independent dot products, so splitting by
+            # output row block is bitwise identical to the full call.
+            base = indptr[start]
+            _sptools.csr_matvecs(stop - start, n_rows, n_vecs,
+                                 indptr[start:stop + 1] - base,
+                                 indices[base:indptr[stop]],
+                                 data[base:indptr[stop]],
+                                 flat, out[start:stop].ravel())
+
+        _parallel.run_chunked(block, plan)
+        return out
 
     def sum(self, values: np.ndarray,
-            dtype: np.dtype = np.float64) -> np.ndarray:
-        """``out[s] = Σ_{i: ids[i]==s} values[i]``; empty segments are 0."""
+            dtype: Optional[np.dtype] = None) -> np.ndarray:
+        """``out[s] = Σ_{i: ids[i]==s} values[i]``; empty segments are 0.
+
+        ``dtype`` defaults to the values' own dtype (dtype stability); the
+        1-D path always accumulates in float64 internally (``np.bincount``)
+        and casts at the boundary.
+        """
+        if dtype is None:
+            dtype = values.dtype
         if values.ndim == 1:
             out = np.bincount(self.ids, weights=values,
                               minlength=self.num_segments)
             return out if out.dtype == dtype else out.astype(dtype)
         if values.ndim == 2 and values.shape[0] and (
-                self._scatter_matrix is not None
-                or values.shape[0] >= _SPARSE_MIN_ROWS):
+                self._scatter or values.shape[0] >= _SPARSE_MIN_ROWS):
             # Sparse-dense product: fastest for wide inputs, but the CSR
             # build is not free, so small one-shot plans (fresh pooled-level
             # ids every epoch) take the reduceat path below instead.
-            matrix = self.scatter_matrix
-            dense = np.ascontiguousarray(values, dtype=np.float64)
-            if _sptools is not None:
-                # Direct kernel call: scipy's ``@`` re-derives index dtypes
-                # and re-validates shapes on every product, which is
-                # measurable at this call frequency.
-                out = np.zeros((self.num_segments, dense.shape[1]))
-                _sptools.csr_matvecs(
-                    self.num_segments, dense.shape[0], dense.shape[1],
-                    matrix.indptr, matrix.indices, matrix.data,
-                    dense.ravel(), out.ravel())
-            else:  # pragma: no cover - exercised only without scipy internals
-                out = matrix @ dense
-            return out if out.dtype == dtype else out.astype(dtype)
+            out = self._csr_sum(values, np.dtype(dtype))
+            return out
         out = np.zeros((self.num_segments,) + values.shape[1:], dtype=dtype)
         if self.starts.size:
             out[self.present] = np.add.reduceat(values[self.order],
@@ -176,12 +219,14 @@ class SegmentReductionPlan:
         return out
 
     def max(self, values: np.ndarray,
-            dtype: np.dtype = np.float64) -> np.ndarray:
+            dtype: Optional[np.dtype] = None) -> np.ndarray:
         """Per-segment maximum; empty or non-finite segments yield 0.
 
         Matches the semantics of the original ``np.maximum.at`` kernel,
         which seeded with ``-inf`` and zeroed every non-finite result.
         """
+        if dtype is None:
+            dtype = values.dtype
         out = np.zeros((self.num_segments,) + values.shape[1:], dtype=dtype)
         if self.starts.size:
             peak = np.maximum.reduceat(values[self.order], self.starts,
@@ -222,9 +267,10 @@ def scatter_add_rows(values: np.ndarray, ids: np.ndarray,
     """Fast ``np.add.at(zeros, ids, values)`` for 1-D integer ``ids``.
 
     This is the backward pass of every row gather (``x[idx]``), which is
-    the single hottest scatter in training.
+    the single hottest scatter in training.  The output follows the
+    values' dtype.
     """
-    return plan_for(ids, num_rows).sum(values, dtype=np.float64)
+    return plan_for(ids, num_rows).sum(values)
 
 
 def plan_cache_stats() -> Tuple[int, int, int]:

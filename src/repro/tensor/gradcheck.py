@@ -3,19 +3,38 @@
 Used throughout ``tests/tensor`` to certify every differentiable op against
 central finite differences — the same guarantee ``torch.autograd.gradcheck``
 gives the reference implementation.
+
+Tolerances are dtype-aware: float64 inputs get the classic tight settings,
+float32 inputs get scaled ``eps``/``atol``/``rtol`` (a float32 forward pass
+carries ~1e-7 relative noise, so the perturbation must be large enough to
+rise above it and the comparison loose enough to absorb it).  The objective
+is always reduced in float64, and the divisor uses the *actual* perturbation
+``(x+eps)-(x-eps)`` as represented in the input's dtype, not the nominal
+``2·eps`` — at float32 the two differ enough to matter.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Sequence, Tuple
+from typing import Callable, Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
 from .tensor import Tensor
 
+#: Per-dtype finite-difference settings: (eps, atol, rtol).
+GRADCHECK_TOLERANCES: Dict[np.dtype, Tuple[float, float, float]] = {
+    np.dtype(np.float64): (1e-6, 1e-5, 1e-4),
+    np.dtype(np.float32): (1e-2, 1e-2, 1e-2),
+}
+
+
+def tolerances_for(dtype) -> Tuple[float, float, float]:
+    """``(eps, atol, rtol)`` for gradient checks at ``dtype``."""
+    return GRADCHECK_TOLERANCES[np.dtype(dtype)]
+
 
 def numeric_gradient(fn: Callable[..., Tensor], inputs: Sequence[Tensor],
-                     wrt: int, eps: float = 1e-6) -> np.ndarray:
+                     wrt: int, eps: Optional[float] = None) -> np.ndarray:
     """Central finite-difference gradient of ``sum(fn(*inputs))`` w.r.t. one input.
 
     Parameters
@@ -28,30 +47,38 @@ def numeric_gradient(fn: Callable[..., Tensor], inputs: Sequence[Tensor],
     wrt:
         Index of the input to differentiate with respect to.
     eps:
-        Perturbation half-width.
+        Perturbation half-width; defaults to the dtype-appropriate value
+        from :data:`GRADCHECK_TOLERANCES`.
     """
     target = inputs[wrt]
+    if eps is None:
+        eps = tolerances_for(target.data.dtype)[0]
     grad = np.zeros_like(target.data, dtype=np.float64)
     flat = target.data.reshape(-1)
     grad_flat = grad.reshape(-1)
     for i in range(flat.size):
         original = flat[i]
         flat[i] = original + eps
-        plus = float(fn(*inputs).data.sum())
+        hi = float(flat[i])
+        plus = float(fn(*inputs).data.sum(dtype=np.float64))
         flat[i] = original - eps
-        minus = float(fn(*inputs).data.sum())
+        lo = float(flat[i])
+        minus = float(fn(*inputs).data.sum(dtype=np.float64))
         flat[i] = original
-        grad_flat[i] = (plus - minus) / (2.0 * eps)
+        grad_flat[i] = (plus - minus) / (hi - lo)
     return grad
 
 
 def check_gradients(fn: Callable[..., Tensor], inputs: Sequence[Tensor],
-                    eps: float = 1e-6, atol: float = 1e-5,
-                    rtol: float = 1e-4) -> Tuple[bool, str]:
+                    eps: Optional[float] = None, atol: Optional[float] = None,
+                    rtol: Optional[float] = None) -> Tuple[bool, str]:
     """Compare autograd gradients of ``sum(fn(*inputs))`` to finite differences.
 
     Returns ``(ok, message)`` where ``message`` describes the first mismatch
     (empty when ``ok``).  All inputs with ``requires_grad`` are checked.
+    Unspecified tolerances resolve per checked input from
+    :data:`GRADCHECK_TOLERANCES`, so a float32 graph is automatically held
+    to float32-appropriate bounds.
     """
     for t in inputs:
         t.zero_grad()
@@ -60,19 +87,26 @@ def check_gradients(fn: Callable[..., Tensor], inputs: Sequence[Tensor],
     for idx, t in enumerate(inputs):
         if not t.requires_grad:
             continue
+        d_eps, d_atol, d_rtol = tolerances_for(t.data.dtype)
+        use_eps = d_eps if eps is None else eps
+        use_atol = d_atol if atol is None else atol
+        use_rtol = d_rtol if rtol is None else rtol
         analytic = t.grad if t.grad is not None else np.zeros_like(t.data)
-        numeric = numeric_gradient(fn, inputs, idx, eps=eps)
-        if not np.allclose(analytic, numeric, atol=atol, rtol=rtol):
+        numeric = numeric_gradient(fn, inputs, idx, eps=use_eps)
+        if not np.allclose(analytic, numeric, atol=use_atol, rtol=use_rtol):
             worst = np.abs(analytic - numeric).max()
-            return False, (f"input {idx}: max abs error {worst:.3e} "
-                           f"(atol={atol}, rtol={rtol})\nanalytic=\n{analytic}\n"
+            return False, (f"input {idx} ({t.data.dtype}): max abs error "
+                           f"{worst:.3e} "
+                           f"(atol={use_atol}, rtol={use_rtol})\n"
+                           f"analytic=\n{analytic}\n"
                            f"numeric=\n{numeric}")
     return True, ""
 
 
 def assert_gradients_close(fn: Callable[..., Tensor], inputs: Sequence[Tensor],
-                           eps: float = 1e-6, atol: float = 1e-5,
-                           rtol: float = 1e-4) -> None:
+                           eps: Optional[float] = None,
+                           atol: Optional[float] = None,
+                           rtol: Optional[float] = None) -> None:
     """Raise ``AssertionError`` when autograd and numeric gradients disagree."""
     ok, message = check_gradients(fn, inputs, eps=eps, atol=atol, rtol=rtol)
     if not ok:

@@ -12,7 +12,9 @@ from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
+from . import _parallel
 from . import _segment_plans as _plans
+from .precision import ACCUM_DTYPE
 from .tensor import DEFAULT_DTYPE, ArrayLike, Number, Tensor
 
 
@@ -74,7 +76,7 @@ def clip(x: ArrayLike, low: float, high: float) -> Tensor:
     out_data = np.clip(x.data, low, high)
 
     def backward(grad: np.ndarray) -> None:
-        inside = ((x.data >= low) & (x.data <= high)).astype(DEFAULT_DTYPE)
+        inside = (x.data >= low) & (x.data <= high)
         x._accumulate(grad * inside)
 
     return x._make_child(out_data, (x,), backward)
@@ -125,16 +127,49 @@ def leaky_relu_project(x: ArrayLike, a: Tensor,
     a = _as_tensor(a)
     if not _plans.fast_kernels_enabled():
         return leaky_relu(x, negative_slope=negative_slope) @ a
-    act = np.maximum(x.data, negative_slope * x.data)
-    out_data = act @ a.data
+    plan = (_parallel.chunk_plan(x.data.shape[0])
+            if x.data.ndim == 2 else None)
+    act = np.empty_like(x.data)
+    if plan is None:
+        np.maximum(x.data, negative_slope * x.data, out=act)
+        out_data = act @ a.data
+    else:
+        out_shape = ((act.shape[0],) if a.data.ndim == 1
+                     else (act.shape[0], a.data.shape[1]))
+        out_data = np.empty(out_shape, dtype=np.result_type(act, a.data))
+
+        def forward_block(start: int, stop: int) -> None:
+            blk = act[start:stop]
+            np.multiply(x.data[start:stop], negative_slope, out=blk)
+            np.maximum(x.data[start:stop], blk, out=blk)
+            out_data[start:stop] = blk @ a.data
+
+        _parallel.run_chunked(forward_block, plan)
 
     def backward(grad: np.ndarray) -> None:
         if x.requires_grad:
-            gact = (grad[:, None] * a.data[None, :] if a.data.ndim == 1
-                    else grad @ a.data.T)
-            factor = np.where(x.data > 0, 1.0, negative_slope)
-            gact *= factor
-            x._accumulate(gact)
+            if plan is None:
+                gact = (grad[:, None] * a.data[None, :] if a.data.ndim == 1
+                        else grad @ a.data.T)
+                factor = np.where(x.data > 0, 1.0, negative_slope)
+                gact *= factor
+                x._accumulate(gact)
+            else:
+                gact = np.empty_like(x.data)
+                at = a.data if a.data.ndim == 1 else a.data.T
+
+                def backward_block(start: int, stop: int) -> None:
+                    blk = gact[start:stop]
+                    if a.data.ndim == 1:
+                        np.multiply(grad[start:stop, None], at[None, :],
+                                    out=blk)
+                    else:
+                        np.matmul(grad[start:stop], at, out=blk)
+                    blk *= np.where(x.data[start:stop] > 0, 1.0,
+                                    negative_slope)
+
+                _parallel.run_chunked(backward_block, plan)
+                x._accumulate(gact)
         if a.requires_grad:
             a._accumulate(act.T @ grad)
 
@@ -182,26 +217,39 @@ def tanh(x: ArrayLike) -> Tensor:
 
 
 def softmax(x: ArrayLike, axis: int = -1) -> Tensor:
-    """Softmax along ``axis`` with the usual max-subtraction stabilisation."""
+    """Softmax along ``axis`` with the usual max-subtraction stabilisation.
+
+    The normalisation sum accumulates in float64 regardless of the compute
+    dtype (a no-op on float64 inputs); the result is cast back to the
+    input's dtype at the boundary.
+    """
     x = _as_tensor(x)
     shifted = x.data - x.data.max(axis=axis, keepdims=True)
     e = np.exp(shifted)
-    out_data = e / e.sum(axis=axis, keepdims=True)
+    denom = e.sum(axis=axis, keepdims=True, dtype=ACCUM_DTYPE)
+    out_data = np.asarray(e / denom, dtype=x.data.dtype)
 
     def backward(grad: np.ndarray) -> None:
         # dL/dx = s * (g - sum(g * s))
-        dot = (grad * out_data).sum(axis=axis, keepdims=True)
+        dot = (grad * out_data).sum(axis=axis, keepdims=True,
+                                    dtype=ACCUM_DTYPE)
+        dot = dot.astype(grad.dtype, copy=False)
         x._accumulate(out_data * (grad - dot))
 
     return x._make_child(out_data, (x,), backward)
 
 
 def log_softmax(x: ArrayLike, axis: int = -1) -> Tensor:
-    """Log-softmax along ``axis``; preferred input to NLL-style losses."""
+    """Log-softmax along ``axis``; preferred input to NLL-style losses.
+
+    As with :func:`softmax`, the partition-function sum accumulates in
+    float64 and casts back at the boundary.
+    """
     x = _as_tensor(x)
     shifted = x.data - x.data.max(axis=axis, keepdims=True)
-    log_z = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
-    out_data = shifted - log_z
+    log_z = np.log(np.exp(shifted).sum(axis=axis, keepdims=True,
+                                       dtype=ACCUM_DTYPE))
+    out_data = shifted - log_z.astype(x.data.dtype, copy=False)
     soft = np.exp(out_data)
 
     def backward(grad: np.ndarray) -> None:
@@ -278,7 +326,7 @@ def gather_rows(x: ArrayLike, index: np.ndarray) -> Tensor:
             x._accumulate(_plans.scatter_add_rows(grad, idx,
                                                   x.data.shape[0]))
         else:
-            full = np.zeros_like(x.data, dtype=DEFAULT_DTYPE)
+            full = np.zeros_like(x.data)
             np.add.at(full, idx, grad)
             x._accumulate(full)
 
@@ -296,7 +344,9 @@ def dropout(x: ArrayLike, p: float, rng: np.random.Generator,
         return x
     if not 0.0 <= p < 1.0:
         raise ValueError(f"dropout probability must be in [0, 1), got {p}")
-    keep = (rng.random(x.data.shape) >= p).astype(DEFAULT_DTYPE) / (1.0 - p)
+    # The mask is drawn in float64 and thresholded before the cast, so the
+    # same seed keeps the same units at either compute dtype.
+    keep = (rng.random(x.data.shape) >= p).astype(x.data.dtype) / (1.0 - p)
     out_data = x.data * keep
 
     def backward(grad: np.ndarray) -> None:
@@ -329,13 +379,42 @@ def affine(x: ArrayLike, weight: Tensor, bias: Optional[Tensor]) -> Tensor:
     if x.data.ndim != 2 or not _plans.fast_kernels_enabled():
         out = x @ weight
         return out + bias if bias is not None else out
-    out_data = x.data @ weight.data
-    if bias is not None:
-        out_data += bias.data
+    # Row-block chunking: the plan is fixed at forward time (a pure
+    # function of the row count and the configured worker count) and
+    # reused by the backward closure, so forward and backward block
+    # identically and serial_execution() reproduces the pooled result
+    # bit for bit.  plan=None (small input or one worker) is the
+    # unchunked kernel, unchanged from the pre-parallel path.
+    plan = _parallel.chunk_plan(x.data.shape[0])
+    if plan is None:
+        out_data = x.data @ weight.data
+        if bias is not None:
+            out_data += bias.data
+    else:
+        out_data = np.empty((x.data.shape[0], weight.data.shape[1]),
+                            dtype=np.result_type(x.data, weight.data))
+
+        def forward_block(start: int, stop: int) -> None:
+            np.matmul(x.data[start:stop], weight.data,
+                      out=out_data[start:stop])
+            if bias is not None:
+                out_data[start:stop] += bias.data
+
+        _parallel.run_chunked(forward_block, plan)
 
     def backward(grad: np.ndarray) -> None:
         if x.requires_grad:
-            x._accumulate(grad @ weight.data.T)
+            if plan is None:
+                x._accumulate(grad @ weight.data.T)
+            else:
+                gx = np.empty_like(x.data)
+                wt = weight.data.T
+
+                def backward_block(start: int, stop: int) -> None:
+                    np.matmul(grad[start:stop], wt, out=gx[start:stop])
+
+                _parallel.run_chunked(backward_block, plan)
+                x._accumulate(gx)
         if weight.requires_grad:
             weight._accumulate(x.data.T @ grad)
         if bias is not None and bias.requires_grad:
@@ -376,7 +455,7 @@ def pair_dot(x: ArrayLike, index_a: np.ndarray,
             np.multiply(g, xa, out=tmp)
             gx += _plans.scatter_add_rows(tmp, idx_b, n)
         else:
-            gx = np.zeros_like(x.data, dtype=DEFAULT_DTYPE)
+            gx = np.zeros_like(x.data)
             np.add.at(gx, idx_a, g * xb)
             np.add.at(gx, idx_b, g * xa)
         x._accumulate(gx)

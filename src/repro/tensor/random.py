@@ -23,3 +23,23 @@ def spawn(rng: np.random.Generator, count: int) -> list[np.random.Generator]:
     """
     seeds = rng.integers(0, 2 ** 63 - 1, size=count, dtype=np.int64)
     return [np.random.default_rng(int(s)) for s in seeds]
+
+
+def draw_uniform(rng: np.random.Generator, low: float, high: float,
+                 size, dtype=np.float64) -> np.ndarray:
+    """``rng.uniform`` drawn in float64, then cast to ``dtype``.
+
+    Drawing at full precision and casting afterwards means a fixed seed
+    produces the *same* values (up to rounding) at every compute dtype —
+    the generator consumes an identical bit-stream either way.  Drawing
+    natively at float32 would consume different amounts of entropy and
+    decouple the float32 and float64 initialisations entirely.
+    """
+    return rng.uniform(low, high, size=size).astype(dtype, copy=False)
+
+
+def draw_normal(rng: np.random.Generator, loc: float, scale: float,
+                size, dtype=np.float64) -> np.ndarray:
+    """``rng.normal`` drawn in float64, then cast to ``dtype`` (see
+    :func:`draw_uniform` for why the draw stays float64)."""
+    return rng.normal(loc, scale, size=size).astype(dtype, copy=False)

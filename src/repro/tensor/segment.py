@@ -44,7 +44,7 @@ def _check_ids(segment_ids: np.ndarray, num_segments: int, n_rows: int) -> np.nd
 
 def _naive_segment_sum(data: np.ndarray, ids: np.ndarray,
                        num_segments: int) -> np.ndarray:
-    out = np.zeros((num_segments,) + data.shape[1:], dtype=DEFAULT_DTYPE)
+    out = np.zeros((num_segments,) + data.shape[1:], dtype=data.dtype)
     np.add.at(out, ids, data)
     return out
 
@@ -52,7 +52,7 @@ def _naive_segment_sum(data: np.ndarray, ids: np.ndarray,
 def _naive_segment_max(data: np.ndarray, ids: np.ndarray,
                        num_segments: int) -> np.ndarray:
     out = np.full((num_segments,) + data.shape[1:], -np.inf,
-                  dtype=DEFAULT_DTYPE)
+                  dtype=data.dtype)
     np.maximum.at(out, ids, data)
     out[~np.isfinite(out)] = 0.0
     return out
@@ -68,7 +68,7 @@ def segment_sum(values: ArrayLike, segment_ids: np.ndarray,
     ids = _check_ids(segment_ids, num_segments, values.data.shape[0])
     if _plans.fast_kernels_enabled():
         plan = _plans.plan_for(ids, num_segments)
-        out_data = plan.sum(values.data, dtype=DEFAULT_DTYPE)
+        out_data = plan.sum(values.data)
     else:
         out_data = _naive_segment_sum(values.data, ids, num_segments)
 
@@ -90,7 +90,9 @@ def segment_mean(values: ArrayLike, segment_ids: np.ndarray,
     totals = segment_sum(values, segment_ids, num_segments)
     counts = np.maximum(segment_count(segment_ids, num_segments), 1.0)
     shape = (num_segments,) + (1,) * (totals.data.ndim - 1)
-    return totals * Tensor(1.0 / counts.reshape(shape))
+    # Reciprocals are formed in float64 (segment_count) and adopt the
+    # totals' dtype through _coerce — no silent promotion of a float32 graph.
+    return totals * (1.0 / counts.reshape(shape))
 
 
 def segment_max(values: ArrayLike, segment_ids: np.ndarray,
@@ -105,17 +107,17 @@ def segment_max(values: ArrayLike, segment_ids: np.ndarray,
     fast = _plans.fast_kernels_enabled()
     if fast:
         plan = _plans.plan_for(ids, num_segments)
-        out_data = plan.max(values.data, dtype=DEFAULT_DTYPE)
+        out_data = plan.max(values.data)
     else:
         out_data = _naive_segment_max(values.data, ids, num_segments)
 
     def backward(grad: np.ndarray) -> None:
-        winners = (values.data == out_data[ids]).astype(DEFAULT_DTYPE)
+        winners = (values.data == out_data[ids]).astype(values.data.dtype)
         # Split gradient among ties within each segment.  Dividing at
         # segment granularity keeps the per-row work to one gather and one
         # multiply (num_segments ≪ rows on the readout path).
         if fast:
-            tie_counts = plan.sum(winners, dtype=DEFAULT_DTYPE)
+            tie_counts = plan.sum(winners)
         else:
             tie_counts = _naive_segment_sum(winners, ids, num_segments)
         np.maximum(tie_counts, 1.0, out=tie_counts)
@@ -153,7 +155,7 @@ def gather_scale_segment_sum(x: ArrayLike, gather_ids: np.ndarray,
     gathered = x.data[cols]
     weights = scale.data[:, None]
     plan = _plans.plan_for(ids, num_segments)
-    out_data = plan.sum(gathered * weights, dtype=DEFAULT_DTYPE)
+    out_data = plan.sum(gathered * weights)
 
     def backward(grad: np.ndarray) -> None:
         pulled = grad[ids]
@@ -187,15 +189,15 @@ def segment_softmax(scores: ArrayLike, segment_ids: np.ndarray,
     plan = _plans.plan_for(ids, num_segments)
     # Subtracting the per-segment max is a constant shift: it changes
     # neither the value nor the gradient of the softmax.
-    peak = plan.max(scores.data, dtype=DEFAULT_DTYPE)
+    peak = plan.max(scores.data)
     e = np.exp(scores.data - peak[ids])
-    denom = plan.sum(e, dtype=DEFAULT_DTYPE)
+    denom = plan.sum(e)
     # Guard empty segments (no entries reference them, value is irrelevant).
     denom[denom == 0.0] = 1.0
     out_data = e / denom[ids]
 
     def backward(grad: np.ndarray) -> None:
-        dot = plan.sum(grad * out_data, dtype=DEFAULT_DTYPE)
+        dot = plan.sum(grad * out_data)
         scores._accumulate(out_data * (grad - dot[ids]))
 
     return scores._make_child(out_data, (scores,), backward)
@@ -208,7 +210,7 @@ def _segment_softmax_reference(scores: Tensor, ids: np.ndarray,
     shifted = scores - Tensor(seg_peak[ids])
     numer = exp(shifted)
     denom = segment_sum(numer, ids, num_segments)
-    denom_safe = denom + Tensor((denom.data == 0).astype(DEFAULT_DTYPE))
+    denom_safe = denom + Tensor((denom.data == 0).astype(denom.data.dtype))
     return numer / gather_rows(denom_safe, ids)
 
 

@@ -25,12 +25,17 @@ from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from . import _segment_plans as _plans
+from . import precision as _precision
 
 Number = Union[int, float]
 ArrayLike = Union[Number, Sequence, np.ndarray, "Tensor"]
 
-#: Default floating point dtype.  float64 keeps finite-difference gradient
-#: checks tight; models may down-cast to float32 for speed if desired.
+#: Reference floating point dtype.  float64 keeps finite-difference gradient
+#: checks tight and is the out-of-the-box compute policy; training runs
+#: select float32 through :func:`repro.tensor.set_default_dtype` (or
+#: ``TrainConfig(dtype=...)``).  Kept as a module constant because it names
+#: the *reference* precision — the accumulation dtype for sensitive
+#: reductions and the dtype of the pre-policy bit-compatibility path.
 DEFAULT_DTYPE = np.float64
 
 
@@ -61,25 +66,37 @@ class Tensor:
     ----------
     data:
         Anything convertible to ``numpy.ndarray``.  Floating point data is
-        coerced to :data:`DEFAULT_DTYPE` unless it already is a float dtype.
+        coerced to the compute dtype policy
+        (:func:`repro.tensor.get_default_dtype`, float64 unless configured)
+        unless an explicit ``dtype`` is given; integer and boolean data
+        passes through untouched.
     requires_grad:
         When ``True`` the tensor participates in the autograd graph and will
         receive a ``.grad`` buffer on :meth:`backward`.
+    dtype:
+        Explicit dtype override.  Bypasses the policy: the data is cast to
+        exactly this dtype (floats only — use it to pin a tensor's
+        precision regardless of the ambient policy).
     """
 
     __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents",
                  "_grad_owned")
 
-    def __init__(self, data: ArrayLike, requires_grad: bool = False):
+    def __init__(self, data: ArrayLike, requires_grad: bool = False, *,
+                 dtype=None):
         if isinstance(data, Tensor):
             data = data.data
         arr = np.asarray(data)
-        if arr.dtype.kind in "iub" and requires_grad:
-            raise TypeError("integer tensors cannot require gradients")
-        if arr.dtype.kind == "f" and arr.dtype != DEFAULT_DTYPE:
-            arr = arr.astype(DEFAULT_DTYPE)
-        elif arr.dtype.kind not in "fiub":
-            arr = arr.astype(DEFAULT_DTYPE)
+        if arr.dtype.kind in "iub":
+            if requires_grad:
+                raise TypeError("integer tensors cannot require gradients")
+            if dtype is not None:
+                arr = arr.astype(_precision.resolve_dtype(dtype))
+        else:
+            target = (_precision.get_default_dtype() if dtype is None
+                      else _precision.resolve_dtype(dtype))
+            if arr.dtype != target:
+                arr = arr.astype(target)
         self.data: np.ndarray = arr
         self.grad: Optional[np.ndarray] = None
         self.requires_grad: bool = bool(requires_grad)
@@ -90,17 +107,46 @@ class Tensor:
     # ------------------------------------------------------------------
     # Construction helpers
     # ------------------------------------------------------------------
-    @staticmethod
-    def zeros(*shape: int, requires_grad: bool = False) -> "Tensor":
-        return Tensor(np.zeros(shape, dtype=DEFAULT_DTYPE), requires_grad)
+    @classmethod
+    def _from_data(cls, data: np.ndarray,
+                   requires_grad: bool = False) -> "Tensor":
+        """Wrap an ndarray verbatim — no coercion, no policy, no copy.
+
+        Internal constructor for op results and detach/copy, where the
+        array's dtype is already the intended one (outputs inherit their
+        inputs' dtype; applying the policy here would silently re-cast
+        float32 graphs under a float64 policy).
+        """
+        out = cls.__new__(cls)
+        out.data = data
+        out.grad = None
+        out.requires_grad = requires_grad
+        out._backward = None
+        out._parents = ()
+        out._grad_owned = False
+        return out
 
     @staticmethod
-    def ones(*shape: int, requires_grad: bool = False) -> "Tensor":
-        return Tensor(np.ones(shape, dtype=DEFAULT_DTYPE), requires_grad)
+    def zeros(*shape: int, requires_grad: bool = False,
+              dtype=None) -> "Tensor":
+        return Tensor._from_data(np.zeros(shape, dtype=Tensor._resolve(dtype)),
+                                 requires_grad)
 
     @staticmethod
-    def eye(n: int, requires_grad: bool = False) -> "Tensor":
-        return Tensor(np.eye(n, dtype=DEFAULT_DTYPE), requires_grad)
+    def ones(*shape: int, requires_grad: bool = False,
+             dtype=None) -> "Tensor":
+        return Tensor._from_data(np.ones(shape, dtype=Tensor._resolve(dtype)),
+                                 requires_grad)
+
+    @staticmethod
+    def eye(n: int, requires_grad: bool = False, dtype=None) -> "Tensor":
+        return Tensor._from_data(np.eye(n, dtype=Tensor._resolve(dtype)),
+                                 requires_grad)
+
+    @staticmethod
+    def _resolve(dtype) -> np.dtype:
+        return (_precision.get_default_dtype() if dtype is None
+                else _precision.resolve_dtype(dtype))
 
     # ------------------------------------------------------------------
     # Introspection
@@ -145,11 +191,24 @@ class Tensor:
 
     def detach(self) -> "Tensor":
         """Return a new tensor sharing data but cut off from the graph."""
-        return Tensor(self.data, requires_grad=False)
+        return Tensor._from_data(self.data, requires_grad=False)
 
     def copy(self) -> "Tensor":
         """Return a leaf tensor with copied data."""
-        return Tensor(self.data.copy(), requires_grad=self.requires_grad)
+        return Tensor._from_data(self.data.copy(),
+                                 requires_grad=self.requires_grad)
+
+    def astype(self, dtype) -> "Tensor":
+        """Return a leaf tensor cast to ``dtype`` (no autograd history).
+
+        A no-copy pass-through when the dtype already matches and the
+        tensor is a leaf, so repeated casts are free.
+        """
+        target = _precision.resolve_dtype(dtype)
+        if self.data.dtype == target and self._backward is None:
+            return self
+        return Tensor._from_data(self.data.astype(target, copy=False),
+                                 requires_grad=self.requires_grad)
 
     # ------------------------------------------------------------------
     # Autograd plumbing
@@ -160,8 +219,12 @@ class Tensor:
         parents: Tuple["Tensor", ...],
         backward: Callable[[np.ndarray], None],
     ) -> "Tensor":
-        """Create a result tensor wired into the autograd graph."""
-        out = Tensor(data)
+        """Create a result tensor wired into the autograd graph.
+
+        ``data`` is adopted verbatim — op outputs inherit their inputs'
+        dtype (dtype stability), they are not re-coerced to the policy.
+        """
+        out = Tensor._from_data(np.asarray(data))
         if any(p.requires_grad for p in parents):
             out.requires_grad = True
             out._parents = tuple(p for p in parents if p.requires_grad)
@@ -179,7 +242,12 @@ class Tensor:
         this library mutates ``.grad`` in place from the outside — see
         ``optim/clip.py``, which is deliberately out-of-place.
         """
-        grad = _unbroadcast(np.asarray(grad, dtype=DEFAULT_DTYPE), self.data.shape)
+        grad = _unbroadcast(np.asarray(grad), self.data.shape)
+        if grad.dtype != self.data.dtype:
+            # Gradients adopt the tensor's own dtype; this is where a
+            # float64-accumulated reduction hands its result back to a
+            # float32 graph (and a no-op on the pure-float64 path).
+            grad = grad.astype(self.data.dtype)
         if self.grad is None:
             self.grad = grad
             self._grad_owned = False
@@ -205,7 +273,9 @@ class Tensor:
                 raise RuntimeError("backward() without an explicit gradient "
                                    "requires a scalar tensor")
             grad = np.ones_like(self.data)
-        grad = np.asarray(grad, dtype=DEFAULT_DTYPE)
+        grad = np.asarray(grad)
+        if grad.dtype != self.data.dtype:
+            grad = grad.astype(self.data.dtype)
         if grad.shape != self.data.shape:
             grad = np.broadcast_to(grad, self.data.shape).copy()
 
@@ -246,9 +316,18 @@ class Tensor:
     # ------------------------------------------------------------------
     # Arithmetic (broadcasting, both tensor and scalar operands)
     # ------------------------------------------------------------------
-    @staticmethod
-    def _coerce(value: ArrayLike) -> "Tensor":
-        return value if isinstance(value, Tensor) else Tensor(value)
+    def _coerce(self, value: ArrayLike) -> "Tensor":
+        """Wrap a non-Tensor operand, adopting this tensor's float dtype.
+
+        Scalars and raw arrays entering a mixed expression take the Tensor
+        operand's compute dtype — otherwise a stray Python float would
+        promote an entire float32 graph to float64 via NumPy's type rules.
+        """
+        if isinstance(value, Tensor):
+            return value
+        if self.data.dtype.kind == "f":
+            return Tensor(value, dtype=self.data.dtype)
+        return Tensor(value)
 
     def __add__(self, other: ArrayLike) -> "Tensor":
         other = self._coerce(other)
@@ -397,7 +476,7 @@ class Tensor:
                     grad, index.astype(np.int64, copy=False),
                     self.data.shape[0]))
             else:
-                full = np.zeros_like(self.data, dtype=DEFAULT_DTYPE)
+                full = np.zeros_like(self.data)
                 np.add.at(full, index, grad)
                 self._accumulate(full)
 
@@ -432,7 +511,7 @@ class Tensor:
 
         def backward(grad: np.ndarray) -> None:
             expanded = self.data.max(axis=axis, keepdims=True)
-            mask = (self.data == expanded).astype(DEFAULT_DTYPE)
+            mask = (self.data == expanded).astype(self.data.dtype)
             # Split gradient evenly among ties, matching subgradient choice.
             mask /= mask.sum(axis=axis, keepdims=True)
             g = grad if keepdims or axis is None else np.expand_dims(grad, axis)

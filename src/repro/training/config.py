@@ -26,6 +26,15 @@ class TrainConfig:
     seed: int = 0
     verbose: bool = False
     profile: bool = False     #: collect per-epoch phase timings (Table 4)
+    #: Compute precision of the training run: "float32" (default) or
+    #: "float64".  The trainer casts the model, the input graphs and all
+    #: precomputed structure to this dtype and scopes the run in
+    #: ``repro.tensor.default_dtype``; numerically sensitive scalar
+    #: reductions (softmax normalisation, KL/BCE losses, Adam second
+    #: moments) still accumulate in float64 regardless (see DESIGN.md).
+    #: "float64" reproduces the pre-policy engine bit for bit under
+    #: ``repro.tensor.naive_kernels``.
+    dtype: str = "float32"
     #: Graph classification: collate minibatches through the per-dataset
     #: structure pipeline (per-graph precompute + block-diagonal
     #: composition + collated-batch cache).  Off = the original
@@ -40,3 +49,6 @@ class TrainConfig:
             raise ValueError("lr must be positive")
         if self.batch_size < 1:
             raise ValueError("batch_size must be >= 1")
+        if self.dtype not in ("float32", "float64"):
+            raise ValueError(
+                f"dtype must be 'float32' or 'float64', got {self.dtype!r}")

@@ -32,7 +32,7 @@ from ..datasets import GraphDataset
 from ..graph import GraphBatch
 from ..nn import Module, cross_entropy
 from ..optim import Adam, clip_grad_norm
-from ..tensor import Tensor, segment_plan_stats
+from ..tensor import Tensor, default_dtype, segment_plan_stats
 from ..utils.timing import PhaseTimer, profile_phase
 from .config import TrainConfig
 from .early_stopping import EarlyStopping
@@ -83,9 +83,10 @@ class GraphClassificationTrainer:
 
     def __init__(self, config: Optional[TrainConfig] = None):
         self.config = config if config is not None else TrainConfig()
-        #: (dataset, radius, DatasetStructures) of the last dataset seen.
-        #: Holding the dataset object keeps its id stable for the check.
-        self._structures: Optional[Tuple[GraphDataset, Optional[int],
+        #: (dataset, (radius, dtype), DatasetStructures) of the last
+        #: dataset seen.  Holding the dataset object keeps its id stable
+        #: for the check.
+        self._structures: Optional[Tuple[GraphDataset, Tuple,
                                          DatasetStructures]] = None
 
     # ------------------------------------------------------------------
@@ -101,11 +102,15 @@ class GraphClassificationTrainer:
         # collated-batch cache.
         radius = (model.encoder.radius
                   if isinstance(model, AdamGNNGraphClassifier) else None)
+        # Member graphs are cast to compute precision once here, so every
+        # collated batch and composed structure is born in that dtype.
+        dtype = np.dtype(self.config.dtype)
         if (self._structures is None
                 or self._structures[0] is not dataset
-                or self._structures[1] != radius):
-            self._structures = (dataset, radius, DatasetStructures(
-                dataset.graphs, radius=radius, labels=dataset.label_array))
+                or self._structures[1] != (radius, dtype)):
+            self._structures = (dataset, (radius, dtype), DatasetStructures(
+                dataset.graphs, radius=radius, labels=dataset.label_array,
+                dtype=dtype))
         return self._structures[2]
 
     def _batches(self, structures: Optional[DatasetStructures],
@@ -125,8 +130,11 @@ class GraphClassificationTrainer:
                 if structures is None:
                     y = (dataset.labels(chunk)
                          if dataset.label_array is not None else None)
+                    # The escape-hatch path also runs at compute precision
+                    # (the cached pipeline casts member graphs at init).
                     item = (GraphBatch.from_graphs(dataset.subset(chunk),
-                                                   y=y),
+                                                   y=y)
+                            .astype(self.config.dtype),
                             None)
                 else:
                     item = structures.batch(chunk)
@@ -172,14 +180,16 @@ class GraphClassificationTrainer:
         batches (and their composed structures) are cache hits on every
         pass after the first.
         """
-        model.eval()
+        model.eval().astype(self.config.dtype)
         structures = self._structures_for(model, dataset)
         correct = 0
         total = 0
-        for batch, structure in self._batches(structures, dataset, index):
-            logits, _ = _model_forward(model, batch, structure)
-            correct += int((logits.data.argmax(axis=-1) == batch.y).sum())
-            total += batch.num_graphs
+        with default_dtype(self.config.dtype):
+            for batch, structure in self._batches(structures, dataset, index):
+                logits, _ = _model_forward(model, batch, structure)
+                correct += int((logits.data.argmax(axis=-1)
+                                == batch.y).sum())
+                total += batch.num_graphs
         return correct / total if total else 0.0
 
     # ------------------------------------------------------------------
@@ -187,6 +197,9 @@ class GraphClassificationTrainer:
     # ------------------------------------------------------------------
     def fit(self, model: Module, dataset: GraphDataset) -> GraphTrainResult:
         cfg = self.config
+        # Cast the model before the optimiser snapshots parameter shapes,
+        # so Adam's moment buffers are born at the compute precision.
+        model.astype(cfg.dtype)
         rng = np.random.default_rng(cfg.seed + 307)
         optimizer = Adam(model.parameters(), lr=cfg.lr,
                          weight_decay=cfg.weight_decay)
@@ -198,7 +211,7 @@ class GraphClassificationTrainer:
         scope = profiler.activate() if profiler else contextlib.nullcontext()
         structures = self._structures_for(model, dataset)
 
-        with scope:
+        with scope, default_dtype(cfg.dtype):
             for epoch in range(cfg.epochs):
                 epochs_run = epoch + 1
                 model.train()
@@ -254,6 +267,7 @@ class GraphClassificationTrainer:
         cache hit from the second call onward.
         """
         cfg = self.config
+        model.astype(cfg.dtype)
         rng = np.random.default_rng(cfg.seed + 307)
         optimizer = Adam(model.parameters(), lr=cfg.lr,
                          weight_decay=cfg.weight_decay)
@@ -261,7 +275,7 @@ class GraphClassificationTrainer:
         structures = self._structures_for(model, dataset)
         profiler = PhaseTimer()
         start = time.time()
-        with profiler.activate():
+        with profiler.activate(), default_dtype(cfg.dtype):
             for batch, structure in self._batches(
                     structures, dataset, dataset.train_index, rng=rng):
                 model.zero_grad()

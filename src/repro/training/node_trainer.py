@@ -20,7 +20,7 @@ from ..datasets import NodeDataset
 from ..graph import degree_features
 from ..nn import Module, cross_entropy
 from ..optim import Adam, clip_grad_norm
-from ..tensor import Tensor, segment_plan_stats
+from ..tensor import Tensor, default_dtype, segment_plan_stats
 from ..utils.timing import PhaseTimer, profile_phase
 from .config import TrainConfig
 from .early_stopping import EarlyStopping
@@ -79,8 +79,13 @@ class NodeClassificationTrainer:
 
     def fit(self, model: Module, dataset: NodeDataset) -> NodeTrainResult:
         cfg = self.config
-        graph = dataset.graph
-        x = Tensor(prepare_node_features(dataset))
+        # Inputs and model move to the compute precision once, up front:
+        # the graph cast covers edge weights, the Tensor dtype covers the
+        # (possibly synthesised) feature matrix, and the model cast runs
+        # before Adam snapshots its moment buffers.
+        graph = dataset.graph.astype(cfg.dtype)
+        model.astype(cfg.dtype)
+        x = Tensor(prepare_node_features(dataset), dtype=cfg.dtype)
         labels = np.asarray(graph.y, dtype=np.int64)
         masks = dataset.splits.masks(graph.num_nodes)
         rng = np.random.default_rng(cfg.seed + 101)
@@ -94,7 +99,7 @@ class NodeClassificationTrainer:
         profiler = PhaseTimer() if cfg.profile else None
         scope = profiler.activate() if profiler else contextlib.nullcontext()
 
-        with scope:
+        with scope, default_dtype(cfg.dtype):
             for epoch in range(cfg.epochs):
                 epochs_run = epoch + 1
                 model.train()
@@ -135,8 +140,9 @@ class NodeClassificationTrainer:
 
         stopper.restore(model)
         model.eval()
-        logits, _ = self._forward(model, x, graph.edge_index,
-                                  graph.edge_weight)
+        with default_dtype(cfg.dtype):
+            logits, _ = self._forward(model, x, graph.edge_index,
+                                      graph.edge_weight)
         return NodeTrainResult(
             test_accuracy=accuracy(logits.data, labels, masks["test"]),
             val_accuracy=accuracy(logits.data, labels, masks["val"]),
@@ -157,8 +163,9 @@ class NodeClassificationTrainer:
         structural cache builds the later epochs reuse.
         """
         cfg = self.config
-        graph = dataset.graph
-        x = Tensor(prepare_node_features(dataset))
+        graph = dataset.graph.astype(cfg.dtype)
+        model.astype(cfg.dtype)
+        x = Tensor(prepare_node_features(dataset), dtype=cfg.dtype)
         labels = np.asarray(graph.y, dtype=np.int64)
         masks = dataset.splits.masks(graph.num_nodes)
         rng = np.random.default_rng(cfg.seed + 101)
@@ -166,7 +173,7 @@ class NodeClassificationTrainer:
                          weight_decay=cfg.weight_decay)
         profiler = PhaseTimer()
         laps: List[float] = []
-        with profiler.activate():
+        with profiler.activate(), default_dtype(cfg.dtype):
             for _ in range(max(epochs, 1)):
                 model.train()
                 tic = time.perf_counter()
@@ -201,10 +208,15 @@ def evaluate_node_model(model: Module, dataset: NodeDataset,
                         split: str = "test") -> Dict[str, float]:
     """Accuracy of a trained model on one split (no gradient work)."""
     graph = dataset.graph
-    x = Tensor(prepare_node_features(dataset))
+    # Evaluate at the model's own precision (set by whichever trainer
+    # produced it) so the forward pass stays dtype-stable.
+    params = model.parameters()
+    dtype = params[0].data.dtype if params else np.dtype(np.float64)
+    x = Tensor(prepare_node_features(dataset), dtype=dtype)
     masks = dataset.splits.masks(graph.num_nodes)
     model.eval()
-    out = model(x, graph.edge_index, graph.edge_weight)
+    with default_dtype(dtype):
+        out = model(x, graph.edge_index, graph.edge_weight)
     logits = out[0] if isinstance(out, tuple) else out
     return {"accuracy": accuracy(logits.data, np.asarray(graph.y),
                                  masks[split])}

@@ -1,0 +1,202 @@
+"""Chunk-parallel kernel executor: plans, pool execution, bitwise replay.
+
+The load-bearing property is *plan determinism*: the chunk plan is a pure
+function of ``(n, workers, threshold)`` and never depends on whether the
+pool is actually used, so ``serial_execution()`` replays the exact same
+per-block NumPy calls on the calling thread and must reproduce the pooled
+results bit for bit — at float32 and float64 alike.  ``naive_kernels()``
+bypasses chunking entirely and reproduces the unchunked compositional
+path.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.tensor import (PARALLEL_MIN_ROWS, Tensor, affine, chunk_plan,
+                          get_num_workers, leaky_relu_project, naive_kernels,
+                          num_workers, parallel_enabled, segment_sum,
+                          serial_execution, set_num_workers)
+from repro.tensor._parallel import run_chunked
+
+#: Rows comfortably above the chunking threshold.
+BIG = PARALLEL_MIN_ROWS * 2 + 123
+
+
+# ---------------------------------------------------------------------------
+# chunk_plan
+# ---------------------------------------------------------------------------
+def test_chunk_plan_none_below_threshold():
+    assert chunk_plan(PARALLEL_MIN_ROWS - 1, workers=8) is None
+    assert chunk_plan(0, workers=8) is None
+
+
+def test_chunk_plan_none_for_single_worker():
+    assert chunk_plan(BIG, workers=1) is None
+
+
+def test_chunk_plan_partitions_exactly():
+    for n in (PARALLEL_MIN_ROWS, BIG, 10_000):
+        for workers in (2, 3, 4, 8):
+            plan = chunk_plan(n, workers=workers)
+            assert plan is not None
+            assert plan[0][0] == 0
+            assert plan[-1][1] == n
+            for (_, stop), (start, _) in zip(plan, plan[1:]):
+                assert stop == start          # contiguous, no gaps/overlap
+            assert len(plan) <= workers
+
+
+def test_chunk_plan_is_pure_and_mode_independent():
+    with num_workers(4):
+        pooled = chunk_plan(BIG)
+        with serial_execution():
+            serial = chunk_plan(BIG)
+    assert pooled == serial
+
+
+def test_worker_count_guardrails():
+    with pytest.raises(ValueError):
+        set_num_workers(0)
+    before = get_num_workers()
+    with num_workers(5):
+        assert get_num_workers() == 5
+        assert parallel_enabled()
+        with serial_execution():
+            assert not parallel_enabled()
+    assert get_num_workers() == before
+
+
+# ---------------------------------------------------------------------------
+# run_chunked
+# ---------------------------------------------------------------------------
+def test_run_chunked_uses_pool_threads_and_covers_all_blocks():
+    plan = chunk_plan(BIG, workers=4)
+    out = np.zeros(BIG)
+    threads = set()
+
+    def fill(start, stop):
+        threads.add(threading.current_thread().name)
+        out[start:stop] = np.arange(start, stop)
+
+    with num_workers(4):
+        run_chunked(fill, plan)
+    assert np.array_equal(out, np.arange(BIG, dtype=out.dtype))
+    assert any(name.startswith("repro-kernel") for name in threads)
+
+
+def test_run_chunked_serial_mode_stays_on_caller_thread():
+    plan = chunk_plan(BIG, workers=4)
+    threads = set()
+
+    def observe(start, stop):
+        threads.add(threading.current_thread().name)
+
+    with num_workers(4), serial_execution():
+        run_chunked(observe, plan)
+    assert threads == {threading.current_thread().name}
+
+
+def test_run_chunked_propagates_exceptions():
+    plan = chunk_plan(BIG, workers=4)
+
+    def boom(start, stop):
+        raise RuntimeError("block failed")
+
+    with num_workers(4):
+        with pytest.raises(RuntimeError, match="block failed"):
+            run_chunked(boom, plan)
+
+
+# ---------------------------------------------------------------------------
+# Bitwise equality: pooled vs serial replay, both dtypes
+# ---------------------------------------------------------------------------
+def _affine_case(dtype):
+    rng = np.random.default_rng(31)
+    x = rng.normal(size=(BIG, 16)).astype(dtype)
+    w = rng.normal(size=(16, 8)).astype(dtype)
+    b = rng.normal(size=8).astype(dtype)
+    g = rng.normal(size=(BIG, 8)).astype(dtype)
+    return x, w, b, g
+
+
+def _run_affine(x, w, b, g):
+    xt = Tensor(x, requires_grad=True, dtype=x.dtype)
+    wt = Tensor(w, requires_grad=True, dtype=w.dtype)
+    bt = Tensor(b, requires_grad=True, dtype=b.dtype)
+    out = affine(xt, wt, bt)
+    out.backward(g)
+    return out.data, xt.grad, wt.grad, bt.grad
+
+
+@pytest.mark.parametrize("dtype", [np.float32, np.float64])
+def test_affine_pooled_equals_serial_replay_bitwise(dtype):
+    case = _affine_case(dtype)
+    with num_workers(4):
+        pooled = _run_affine(*case)
+        with serial_execution():
+            serial = _run_affine(*case)
+    for a, b in zip(pooled, serial):
+        assert a.dtype == np.dtype(dtype)
+        assert np.array_equal(a, b)
+
+
+@pytest.mark.parametrize("dtype", [np.float32, np.float64])
+def test_leaky_relu_project_pooled_equals_serial_replay_bitwise(dtype):
+    rng = np.random.default_rng(32)
+    x = rng.normal(size=(BIG, 12)).astype(dtype)
+    a = rng.normal(size=12).astype(dtype)
+
+    def run():
+        xt = Tensor(x, requires_grad=True, dtype=dtype)
+        at = Tensor(a, requires_grad=True, dtype=dtype)
+        out = leaky_relu_project(xt, at)
+        out.sum().backward()
+        return out.data, xt.grad, at.grad
+
+    with num_workers(4):
+        pooled = run()
+        with serial_execution():
+            serial = run()
+    for lhs, rhs in zip(pooled, serial):
+        assert np.array_equal(lhs, rhs)
+
+
+@pytest.mark.parametrize("dtype", [np.float32, np.float64])
+def test_segment_sum_pooled_equals_serial_replay_bitwise(dtype):
+    rng = np.random.default_rng(33)
+    num_segments = BIG
+    values = rng.normal(size=(num_segments * 2, 6)).astype(dtype)
+    ids = rng.integers(0, num_segments, size=values.shape[0]).astype(np.int64)
+
+    def run():
+        vt = Tensor(values, requires_grad=True, dtype=dtype)
+        out = segment_sum(vt, ids, num_segments)
+        out.sum().backward()
+        return out.data, vt.grad
+
+    with num_workers(4):
+        pooled = run()
+        with serial_execution():
+            serial = run()
+    for lhs, rhs in zip(pooled, serial):
+        assert lhs.dtype == np.dtype(dtype)
+        assert np.array_equal(lhs, rhs)
+
+
+def test_naive_kernels_float64_is_chunking_free():
+    """The reference path never chunks, so its float64 results cannot
+    depend on the configured worker count at all."""
+    case = _affine_case(np.float64)
+
+    def run_naive():
+        with naive_kernels():
+            return _run_affine(*case)
+
+    with num_workers(1):
+        base = run_naive()
+    with num_workers(8):
+        wide = run_naive()
+    for lhs, rhs in zip(base, wide):
+        assert np.array_equal(lhs, rhs)

@@ -104,7 +104,8 @@ def test_baseline_models_skip_structure_composition(dataset):
     trainer.fit(model, dataset)
     structures = trainer._structures
     assert structures is not None
-    assert structures[1] is None          # radius: composition disabled
+    radius, _dtype = structures[1]
+    assert radius is None                 # radius: composition disabled
     batch, structure = structures[2].batch(dataset.val_index)
     assert structure is None
 
