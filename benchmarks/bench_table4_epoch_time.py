@@ -25,6 +25,7 @@ root next to the recorded pre-optimisation baseline.
 import json
 import os
 import statistics
+import subprocess
 from pathlib import Path
 from typing import Dict
 
@@ -146,6 +147,17 @@ def _environment(dtype: str) -> dict:
     }
 
 
+def _current_commit() -> str:
+    """Short hash of HEAD, or ``"unknown"`` outside a usable git checkout."""
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=Path(__file__).resolve().parent, capture_output=True,
+            text=True, timeout=10, check=True).stdout.strip() or "unknown"
+    except Exception:
+        return "unknown"
+
+
 def _merge_into_json(section: str, payload: dict) -> None:
     """Update one top-level section of ``BENCH_graph_epoch.json`` in place,
     preserving whatever the other benchmark sections recorded."""
@@ -204,11 +216,26 @@ def generate_graph_epoch_benchmark() -> str:
                                                  key=lambda kv: -kv[1])},
         "cache_stats": cache_stats,
     }
-    # Preserve the precision A/B section if its benchmark recorded one.
+    # Preserve the precision A/B section if its benchmark recorded one,
+    # and extend the per-commit trajectory: one appended entry per
+    # measured commit, so the optimisation history reads straight out of
+    # the JSON instead of out of ``git log`` archaeology.
+    history = [{"commit": GRAPH_EPOCH_BASELINE["commit"],
+                "median_epoch_ms": GRAPH_EPOCH_BASELINE["median_epoch_ms"],
+                "dtype": "float64"}]
     if GRAPH_EPOCH_JSON.exists():
         prior = json.loads(GRAPH_EPOCH_JSON.read_text())
         if "precision_ab" in prior:
             payload["precision_ab"] = prior["precision_ab"]
+        history = prior.get("history", history)
+    entry = {"commit": _current_commit(),
+             "median_epoch_ms": round(median_ms, 1),
+             "dtype": trainer.config.dtype}
+    if history and history[-1].get("commit") == entry["commit"]:
+        history[-1] = entry          # re-run on the same commit: refresh
+    else:
+        history.append(entry)
+    payload["history"] = history
     GRAPH_EPOCH_JSON.write_text(json.dumps(payload, indent=2) + "\n")
 
     lines = [

@@ -20,21 +20,24 @@ Subpackages
     AdamGNN itself: adaptive pooling, unpooling, flyback, losses, heads.
 ``repro.training``
     Trainers, metrics and the experiment runner behind every benchmark.
+``repro.inference``
+    Grad-free serving engine (``Predictor``) with workspace buffer reuse.
 """
 
-from . import core, datasets, graph, layers, models, nn, optim, pooling
-from . import tensor, training
+from . import core, datasets, graph, inference, layers, models, nn, optim
+from . import pooling, tensor, training
 from .core import (AdamGNN, AdamGNNGraphClassifier, AdamGNNLinkPredictor,
                    AdamGNNNodeClassifier)
 from .graph import Graph, GraphBatch
+from .inference import Predictor
 from .tensor import Tensor
 
 __version__ = "1.0.0"
 
 __all__ = [
-    "core", "datasets", "graph", "layers", "models", "nn", "optim",
-    "pooling", "tensor", "training",
+    "core", "datasets", "graph", "inference", "layers", "models", "nn",
+    "optim", "pooling", "tensor", "training",
     "AdamGNN", "AdamGNNGraphClassifier", "AdamGNNLinkPredictor",
-    "AdamGNNNodeClassifier", "Graph", "GraphBatch", "Tensor",
+    "AdamGNNNodeClassifier", "Graph", "GraphBatch", "Predictor", "Tensor",
     "__version__",
 ]

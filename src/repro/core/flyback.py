@@ -17,6 +17,7 @@ import numpy as np
 from ..nn import Linear, Module, Parameter, init
 from ..tensor import (Tensor, fast_kernels_enabled, leaky_relu,
                       leaky_relu_project, softmax, stack)
+from ..tensor import workspace as _ws
 
 
 def _weighted_combine(h0: Tensor, messages: Sequence[Tensor],
@@ -29,9 +30,21 @@ def _weighted_combine(h0: Tensor, messages: Sequence[Tensor],
     ``grad`` to ``H_0``, ``β_k·grad`` to message k, and the row-wise dot
     ``⟨grad, Ĥ_k⟩`` to row k of β.
     """
-    out_data = h0.data.copy()
+    ws = _ws.active_workspace()
+    if ws is None:
+        out_data = h0.data.copy()
+    else:
+        out_data = ws.take(h0.data.shape, h0.data.dtype)
+        np.copyto(out_data, h0.data)
     for k, message in enumerate(messages):
-        out_data += message.data * beta.data[k][:, None]
+        # The β-scaled message lands in a reusable scratch buffer (a plain
+        # temporary when no workspace is active) before the in-place add —
+        # same multiply, same add, bit for bit.
+        scaled = np.multiply(
+            message.data, beta.data[k][:, None],
+            out=_ws.ws_out(message.data.shape,
+                           np.result_type(message.data, beta.data)))
+        out_data += scaled
 
     def backward(grad: np.ndarray) -> None:
         if h0.requires_grad:

@@ -25,6 +25,7 @@ from ..graph import StructureCache, normalize_edges
 from ..layers import GCNConv, mean_max_readout
 from ..nn import Dropout, Linear, Module, ModuleList
 from ..tensor import Tensor, relu
+from ..tensor.workspace import ws_captured
 from ..utils.timing import profile_phase
 from .flyback import FlybackAggregator
 from .pooling import AdaptiveGraphPooling, PooledLevel
@@ -180,8 +181,11 @@ class AdamGNN(Module):
                 # the same structure.
                 break
             with profile_phase("normalize"):
-                norm_e, norm_w = normalize_edges(level.edge_index,
-                                                 level.edge_weight, m)
+                # Purely structural given the level's connectivity, so a
+                # serving arena replays it with the captured edges.
+                norm_e, norm_w = ws_captured(
+                    lambda: normalize_edges(level.edge_index,
+                                            level.edge_weight, m))
             with profile_phase("conv"):
                 h = relu(conv(level.x, norm_e, norm_w, num_nodes=m))
             levels.append(level)

@@ -22,7 +22,8 @@ import numpy as np
 from ..graph.cache import StructureCache
 from ..nn import Linear, Module, Parameter, init
 from ..tensor import (Tensor, gather_rows, gather_scale_segment_sum,
-                      leaky_relu_project, segment_softmax)
+                      leaky_relu_project, segment_mean, segment_softmax)
+from ..tensor.workspace import ws_captured
 from ..utils.timing import profile_phase
 from .egonet import EgoNetworks, build_ego_networks, one_hop_neighbors
 from .fitness import FitnessScorer
@@ -64,23 +65,34 @@ class HyperNodeFeatures(Module):
             init.glorot_uniform(rng, 2 * in_features, 1,
                                 shape=(2 * in_features,)))
 
+    @staticmethod
+    def _pair_structure(egos: EgoNetworks, assignment: Assignment):
+        """``(pair_idx, members, cols, pair egos)`` of the selected pairs.
+
+        Pure topology given the selection outcome, so serving arenas
+        capture it (stable ``cols``/``pair_idx`` arrays also keep the
+        identity-keyed segment plans hitting across replays).
+        """
+        selected = assignment.selected
+        is_selected = np.zeros(egos.num_nodes, dtype=bool)
+        is_selected[selected] = True
+        col_of_ego = -np.ones(egos.num_nodes, dtype=np.int64)
+        col_of_ego[selected] = np.arange(selected.shape[0])
+        pair_idx = np.flatnonzero(is_selected[egos.ego])
+        return (pair_idx, egos.member[pair_idx],
+                col_of_ego[egos.ego[pair_idx]], egos.ego[pair_idx])
+
     def forward(self, h: Tensor, phi_pairs: Tensor, egos: EgoNetworks,
                 assignment: Assignment) -> Tensor:
         selected = assignment.selected
         n_sel = selected.shape[0]
         d = h.shape[-1]
 
-        is_selected = np.zeros(egos.num_nodes, dtype=bool)
-        is_selected[selected] = True
-        col_of_ego = -np.ones(egos.num_nodes, dtype=np.int64)
-        col_of_ego[selected] = np.arange(n_sel)
-        pair_mask = is_selected[egos.ego]
-        pair_idx = np.flatnonzero(pair_mask)
+        pair_idx, members, cols, pair_egos = ws_captured(
+            lambda: self._pair_structure(egos, assignment))
 
         ego_features = gather_rows(h, selected)
         if pair_idx.size:
-            members = egos.member[pair_idx]
-            cols = col_of_ego[egos.ego[pair_idx]]
             phi = phi_pairs[pair_idx].reshape(-1, 1)
             member_h = gather_rows(h, members)
             scaled = self.transform(member_h * phi)
@@ -92,7 +104,7 @@ class HyperNodeFeatures(Module):
             # O(P·d), bit-identical (same trick as the fitness scorer).
             right_nodes = leaky_relu_project(h, a_right)
             logits = leaky_relu_project(scaled, a_left) \
-                + gather_rows(right_nodes, egos.ego[pair_idx])
+                + gather_rows(right_nodes, pair_egos)
             alpha = segment_softmax(logits, cols, n_sel)
             pooled = gather_scale_segment_sum(h, members, alpha, cols, n_sel)
             ego_features = ego_features + pooled
@@ -165,20 +177,42 @@ class AdaptiveGraphPooling(Module):
                     "ego-networks", (edge_index,), (n, 1),
                     lambda: one_hop_neighbors(edge_index, n)))
             else:
-                egos = build_ego_networks(edge_index, n, radius=self.radius)
-                neighbors = (egos if self.radius == 1
-                             else one_hop_neighbors(edge_index, n))
+                # Pooled-level structure: fresh every training step (it
+                # tracks the learned fitness), but captured by a serving
+                # arena — for a frozen model it is a pure function of the
+                # batch, so replays skip the sparse reachability products.
+                egos = ws_captured(
+                    lambda: build_ego_networks(edge_index, n,
+                                               radius=self.radius))
+                neighbors = (egos if self.radius == 1 else ws_captured(
+                    lambda: one_hop_neighbors(edge_index, n)))
         with profile_phase("fitness"):
-            phi_pairs, phi_nodes = self.fitness(h, egos)
+            phi_pairs = self.fitness.pair_scores(h, egos)
         with profile_phase("selection"):
-            selected = select_egos(phi_nodes.data, neighbors, egos.sizes())
-            assignment = build_assignment(phi_pairs, egos, selected)
+            # The selection outcome is the data-dependent control flow of
+            # the forward; a serving arena records it (with the assembled
+            # S_k and the per-node fitness diagnostic, neither of which
+            # carries gradient) and replays the same Assignment —
+            # identical by determinism while the parameters stay frozen.
+            def _select():
+                phi_nodes = segment_mean(phi_pairs.reshape(-1, 1), egos.ego,
+                                         egos.num_nodes).reshape(-1)
+                selected = select_egos(phi_nodes.data, neighbors,
+                                       egos.sizes())
+                return (build_assignment(phi_pairs, egos, selected),
+                        phi_nodes.data.copy())
+            assignment, phi_node_values = ws_captured(_select)
         with profile_phase("hyper_features"):
             x_k = self.features(h, phi_pairs, egos, assignment)
         with profile_phase("connectivity"):
-            new_edges, new_weight = hyper_graph_connectivity(
-                assignment, edge_index, edge_weight)
-        new_batch = None if batch is None else batch[assignment.seed_of_col]
+            # Detached even in training (gradient flows through the feature
+            # and unpooling paths only), so replaying the captured product
+            # changes no value anywhere.
+            new_edges, new_weight = ws_captured(
+                lambda: hyper_graph_connectivity(assignment, edge_index,
+                                                 edge_weight))
+        new_batch = (None if batch is None
+                     else ws_captured(lambda: batch[assignment.seed_of_col]))
         return PooledLevel(x=x_k, edge_index=new_edges,
                            edge_weight=new_weight, assignment=assignment,
-                           batch=new_batch, phi_nodes=phi_nodes.data.copy())
+                           batch=new_batch, phi_nodes=phi_node_values)

@@ -73,6 +73,7 @@ class StructureCache:
         self._entries: "OrderedDict[Tuple, Tuple[Tuple, Any]]" = OrderedDict()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     # ------------------------------------------------------------------
     # Generic memoisation
@@ -98,6 +99,7 @@ class StructureCache:
         self._entries[key] = (tuple(arrays), value)
         if len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
+            self.evictions += 1
         return value
 
     # ------------------------------------------------------------------
@@ -144,12 +146,14 @@ class StructureCache:
     # ------------------------------------------------------------------
     def stats(self) -> dict:
         return {"hits": self.hits, "misses": self.misses,
+                "evictions": self.evictions,
                 "entries": len(self._entries), "capacity": self.capacity}
 
     def clear(self) -> None:
         self._entries.clear()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -181,6 +185,7 @@ class BatchStructureCache:
         self._entries: "OrderedDict[bytes, Any]" = OrderedDict()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def get(self, chunk: np.ndarray) -> Any:
         """The collated value for ``chunk`` (built on first sight)."""
@@ -195,16 +200,19 @@ class BatchStructureCache:
         self._entries[key] = value
         if len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
+            self.evictions += 1
         return value
 
     def stats(self) -> dict:
         return {"hits": self.hits, "misses": self.misses,
+                "evictions": self.evictions,
                 "entries": len(self._entries), "capacity": self.capacity}
 
     def clear(self) -> None:
         self._entries.clear()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def __len__(self) -> int:
         return len(self._entries)

@@ -16,7 +16,8 @@ import scipy.sparse as sp
 
 from ..tensor import (Tensor, fast_kernels_enabled, gather_rows, segment_max,
                       segment_mean, segment_sum)
-from ..tensor._segment_plans import _array_key
+from ..tensor import workspace as _ws
+from ..tensor._segment_plans import _array_key, _sptools
 
 #: Supported reduction names → segment reducers.
 _REDUCERS = {
@@ -65,7 +66,21 @@ def _spmm(x: Tensor, forward_op, backward_op) -> Tensor:
     chain, which materialised three ``(E, d)`` temporaries per call.
     """
 
-    out_data = forward_op @ x.data
+    ws = _ws.active_workspace()
+    if ws is None or _sptools is None or x.data.ndim != 2:
+        out_data = forward_op @ x.data
+    else:
+        # scipy's ``@`` allocates a fresh output and dispatches to
+        # csr_matvecs; calling the kernel directly on a re-zeroed arena
+        # slot computes the identical sums into a recycled buffer.
+        n_out = forward_op.shape[0]
+        n_in, n_vecs = x.data.shape
+        out_data = ws.take((n_out, n_vecs), x.data.dtype)
+        out_data.fill(0)
+        dense = np.ascontiguousarray(x.data)
+        _sptools.csr_matvecs(n_out, n_in, n_vecs, forward_op.indptr,
+                             forward_op.indices, forward_op.data,
+                             dense.ravel(), out_data.ravel())
 
     def backward(grad: np.ndarray) -> None:
         x._accumulate(backward_op @ np.ascontiguousarray(grad))

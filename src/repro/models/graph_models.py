@@ -22,8 +22,8 @@ import numpy as np
 from ..graph import GraphBatch, normalize_edges
 from ..layers import GCNConv, GINConv, gin_mlp, mean_max_readout
 from ..nn import Dropout, Linear, Module, ModuleList
-from ..pooling import (DiffPool, DenseGCN, SAGPooling, SortPool, StructPool,
-                       TopKPooling, normalize_dense_adjacency,
+from ..pooling import (ASAPooling, DiffPool, DenseGCN, SAGPooling, SortPool,
+                       StructPool, TopKPooling, normalize_dense_adjacency,
                        to_dense_adjacency, to_dense_batch)
 from ..tensor import Tensor, concat, relu
 
@@ -78,19 +78,22 @@ class GINGraphClassifier(Module):
 class HierarchicalPoolClassifier(Module):
     """conv → pool (× stages) with summed per-stage readouts.
 
-    ``pool_kind`` selects TOPKPOOL (projection scores) or SAGPOOL
-    (GCN-attention scores); both share the selection machinery and the
-    fixed-ratio hyper-parameter AdamGNN eliminates.
+    ``pool_kind`` selects TOPKPOOL (projection scores), SAGPOOL
+    (GCN-attention scores) or ASAP (cluster-attention scores); all three
+    share the selection machinery and the fixed-ratio hyper-parameter
+    AdamGNN eliminates.
     """
+
+    _POOLS = {"topk": TopKPooling, "sag": SAGPooling, "asap": ASAPooling}
 
     def __init__(self, pool_kind: str, in_features: int, num_classes: int,
                  hidden: int = 64, num_stages: int = 3, ratio: float = 0.5,
                  dropout: float = 0.3,
                  rng: Optional[np.random.Generator] = None):
         super().__init__()
-        if pool_kind not in ("topk", "sag"):
-            raise ValueError(f"pool_kind must be 'topk' or 'sag', got "
-                             f"{pool_kind!r}")
+        if pool_kind not in self._POOLS:
+            raise ValueError(f"pool_kind must be one of "
+                             f"{sorted(self._POOLS)}, got {pool_kind!r}")
         rng = rng if rng is not None else np.random.default_rng(0)
         seeds = rng.integers(0, 2 ** 31, size=2 * num_stages + 1)
         dims = [in_features] + [hidden] * num_stages
@@ -98,7 +101,7 @@ class HierarchicalPoolClassifier(Module):
             GCNConv(dims[i], dims[i + 1],
                     rng=np.random.default_rng(int(seeds[i])))
             for i in range(num_stages))
-        make_pool = TopKPooling if pool_kind == "topk" else SAGPooling
+        make_pool = self._POOLS[pool_kind]
         self.pools = ModuleList(
             make_pool(hidden, ratio=ratio,
                       rng=np.random.default_rng(

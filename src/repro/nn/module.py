@@ -9,11 +9,12 @@ supports state-dict save/load for checkpointing experiments.
 from __future__ import annotations
 
 from collections import OrderedDict
+from contextlib import contextmanager
 from typing import Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
-from ..tensor import Tensor
+from ..tensor import Tensor, no_grad
 
 
 class Parameter(Tensor):
@@ -121,6 +122,28 @@ class Module:
     def eval(self) -> "Module":
         """Set eval mode (equivalent to ``train(False)``)."""
         return self.train(False)
+
+    @contextmanager
+    def inference(self) -> Iterator["Module"]:
+        """Eval mode + :func:`~repro.tensor.no_grad`, restored on exit.
+
+        The one-liner for serving and evaluation loops::
+
+            with model.inference():
+                logits, _ = model(batch)
+
+        Forwards inside run grad-free (no parent tracking, no ``_backward``
+        closures) and with dropout disabled; the previous training flag and
+        grad mode come back afterwards, even on exceptions.
+        """
+        was_training = self.training
+        self.eval()
+        try:
+            with no_grad():
+                yield self
+        finally:
+            if was_training:
+                self.train(True)
 
     def zero_grad(self) -> None:
         """Clear gradients of every parameter."""

@@ -1,0 +1,61 @@
+"""Global gradient-mode switch: ``no_grad()`` disables tape construction.
+
+Training builds a reverse-mode DAG for every op: parent tuples, a
+``_backward`` closure, and (for some ops) backward-only precomputation such
+as ``log_softmax``'s cached softmax.  Inference needs none of it.  Rather
+than threading a flag through every op, the switch lives here and is
+consulted at the single point where all ops wire their results into the
+graph — :meth:`Tensor._make_child` — so one check covers plain ops and
+fused kernels alike.
+
+The flag is a process-global, not thread-local: the chunk-parallel executor
+(:mod:`repro.tensor._parallel`) runs raw NumPy block functions on its
+workers, never Tensor ops, so no op ever executes off the main thread.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+_GRAD_ENABLED: bool = True
+
+
+def grad_enabled() -> bool:
+    """Return ``True`` when ops should record the autograd tape."""
+    return _GRAD_ENABLED
+
+
+def set_grad_enabled(mode: bool) -> bool:
+    """Set the grad mode; returns the previous mode (for manual restore)."""
+    global _GRAD_ENABLED
+    previous = _GRAD_ENABLED
+    _GRAD_ENABLED = bool(mode)
+    return previous
+
+
+@contextmanager
+def no_grad() -> Iterator[None]:
+    """Context manager: ops inside produce graph-free leaf tensors.
+
+    Results are bitwise identical to the training-mode forward — the same
+    kernels run on the same values; only the bookkeeping (parent tracking,
+    ``_backward`` closures, backward-only caches) is skipped.  Calling
+    ``backward()`` on a tensor created inside raises, as it has no graph.
+    Re-entrant and exception-safe.
+    """
+    previous = set_grad_enabled(False)
+    try:
+        yield
+    finally:
+        set_grad_enabled(previous)
+
+
+@contextmanager
+def enable_grad() -> Iterator[None]:
+    """Re-enable tape construction inside an enclosing :func:`no_grad`."""
+    previous = set_grad_enabled(True)
+    try:
+        yield
+    finally:
+        set_grad_enabled(previous)

@@ -30,6 +30,7 @@ import numpy as np
 import scipy.sparse as sp
 
 from . import _parallel
+from . import workspace as _ws
 
 try:  # pragma: no cover - import guard for scipy internals
     from scipy.sparse import _sparsetools as _sptools
@@ -165,8 +166,11 @@ class SegmentReductionPlan:
             return np.asarray(matrix @ dense, dtype=dtype)
         # Direct kernel call: scipy's ``@`` re-derives index dtypes
         # and re-validates shapes on every product, which is
-        # measurable at this call frequency.
-        out = np.zeros((self.num_segments, dense.shape[1]), dtype=dtype)
+        # measurable at this call frequency.  The zeroed accumulator can
+        # come from the inference workspace — csr_matvecs adds into it,
+        # so a re-zeroed recycled buffer is bitwise identical to a fresh
+        # np.zeros.
+        out = _ws.ws_zeros((self.num_segments, dense.shape[1]), dtype)
         n_rows, n_vecs = dense.shape
         indptr, indices, data = matrix.indptr, matrix.indices, matrix.data
         plan = _parallel.chunk_plan(self.num_segments)
@@ -212,9 +216,9 @@ class SegmentReductionPlan:
             # ids every epoch) take the reduceat path below instead.
             out = self._csr_sum(values, np.dtype(dtype))
             return out
-        out = np.zeros((self.num_segments,) + values.shape[1:], dtype=dtype)
+        out = _ws.ws_zeros((self.num_segments,) + values.shape[1:], dtype)
         if self.starts.size:
-            out[self.present] = np.add.reduceat(values[self.order],
+            out[self.present] = np.add.reduceat(self._take_sorted(values),
                                                 self.starts, axis=0)
         return out
 
@@ -227,12 +231,20 @@ class SegmentReductionPlan:
         """
         if dtype is None:
             dtype = values.dtype
-        out = np.zeros((self.num_segments,) + values.shape[1:], dtype=dtype)
+        out = _ws.ws_zeros((self.num_segments,) + values.shape[1:], dtype)
         if self.starts.size:
-            peak = np.maximum.reduceat(values[self.order], self.starts,
-                                       axis=0)
+            peak = np.maximum.reduceat(self._take_sorted(values),
+                                       self.starts, axis=0)
             out[self.present] = np.where(np.isfinite(peak), peak, 0.0)
         return out
+
+    def _take_sorted(self, values: np.ndarray) -> np.ndarray:
+        """``values[self.order]`` via a workspace slot when one is active."""
+        ws = _ws.active_workspace()
+        if ws is not None and values.dtype.kind == "f":
+            return np.take(values, self.order, axis=0,
+                           out=ws.take(values.shape, values.dtype))
+        return values[self.order]
 
 
 def _array_key(arr: np.ndarray) -> Tuple:
@@ -243,11 +255,12 @@ def _array_key(arr: np.ndarray) -> Tuple:
 _CACHE: "OrderedDict[Tuple, SegmentReductionPlan]" = OrderedDict()
 _HITS = 0
 _MISSES = 0
+_EVICTIONS = 0
 
 
 def plan_for(ids: np.ndarray, num_segments: int) -> SegmentReductionPlan:
     """Return the (possibly cached) reduction plan for ``ids``."""
-    global _HITS, _MISSES
+    global _HITS, _MISSES, _EVICTIONS
     key = _array_key(ids) + (int(num_segments),)
     plan = _CACHE.get(key)
     if plan is not None:
@@ -259,6 +272,7 @@ def plan_for(ids: np.ndarray, num_segments: int) -> SegmentReductionPlan:
     _CACHE[key] = plan
     if len(_CACHE) > PLAN_CACHE_CAPACITY:
         _CACHE.popitem(last=False)
+        _EVICTIONS += 1
     return plan
 
 
@@ -284,13 +298,14 @@ def segment_plan_stats() -> dict:
     The uniform shape lets trainers surface every cache's effectiveness
     in one profile report (``TrainConfig(profile=True)``).
     """
-    return {"hits": _HITS, "misses": _MISSES, "entries": len(_CACHE),
-            "capacity": PLAN_CACHE_CAPACITY}
+    return {"hits": _HITS, "misses": _MISSES, "evictions": _EVICTIONS,
+            "entries": len(_CACHE), "capacity": PLAN_CACHE_CAPACITY}
 
 
 def clear_plan_cache() -> None:
     """Drop all cached plans (releases the pinned ids arrays)."""
-    global _HITS, _MISSES
+    global _HITS, _MISSES, _EVICTIONS
     _CACHE.clear()
     _HITS = 0
     _MISSES = 0
+    _EVICTIONS = 0

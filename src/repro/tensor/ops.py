@@ -12,10 +12,27 @@ from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
+from . import _grad_mode as _grad
 from . import _parallel
 from . import _segment_plans as _plans
+from . import workspace as _ws
 from .precision import ACCUM_DTYPE
 from .tensor import DEFAULT_DTYPE, ArrayLike, Number, Tensor
+
+
+def _gather_rows_data(data: np.ndarray, idx: np.ndarray) -> np.ndarray:
+    """``data[idx]`` routed through the active inference workspace.
+
+    ``np.take`` writes the gather into a reusable arena slot when one is
+    active (float buffers only — integer index arrays must never be
+    workspace-recycled, see :mod:`repro.tensor.workspace`); otherwise this
+    is plain fancy indexing, bit for bit.
+    """
+    ws = _ws.active_workspace()
+    if ws is not None and data.dtype.kind == "f":
+        out = ws.take(idx.shape + data.shape[1:], data.dtype)
+        return np.take(data, idx, axis=0, out=out)
+    return data[idx]
 
 
 def _as_tensor(value: ArrayLike) -> Tensor:
@@ -89,7 +106,16 @@ def relu(x: ArrayLike) -> Tensor:
     """Rectified linear unit, ``max(x, 0)``."""
     x = _as_tensor(x)
     mask = x.data > 0
-    out_data = np.where(mask, x.data, 0.0)
+    ws = _ws.active_workspace()
+    if ws is None:
+        out_data = np.where(mask, x.data, 0.0)
+    else:
+        # fill + masked copy is bitwise-identical to the np.where select
+        # (positives copied verbatim, everything else — including NaN,
+        # which compares False — becomes +0.0 in both spellings).
+        out_data = ws.take(x.data.shape, x.data.dtype)
+        out_data.fill(0)
+        np.copyto(out_data, x.data, where=mask)
 
     def backward(grad: np.ndarray) -> None:
         x._accumulate(grad * mask)
@@ -100,11 +126,17 @@ def relu(x: ArrayLike) -> Tensor:
 def leaky_relu(x: ArrayLike, negative_slope: float = 0.2) -> Tensor:
     """Leaky ReLU with the paper's default slope of 0.2 (as in GAT)."""
     x = _as_tensor(x)
-    mask = x.data > 0
+    # The mask is backward-only state on the max-form branch; skip it in
+    # no-grad mode (the closure is never wired, so the free variable is
+    # never read).
+    mask = x.data > 0 if (_grad.grad_enabled() or negative_slope > 1.0) \
+        else None
     if negative_slope <= 1.0:
         # max(x, s·x) selects x on the positive branch and s·x on the
         # negative one — one temporary fewer than the equivalent np.where.
-        out_data = np.maximum(x.data, negative_slope * x.data)
+        out_data = _ws.ws_empty(x.data.shape, x.data.dtype)
+        np.multiply(x.data, negative_slope, out=out_data)
+        np.maximum(x.data, out_data, out=out_data)
     else:
         out_data = np.where(mask, x.data, negative_slope * x.data)
 
@@ -129,14 +161,16 @@ def leaky_relu_project(x: ArrayLike, a: Tensor,
         return leaky_relu(x, negative_slope=negative_slope) @ a
     plan = (_parallel.chunk_plan(x.data.shape[0])
             if x.data.ndim == 2 else None)
-    act = np.empty_like(x.data)
+    act = _ws.ws_empty(x.data.shape, x.data.dtype)
+    out_shape = ((x.data.shape[0],) if a.data.ndim == 1
+                 else (x.data.shape[0], a.data.shape[1]))
+    out_dtype = np.result_type(x.data, a.data)
     if plan is None:
         np.maximum(x.data, negative_slope * x.data, out=act)
-        out_data = act @ a.data
+        out_data = np.matmul(act, a.data, out=_ws.ws_out(out_shape,
+                                                         out_dtype))
     else:
-        out_shape = ((act.shape[0],) if a.data.ndim == 1
-                     else (act.shape[0], a.data.shape[1]))
-        out_data = np.empty(out_shape, dtype=np.result_type(act, a.data))
+        out_data = _ws.ws_empty(out_shape, out_dtype)
 
         def forward_block(start: int, stop: int) -> None:
             blk = act[start:stop]
@@ -250,7 +284,9 @@ def log_softmax(x: ArrayLike, axis: int = -1) -> Tensor:
     log_z = np.log(np.exp(shifted).sum(axis=axis, keepdims=True,
                                        dtype=ACCUM_DTYPE))
     out_data = shifted - log_z.astype(x.data.dtype, copy=False)
-    soft = np.exp(out_data)
+    # The cached softmax exists only for the backward closure — skip the
+    # exp pass entirely on the inference path.
+    soft = np.exp(out_data) if _grad.grad_enabled() else None
 
     def backward(grad: np.ndarray) -> None:
         x._accumulate(grad - soft * grad.sum(axis=axis, keepdims=True))
@@ -264,7 +300,17 @@ def log_softmax(x: ArrayLike, axis: int = -1) -> Tensor:
 def concat(tensors: Sequence[ArrayLike], axis: int = -1) -> Tensor:
     """Concatenate tensors along ``axis``."""
     tensors = [_as_tensor(t) for t in tensors]
-    out_data = np.concatenate([t.data for t in tensors], axis=axis)
+    arrays = [t.data for t in tensors]
+    ws = _ws.active_workspace()
+    if ws is None or any(a.dtype.kind != "f" for a in arrays):
+        out_data = np.concatenate(arrays, axis=axis)
+    else:
+        ax = axis % arrays[0].ndim
+        shape = list(arrays[0].shape)
+        shape[ax] = sum(a.shape[ax] for a in arrays)
+        out_data = np.concatenate(
+            arrays, axis=axis,
+            out=ws.take(tuple(shape), np.result_type(*arrays)))
     sizes = [t.data.shape[axis] for t in tensors]
     offsets = np.cumsum([0] + sizes)
 
@@ -319,7 +365,7 @@ def gather_rows(x: ArrayLike, index: np.ndarray) -> Tensor:
     """
     x = _as_tensor(x)
     idx = np.asarray(index, dtype=np.int64)
-    out_data = x.data[idx]
+    out_data = _gather_rows_data(x.data, idx)
 
     def backward(grad: np.ndarray) -> None:
         if idx.ndim == 1 and _plans.fast_kernels_enabled():
@@ -386,13 +432,15 @@ def affine(x: ArrayLike, weight: Tensor, bias: Optional[Tensor]) -> Tensor:
     # bit for bit.  plan=None (small input or one worker) is the
     # unchunked kernel, unchanged from the pre-parallel path.
     plan = _parallel.chunk_plan(x.data.shape[0])
+    out_shape = (x.data.shape[0], weight.data.shape[1])
+    out_dtype = np.result_type(x.data, weight.data)
     if plan is None:
-        out_data = x.data @ weight.data
+        out_data = np.matmul(x.data, weight.data,
+                             out=_ws.ws_out(out_shape, out_dtype))
         if bias is not None:
             out_data += bias.data
     else:
-        out_data = np.empty((x.data.shape[0], weight.data.shape[1]),
-                            dtype=np.result_type(x.data, weight.data))
+        out_data = _ws.ws_empty(out_shape, out_dtype)
 
         def forward_block(start: int, stop: int) -> None:
             np.matmul(x.data[start:stop], weight.data,
@@ -442,9 +490,11 @@ def pair_dot(x: ArrayLike, index_a: np.ndarray,
     if idx_a.shape != idx_b.shape or idx_a.ndim != 1:
         raise ValueError(f"pair_dot expects matching 1-D index arrays, got "
                          f"{idx_a.shape} and {idx_b.shape}")
-    xa = x.data[idx_a]
-    xb = x.data[idx_b]
-    out_data = np.einsum("ij,ij->i", xa, xb)
+    xa = _gather_rows_data(x.data, idx_a)
+    xb = _gather_rows_data(x.data, idx_b)
+    out_data = np.einsum("ij,ij->i", xa, xb,
+                         out=_ws.ws_out((xa.shape[0],),
+                                        np.result_type(xa, xb)))
 
     def backward(grad: np.ndarray) -> None:
         g = grad[:, None]
@@ -476,7 +526,9 @@ def rowwise_dot(a: ArrayLike, b: ArrayLike) -> Tensor:
     if a.data.ndim != 2 or a.data.shape != b.data.shape:
         raise ValueError(f"rowwise_dot expects matching (n, d) operands, "
                          f"got {a.data.shape} and {b.data.shape}")
-    out_data = np.einsum("ij,ij->i", a.data, b.data)
+    out_data = np.einsum("ij,ij->i", a.data, b.data,
+                         out=_ws.ws_out((a.data.shape[0],),
+                                        np.result_type(a.data, b.data)))
 
     def backward(grad: np.ndarray) -> None:
         g = grad[:, None]

@@ -25,7 +25,8 @@ from __future__ import annotations
 import numpy as np
 
 from . import _segment_plans as _plans
-from .ops import exp, gather_rows
+from . import workspace as _ws
+from .ops import _gather_rows_data, exp, gather_rows
 from .tensor import DEFAULT_DTYPE, ArrayLike, Tensor
 
 
@@ -152,10 +153,13 @@ def gather_scale_segment_sum(x: ArrayLike, gather_ids: np.ndarray,
         messages = gather_rows(x, cols) * scale.reshape(-1, 1)
         return segment_sum(messages, ids, num_segments)
 
-    gathered = x.data[cols]
+    gathered = _gather_rows_data(x.data, cols)
     weights = scale.data[:, None]
     plan = _plans.plan_for(ids, num_segments)
-    out_data = plan.sum(gathered * weights)
+    scaled = np.multiply(gathered, weights,
+                         out=_ws.ws_out(gathered.shape,
+                                        np.result_type(gathered, weights)))
+    out_data = plan.sum(scaled)
 
     def backward(grad: np.ndarray) -> None:
         pulled = grad[ids]
@@ -188,13 +192,18 @@ def segment_softmax(scores: ArrayLike, segment_ids: np.ndarray,
 
     plan = _plans.plan_for(ids, num_segments)
     # Subtracting the per-segment max is a constant shift: it changes
-    # neither the value nor the gradient of the softmax.
+    # neither the value nor the gradient of the softmax.  Each step below
+    # reuses its workspace-gathered operand in place when an arena is
+    # active; with none active the buffers are fresh, exactly as before.
     peak = plan.max(scores.data)
-    e = np.exp(scores.data - peak[ids])
+    shift = _gather_rows_data(peak, ids)
+    np.subtract(scores.data, shift, out=shift)
+    e = np.exp(shift, out=shift)
     denom = plan.sum(e)
     # Guard empty segments (no entries reference them, value is irrelevant).
     denom[denom == 0.0] = 1.0
-    out_data = e / denom[ids]
+    pulled = _gather_rows_data(denom, ids)
+    out_data = np.divide(e, pulled, out=pulled)
 
     def backward(grad: np.ndarray) -> None:
         dot = plan.sum(grad * out_data)

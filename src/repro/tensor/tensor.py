@@ -24,6 +24,7 @@ from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from . import _grad_mode as _grad
 from . import _segment_plans as _plans
 from . import precision as _precision
 
@@ -223,9 +224,13 @@ class Tensor:
 
         ``data`` is adopted verbatim — op outputs inherit their inputs'
         dtype (dtype stability), they are not re-coerced to the policy.
+        Under :func:`~repro.tensor.no_grad` the wiring is skipped entirely:
+        the result is a graph-free leaf and ``parents``/``backward`` are
+        dropped (this is the single choke point every op flows through, so
+        one check here covers plain ops and fused kernels alike).
         """
         out = Tensor._from_data(np.asarray(data))
-        if any(p.requires_grad for p in parents):
+        if _grad.grad_enabled() and any(p.requires_grad for p in parents):
             out.requires_grad = True
             out._parents = tuple(p for p in parents if p.requires_grad)
             out._backward = backward

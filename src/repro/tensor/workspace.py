@@ -1,0 +1,245 @@
+"""Preallocated out-buffer arena for grad-free inference forwards.
+
+NumPy hands every allocation of ~128 KiB or more to ``mmap``, so a fresh
+intermediate in a steady-state serving loop pays page-fault zeroing on every
+single forward.  A :class:`Workspace` removes that cost: the hot kernels
+(``affine``, ``leaky_relu_project``, segment reductions, SpMV, the flyback
+combine) request their output buffers through the active workspace instead
+of calling ``np.empty`` directly, and the workspace hands back the *same*
+buffers on every repeated forward.
+
+How the "plan capture" works
+----------------------------
+A model's forward is a deterministic sequence of kernel calls: for a fixed
+model and a fixed input batch, call *i* always produces the same output
+shape and dtype.  The workspace exploits this with a slot cursor — it
+records the buffer sequence of the first forward (the capture pass, which
+allocates) and replays it on every subsequent forward over the same batch
+(zero allocations, ``hits`` increments instead).  :meth:`Workspace.begin`
+rewinds the cursor; the :class:`~repro.inference.Predictor` calls it before
+each forward.  A shape or dtype mismatch at a slot (a *different* batch
+replayed against this arena) is not an error — the slot is reallocated and
+the ``allocations`` counter records it, which is exactly what the zero-alloc
+acceptance assertion inspects.
+
+Structural plan capture (opt-in)
+--------------------------------
+With ``Workspace(capture_structures=True)`` the arena additionally records
+*structural* stage results through :meth:`Workspace.captured` — the
+coarsening hierarchy AdamGNN derives per batch (pooled-level ego-network
+pair lists, the ego-selection outcome, the detached connectivity product).
+For a **frozen** model these are pure functions of the batch, so the
+capture pass computes them once and every replay returns the recorded
+objects without recomputation — the serving analogue of graph capture.
+The stability of the recorded arrays is itself a speedup: every
+identity-keyed cache downstream (segment plans, Â adjacencies) hits
+instead of rotating.  Builders run with the arena *deactivated* so a
+captured object can never alias a recyclable buffer slot.  This mode is
+only sound when one arena serves one fixed (model, batch) pair — the
+:class:`~repro.inference.Predictor` guarantees that by keying arenas on
+batch identity and documenting the frozen-model contract (its
+``invalidate()`` drops captured plans after a parameter update).
+
+Safety rules
+------------
+* A workspace may only be activated under :func:`~repro.tensor.no_grad`:
+  training-mode ``_backward`` closures capture forward intermediates by
+  reference, and recycling those buffers on the next forward would corrupt
+  the tape.  :func:`use_workspace` enforces this at entry.
+* Only *float compute* buffers go through the workspace.  Integer index
+  arrays must never be workspace-recycled: the segment-plan and adjacency
+  caches key on array identity, and a recycled buffer with the same id but
+  different contents would poison them.
+* Tensors returned to the caller alias arena slots; callers that keep
+  results across forwards must copy (the Predictor copies its logits out).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from ._grad_mode import grad_enabled
+
+__all__ = ["Workspace", "use_workspace", "active_workspace",
+           "ws_empty", "ws_zeros", "ws_out", "ws_captured"]
+
+
+class Workspace:
+    """A slot-cursor arena of reusable output buffers.
+
+    Buffers are handed out in call order; slot *i* of forward *n* is the
+    same ndarray as slot *i* of forward *n−1* whenever shape and dtype
+    match.  Counters:
+
+    ``allocations``
+        Number of ``np.empty`` calls ever made on behalf of this arena
+        (capture pass + any shape-drift reallocations).  Steady state over
+        a fixed batch means this number stops moving.
+    ``hits``
+        Number of requests served by reusing an existing slot buffer.
+    """
+
+    __slots__ = ("_slots", "_cursor", "allocations", "hits",
+                 "capture_structures", "_plan", "_plan_cursor",
+                 "structure_hits")
+
+    def __init__(self, capture_structures: bool = False) -> None:
+        self._slots: List[np.ndarray] = []
+        self._cursor: int = 0
+        self.allocations: int = 0
+        self.hits: int = 0
+        #: record/replay structural stage results (see module docstring);
+        #: only sound for a frozen model served one fixed batch per arena.
+        self.capture_structures = bool(capture_structures)
+        self._plan: List = []
+        self._plan_cursor: int = 0
+        self.structure_hits: int = 0
+
+    def begin(self) -> None:
+        """Rewind the slot cursor — call before each forward."""
+        self._cursor = 0
+        self._plan_cursor = 0
+
+    def captured(self, builder):
+        """Record ``builder()``'s result on the capture pass, replay after.
+
+        Structural twin of :meth:`take`: stage *i* of forward *n* returns
+        the exact objects stage *i* of the capture pass produced.  With
+        ``capture_structures`` off this is a transparent passthrough.  The
+        builder runs with the arena deactivated so its result can never
+        hold a buffer slot that the next forward would recycle.
+        """
+        if not self.capture_structures:
+            return builder()
+        i = self._plan_cursor
+        self._plan_cursor = i + 1
+        if i < len(self._plan):
+            self.structure_hits += 1
+            return self._plan[i]
+        global _ACTIVE
+        previous = _ACTIVE
+        _ACTIVE = None
+        try:
+            value = builder()
+        finally:
+            _ACTIVE = previous
+        self._plan.append(value)
+        return value
+
+    def take(self, shape: Tuple[int, ...], dtype) -> np.ndarray:
+        """Return the next slot buffer, (re)allocating only on mismatch."""
+        shape = tuple(shape)
+        dtype = np.dtype(dtype)
+        i = self._cursor
+        self._cursor = i + 1
+        if i < len(self._slots):
+            buf = self._slots[i]
+            if buf.shape == shape and buf.dtype == dtype:
+                self.hits += 1
+                return buf
+            self.allocations += 1
+            buf = np.empty(shape, dtype=dtype)
+            self._slots[i] = buf
+            return buf
+        self.allocations += 1
+        buf = np.empty(shape, dtype=dtype)
+        self._slots.append(buf)
+        return buf
+
+    @property
+    def num_slots(self) -> int:
+        return len(self._slots)
+
+    @property
+    def nbytes(self) -> int:
+        return sum(buf.nbytes for buf in self._slots)
+
+    def stats(self) -> dict:
+        return {"allocations": self.allocations, "hits": self.hits,
+                "slots": self.num_slots, "nbytes": self.nbytes,
+                "captured_structures": len(self._plan),
+                "structure_hits": self.structure_hits}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Workspace(slots={self.num_slots}, "
+                f"allocations={self.allocations}, hits={self.hits}, "
+                f"nbytes={self.nbytes})")
+
+
+_ACTIVE: Optional[Workspace] = None
+
+
+def active_workspace() -> Optional[Workspace]:
+    """Return the workspace the kernels are currently writing into."""
+    return _ACTIVE
+
+
+@contextmanager
+def use_workspace(workspace: Workspace) -> Iterator[Workspace]:
+    """Route kernel output buffers through ``workspace``.
+
+    Requires gradient mode to be off (see module docstring); rewinds the
+    slot cursor on entry so each activation is one forward's replay.
+    Re-entrant activations nest (the inner workspace wins), which keeps a
+    Predictor-in-Predictor composition from silently interleaving slots.
+    """
+    global _ACTIVE
+    if grad_enabled():
+        raise RuntimeError(
+            "use_workspace() requires no_grad(): backward closures capture "
+            "forward buffers by reference, and recycling them would corrupt "
+            "the autograd tape")
+    previous = _ACTIVE
+    workspace.begin()
+    _ACTIVE = workspace
+    try:
+        yield workspace
+    finally:
+        _ACTIVE = previous
+
+
+def ws_empty(shape: Tuple[int, ...], dtype) -> np.ndarray:
+    """``np.empty`` that comes from the active workspace when there is one."""
+    ws = _ACTIVE
+    if ws is None:
+        return np.empty(shape, dtype=dtype)
+    return ws.take(shape, dtype)
+
+
+def ws_zeros(shape: Tuple[int, ...], dtype) -> np.ndarray:
+    """``np.zeros`` that reuses (and re-zeroes) a workspace slot."""
+    ws = _ACTIVE
+    if ws is None:
+        return np.zeros(shape, dtype=dtype)
+    buf = ws.take(shape, dtype)
+    buf.fill(0)
+    return buf
+
+
+def ws_captured(builder):
+    """Route a structural stage through the active workspace's plan.
+
+    Transparent (just calls ``builder()``) when no workspace is active or
+    the active one was not created with ``capture_structures=True`` — the
+    training path and plain no-grad evaluation always recompute.
+    """
+    ws = _ACTIVE
+    if ws is None:
+        return builder()
+    return ws.captured(builder)
+
+
+def ws_out(shape: Tuple[int, ...], dtype) -> Optional[np.ndarray]:
+    """Workspace slot for an ``out=`` argument, or ``None`` when inactive.
+
+    ``None`` makes NumPy ufuncs/``matmul`` allocate exactly as the
+    training-mode code does, so call sites stay one-liners:
+    ``np.matmul(a, b, out=ws_out(shape, dt))``.
+    """
+    ws = _ACTIVE
+    if ws is None:
+        return None
+    return ws.take(shape, dtype)

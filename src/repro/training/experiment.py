@@ -32,7 +32,7 @@ from .node_trainer import (NodeClassificationTrainer, NodeTrainResult,
 NODE_MODEL_NAMES = ("gcn", "sage", "gat", "gin", "topkpool", "adamgnn")
 #: Graph-task competing methods (Table 1 rows).
 GRAPH_MODEL_NAMES = ("gin", "3wl", "sortpool", "diffpool", "topkpool",
-                     "sagpool", "structpool", "adamgnn")
+                     "sagpool", "asap", "structpool", "adamgnn")
 
 #: Best level counts per dataset/task, selected on validation splits (the
 #: Appendix A.4 protocol).  Our synthetic graphs are ~4-6x smaller than the
@@ -98,10 +98,10 @@ def make_graph_classifier(name: str, in_features: int, num_classes: int,
     if key == "diffpool":
         return DiffPoolClassifier(in_features, num_classes, hidden=hidden,
                                   rng=rng)
-    if key in ("topkpool", "sagpool"):
+    if key in ("topkpool", "sagpool", "asap", "asappool"):
+        kind = {"topkpool": "topk", "sagpool": "sag"}.get(key, "asap")
         return HierarchicalPoolClassifier(
-            "topk" if key == "topkpool" else "sag", in_features, num_classes,
-            hidden=hidden, rng=rng)
+            kind, in_features, num_classes, hidden=hidden, rng=rng)
     if key == "structpool":
         return StructPoolClassifier(in_features, num_classes, hidden=hidden,
                                     rng=rng)

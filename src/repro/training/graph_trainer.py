@@ -32,7 +32,7 @@ from ..datasets import GraphDataset
 from ..graph import GraphBatch
 from ..nn import Module, cross_entropy
 from ..optim import Adam, clip_grad_norm
-from ..tensor import Tensor, default_dtype, segment_plan_stats
+from ..tensor import Tensor, default_dtype, no_grad, segment_plan_stats
 from ..utils.timing import PhaseTimer, profile_phase
 from .config import TrainConfig
 from .early_stopping import EarlyStopping
@@ -184,7 +184,9 @@ class GraphClassificationTrainer:
         structures = self._structures_for(model, dataset)
         correct = 0
         total = 0
-        with default_dtype(self.config.dtype):
+        # Evaluation never calls backward, so the forward runs grad-free:
+        # same kernels, same values, none of the tape bookkeeping.
+        with default_dtype(self.config.dtype), no_grad():
             for batch, structure in self._batches(structures, dataset, index):
                 logits, _ = _model_forward(model, batch, structure)
                 correct += int((logits.data.argmax(axis=-1)

@@ -22,7 +22,7 @@ from ..datasets import LinkTaskSplits, NodeDataset
 from ..graph import degree_features
 from ..nn import Module
 from ..optim import Adam, clip_grad_norm
-from ..tensor import Tensor
+from ..tensor import Tensor, no_grad
 from ..utils.timing import PhaseTimer, profile_phase
 from .config import TrainConfig
 from .early_stopping import EarlyStopping
@@ -108,7 +108,7 @@ class LinkPredictionTrainer:
                     optimizer.step()
 
                 model.eval()
-                with profile_phase("eval"):
+                with profile_phase("eval"), no_grad():
                     h, _ = self._encode(model, x, train_graph.edge_index,
                                         train_graph.edge_weight)
                     scores, labels = _pair_scores(h, splits.val_edges,
@@ -125,8 +125,9 @@ class LinkPredictionTrainer:
 
         stopper.restore(model)
         model.eval()
-        h, _ = self._encode(model, x, train_graph.edge_index,
-                            train_graph.edge_weight)
+        with no_grad():
+            h, _ = self._encode(model, x, train_graph.edge_index,
+                                train_graph.edge_weight)
         val_scores, val_labels = _pair_scores(h, splits.val_edges,
                                               splits.val_negatives)
         test_scores, test_labels = _pair_scores(h, splits.test_edges,

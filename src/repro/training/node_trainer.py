@@ -20,7 +20,7 @@ from ..datasets import NodeDataset
 from ..graph import degree_features
 from ..nn import Module, cross_entropy
 from ..optim import Adam, clip_grad_norm
-from ..tensor import Tensor, default_dtype, segment_plan_stats
+from ..tensor import Tensor, default_dtype, no_grad, segment_plan_stats
 from ..utils.timing import PhaseTimer, profile_phase
 from .config import TrainConfig
 from .early_stopping import EarlyStopping
@@ -125,7 +125,7 @@ class NodeClassificationTrainer:
                     optimizer.step()
 
                 model.eval()
-                with profile_phase("eval"):
+                with profile_phase("eval"), no_grad():
                     logits, _ = self._forward(model, x, graph.edge_index,
                                               graph.edge_weight)
                     val_acc = accuracy(logits.data, labels, masks["val"])
@@ -140,7 +140,7 @@ class NodeClassificationTrainer:
 
         stopper.restore(model)
         model.eval()
-        with default_dtype(cfg.dtype):
+        with default_dtype(cfg.dtype), no_grad():
             logits, _ = self._forward(model, x, graph.edge_index,
                                       graph.edge_weight)
         return NodeTrainResult(
@@ -215,7 +215,7 @@ def evaluate_node_model(model: Module, dataset: NodeDataset,
     x = Tensor(prepare_node_features(dataset), dtype=dtype)
     masks = dataset.splits.masks(graph.num_nodes)
     model.eval()
-    with default_dtype(dtype):
+    with default_dtype(dtype), no_grad():
         out = model(x, graph.edge_index, graph.edge_weight)
     logits = out[0] if isinstance(out, tuple) else out
     return {"accuracy": accuracy(logits.data, np.asarray(graph.y),

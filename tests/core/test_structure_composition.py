@@ -154,8 +154,8 @@ def test_batch_cache_hits_on_chunk_content_not_identity():
     # A freshly allocated chunk with the same content must hit.
     second = cache.get(np.array([3, 1, 4], dtype=np.int32))
     assert second is first
-    assert cache.stats() == {"hits": 1, "misses": 1, "entries": 1,
-                             "capacity": 8}
+    assert cache.stats() == {"hits": 1, "misses": 1, "evictions": 0,
+                             "entries": 1, "capacity": 8}
     assert len(built) == 1
 
 

@@ -60,8 +60,8 @@ class TestGenericGet:
         cache.get("demo", (EDGES,), (), lambda: 1)
         cache.clear()
         assert len(cache) == 0
-        assert cache.stats() == {"hits": 0, "misses": 0, "entries": 0,
-                                 "capacity": cache.capacity}
+        assert cache.stats() == {"hits": 0, "misses": 0, "evictions": 0,
+                                 "entries": 0, "capacity": cache.capacity}
 
 
 class TestHelpers:

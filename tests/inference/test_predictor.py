@@ -1,0 +1,129 @@
+"""The serving engine: Predictor parity, arenas, and plan capture."""
+
+import numpy as np
+import pytest
+
+from repro.core import AdamGNNGraphClassifier, AdamGNNNodeClassifier
+from repro.datasets import GraphDataset, load_graph_dataset, split_graphs
+from repro.inference import Predictor
+from repro.tensor import Tensor, default_dtype
+from repro.training import GraphClassificationTrainer, TrainConfig
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    full = load_graph_dataset("mutag", seed=0)
+    subset = full.graphs[:32]
+    train, val, test = split_graphs(32, np.random.default_rng(0))
+    return GraphDataset("mutag-mini", subset, 2, full.num_features,
+                        train_index=train, val_index=val, test_index=test)
+
+
+@pytest.fixture(scope="module")
+def served(dataset):
+    """A model, its trainer-collated eval pairs, and reference logits."""
+    model = AdamGNNGraphClassifier(dataset.num_features, 2, hidden=16,
+                                   num_levels=2,
+                                   rng=np.random.default_rng(3))
+    trainer = GraphClassificationTrainer(
+        TrainConfig(dtype="float32", batch_size=8, seed=0))
+    model.astype("float32").eval()
+    structures = trainer._structures_for(model, dataset)
+    eval_index = np.concatenate([dataset.val_index, dataset.test_index])
+    pairs = list(trainer._batches(structures, dataset, eval_index))
+    from repro.training.graph_trainer import _model_forward
+    with default_dtype("float32"):
+        reference = [_model_forward(model, b, s)[0].data.copy()
+                     for b, s in pairs]
+    return model, trainer, dataset, pairs, reference
+
+
+class TestGraphServing:
+    def test_bitwise_parity_capture_and_replay(self, served):
+        model, _, _, pairs, reference = served
+        predictor = Predictor(model)
+        captured = [predictor.predict_batch(b, s) for b, s in pairs]
+        replayed = [predictor.predict_batch(b, s) for b, s in pairs]
+        for ref, cap, rep in zip(reference, captured, replayed):
+            assert (cap == ref).all()
+            assert (rep == ref).all()
+
+    def test_steady_state_allocates_nothing(self, served):
+        model, _, _, pairs, _ = served
+        predictor = Predictor(model)
+        for batch, structure in pairs:
+            predictor.predict_batch(batch, structure)
+        captured = predictor.allocations
+        assert captured > 0
+        for _ in range(3):
+            for batch, structure in pairs:
+                predictor.predict_batch(batch, structure)
+        assert predictor.allocations == captured
+        stats = predictor.stats()
+        assert stats["hits"] > 0
+        assert stats["structure_hits"] > 0
+        assert stats["arenas"] == len(pairs)
+
+    def test_accuracy_matches_trainer_evaluate(self, served):
+        model, trainer, dataset, _, _ = served
+        predictor = Predictor(model)
+        for index in (dataset.val_index, dataset.test_index):
+            expected = trainer.evaluate(model, dataset, index)
+            assert predictor.evaluate_accuracy(
+                dataset, index, batch_size=8) == pytest.approx(expected)
+
+    def test_predict_returns_labels(self, served):
+        model, _, dataset, _, _ = served
+        predictor = Predictor(model)
+        labels = predictor.predict(dataset, dataset.val_index, batch_size=8)
+        assert labels.shape == (dataset.val_index.shape[0],)
+        assert set(np.unique(labels)) <= {0, 1}
+
+    def test_invalidate_recaptures_after_weight_change(self, served):
+        model, _, _, pairs, _ = served
+        predictor = Predictor(model)
+        batch, structure = pairs[0]
+        before = predictor.predict_batch(batch, structure)
+        # Nudge a weight: captured plans are stale by contract ...
+        param = model.parameters()[0]
+        param.data += np.float32(0.25)
+        try:
+            predictor.invalidate()
+            assert predictor.stats()["arenas"] == 0
+            after = predictor.predict_batch(batch, structure)
+            # ... and re-capture serves the new weights' logits.
+            model.eval()
+            from repro.training.graph_trainer import _model_forward
+            with default_dtype("float32"):
+                fresh = _model_forward(model, batch, structure)[0].data
+            assert (after == fresh).all()
+            assert not np.array_equal(after, before)
+        finally:
+            param.data -= np.float32(0.25)
+
+    def test_arena_lru_bound(self, served):
+        model, _, _, pairs, _ = served
+        predictor = Predictor(model, max_arenas=1)
+        for batch, structure in pairs:
+            predictor.predict_batch(batch, structure)
+        assert predictor.stats()["arenas"] == 1
+
+    def test_dtype_defaults_to_model(self, served):
+        model = served[0]
+        assert Predictor(model).dtype == np.float32
+
+
+class TestNodeServing:
+    def test_predict_nodes_matches_forward(self, two_cliques_graph):
+        model = AdamGNNNodeClassifier(4, 2, hidden=8, num_levels=2,
+                                      rng=np.random.default_rng(0))
+        model.eval()
+        x = two_cliques_graph.x
+        edges = two_cliques_graph.edge_index
+        reference = model(Tensor(x), edges, None)[0].data
+        predictor = Predictor(model)
+        first = predictor.predict_nodes(x, edges)
+        second = predictor.predict_nodes(x, edges)
+        assert (first == reference).all()
+        assert (second == reference).all()
+        assert predictor.stats()["arenas"] == 1

@@ -27,6 +27,7 @@ class TestFactories:
         "sortpool": SortPoolClassifier, "diffpool": DiffPoolClassifier,
         "topkpool": HierarchicalPoolClassifier,
         "sagpool": HierarchicalPoolClassifier,
+        "asap": HierarchicalPoolClassifier,
         "structpool": StructPoolClassifier,
         "adamgnn": AdamGNNGraphClassifier,
     }
