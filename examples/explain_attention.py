@@ -36,7 +36,11 @@ def main() -> None:
         result = NodeClassificationTrainer(config).fit(model, dataset)
 
         model.eval()
-        _, out = model(Tensor(features), dataset.graph.edge_index,
+        # Feed the model at its own compute dtype (training defaults to
+        # float32) — float64 features would silently upcast the forward.
+        dtype = model.parameters()[0].data.dtype
+        _, out = model(Tensor(features, dtype=dtype),
+                       dataset.graph.edge_index,
                        dataset.graph.edge_weight)
         table = attention_by_class(out, dataset.graph.y,
                                    dataset.num_classes)

@@ -46,12 +46,16 @@ def main() -> None:
     model = make_graph_classifier("adamgnn", dataset.num_features,
                                   dataset.num_classes, seed=0, num_levels=2)
     trainer.fit(model, dataset)
-    batch = GraphBatch.from_graphs(dataset.subset(dataset.test_index[:8]))
+    # Collate at the model's compute dtype (training defaults to float32)
+    # so the peek doesn't silently upcast the forward to float64.
+    dtype = model.parameters()[0].data.dtype
+    batch = GraphBatch.from_graphs(
+        dataset.subset(dataset.test_index[:8])).astype(dtype)
     # Serving-style peek: ``inference()`` is eval mode + no_grad, so the
     # forward builds no autograd tape (same values, bit for bit).
     with model.inference():
-        _, out = model(Tensor(batch.x), batch.edge_index, batch.edge_weight,
-                       batch.batch, batch.num_graphs)
+        _, out = model(Tensor(batch.x, dtype=dtype), batch.edge_index,
+                       batch.edge_weight, batch.batch, batch.num_graphs)
     trail = [batch.num_nodes] + [lvl.num_hyper for lvl in out.levels]
     arrow = " -> ".join(str(n) for n in trail)
     print(f"\nadaptive coarsening of an 8-molecule batch: {arrow} nodes")

@@ -54,9 +54,13 @@ def main() -> None:
 
     # 5. Serve: ``inference()`` (eval mode + no_grad) runs the forward
     #    without building an autograd tape — same logits, bit for bit.
+    #    Feed the model at its own compute dtype (training defaults to
+    #    float32): float64 features would silently upcast the whole
+    #    forward through NumPy promotion.
     features = prepare_node_features(dataset)
+    dtype = adamgnn.parameters()[0].data.dtype
     with adamgnn.inference():
-        logits, _ = adamgnn(Tensor(features), graph.edge_index,
+        logits, _ = adamgnn(Tensor(features, dtype=dtype), graph.edge_index,
                             graph.edge_weight)
     test = dataset.splits.test
     predicted = logits.data[test].argmax(axis=-1)

@@ -24,8 +24,9 @@ Subpackages
     Grad-free serving engine (``Predictor``) with workspace buffer reuse.
 """
 
-from . import core, datasets, graph, inference, layers, models, nn, optim
-from . import pooling, tensor, training
+from . import analysis, core, datasets, graph, inference, layers, models
+from . import nn, optim, pooling, tensor, training
+from .analysis import SanitizerError, sanitize
 from .core import (AdamGNN, AdamGNNGraphClassifier, AdamGNNLinkPredictor,
                    AdamGNNNodeClassifier)
 from .graph import Graph, GraphBatch
@@ -34,10 +35,16 @@ from .tensor import Tensor
 
 __version__ = "1.0.0"
 
+# REPRO_SANITIZE=1 arms the runtime sanitizers for the whole process (the
+# sanitized CI tier runs the full test suite this way).  The enable is
+# never paired with a disable: it is meant to outlive the import.
+if analysis.env_requested():
+    analysis.enable_sanitizer()
+
 __all__ = [
-    "core", "datasets", "graph", "inference", "layers", "models", "nn",
-    "optim", "pooling", "tensor", "training",
+    "analysis", "core", "datasets", "graph", "inference", "layers",
+    "models", "nn", "optim", "pooling", "tensor", "training",
     "AdamGNN", "AdamGNNGraphClassifier", "AdamGNNLinkPredictor",
-    "AdamGNNNodeClassifier", "Graph", "GraphBatch", "Predictor", "Tensor",
-    "__version__",
+    "AdamGNNNodeClassifier", "Graph", "GraphBatch", "Predictor",
+    "SanitizerError", "Tensor", "sanitize", "__version__",
 ]

@@ -1,0 +1,194 @@
+"""replint — static invariant checker for the autograd/kernel stack.
+
+The repo's load-bearing invariants (dtype stability, grad-mode purity,
+arena aliasing rules, fused-kernel/VJP correspondence) are enforced by
+convention in code review; this module makes four of them mechanical:
+
+========  ==========================================================
+RL001     dtype-literal escapes bypassing ``precision.resolve_dtype``
+RL002     fused ops with custom VJPs lacking a gradcheck
+RL003     workspace arena buffers escaping their replay step
+RL004     in-place mutation of tensor storage outside sanctioned sites
+========  ==========================================================
+
+Usage (library)::
+
+    from repro.analysis import lint
+    report = lint.lint_paths(["src/repro"])
+    for f in report.findings:
+        print(f.format())
+
+Usage (CLI): ``python -m tools.replint src/repro`` — see ``tools/replint``.
+
+Baselines
+---------
+``write_baseline`` serialises the current findings to JSON;
+``regressions_against`` replays a lint run against such a baseline and
+returns only *new* findings.  Baseline identity is ``(rule, path,
+stripped-line-text)`` with a count, so shifting lines neither hides nor
+invents findings, while re-introducing a fixed violation (same text, count
+above baseline) fails immediately.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from .rules import Finding, Rule, SourceFile, default_rules
+
+PathLike = Union[str, Path]
+
+BASELINE_VERSION = 1
+
+
+def find_project_root(start: Path) -> Path:
+    """Walk up from ``start`` to the directory holding ``pyproject.toml``.
+
+    Falls back to ``start`` itself (or its parent for files) so relative
+    paths stay stable even outside a full checkout (fixture trees).
+    """
+    node = start.resolve()
+    if node.is_file():
+        node = node.parent
+    for candidate in (node, *node.parents):
+        if (candidate / "pyproject.toml").exists():
+            return candidate
+    return node
+
+
+def _collect_files(paths: Sequence[PathLike]) -> List[Path]:
+    files: List[Path] = []
+    for entry in paths:
+        path = Path(entry)
+        if path.is_dir():
+            files.extend(sorted(p for p in path.rglob("*.py")
+                                if "__pycache__" not in p.parts))
+        elif path.suffix == ".py":
+            files.append(path)
+    return files
+
+
+@dataclass
+class LintReport:
+    """Findings plus the context needed to render and compare them."""
+
+    findings: List[Finding]
+    root: Path
+    parse_errors: List[Tuple[str, str]] = field(default_factory=list)
+
+    def counts(self) -> Dict[str, int]:
+        counter: Counter = Counter(f.rule for f in self.findings)
+        return dict(sorted(counter.items()))
+
+    def by_rule(self, rule_id: str) -> List[Finding]:
+        return [f for f in self.findings if f.rule == rule_id]
+
+
+def lint_paths(paths: Sequence[PathLike],
+               rules: Optional[Sequence[Rule]] = None,
+               root: Optional[PathLike] = None) -> LintReport:
+    """Lint files/directories and return a :class:`LintReport`.
+
+    ``root`` anchors project-relative finding paths and the RL002
+    cross-reference; when omitted it is auto-detected from the first
+    linted path via ``pyproject.toml``.
+    """
+    rules = list(rules) if rules is not None else default_rules()
+    files = _collect_files(paths)
+    root_path = (Path(root).resolve() if root is not None
+                 else find_project_root(files[0] if files
+                                        else Path.cwd()))
+    sources: List[SourceFile] = []
+    parse_errors: List[Tuple[str, str]] = []
+    for path in files:
+        try:
+            rel = path.resolve().relative_to(root_path).as_posix()
+        except ValueError:
+            rel = path.as_posix()
+        try:
+            sources.append(SourceFile(path, rel, path.read_text()))
+        except SyntaxError as exc:  # unparseable file is itself a finding
+            parse_errors.append((rel, str(exc)))
+
+    findings: List[Finding] = []
+    for rule in rules:
+        for src in sources:
+            for finding in rule.check_file(src):
+                if not src.is_allowed(rule.id, finding.line):
+                    findings.append(finding)
+        by_rel = {src.rel: src for src in sources}
+        for finding in rule.check_project(root_path, sources):
+            src = by_rel.get(finding.path)
+            if src is None or not src.is_allowed(rule.id, finding.line):
+                findings.append(finding)
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    return LintReport(findings=findings, root=root_path,
+                      parse_errors=parse_errors)
+
+
+# ---------------------------------------------------------------------------
+# Baseline support
+# ---------------------------------------------------------------------------
+def _baseline_counter(findings: Iterable[Finding]) -> Counter:
+    return Counter(f.key for f in findings)
+
+
+def write_baseline(report: LintReport, path: PathLike) -> dict:
+    """Serialise the report's findings as a regression baseline."""
+    counter = _baseline_counter(report.findings)
+    payload = {
+        "version": BASELINE_VERSION,
+        "comment": ("Pre-existing replint findings accepted at baseline "
+                    "time.  CI fails only on findings NOT in this file; "
+                    "shrink it by fixing entries, never grow it by hand."),
+        "findings": [
+            {"rule": rule, "path": rel, "text": text, "count": count}
+            for (rule, rel, text), count in sorted(counter.items())
+        ],
+    }
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+    return payload
+
+
+def load_baseline(path: PathLike) -> Counter:
+    """Load a baseline file into a ``(rule, path, text) -> count`` map."""
+    payload = json.loads(Path(path).read_text())
+    if payload.get("version") != BASELINE_VERSION:
+        raise ValueError(
+            f"unsupported replint baseline version "
+            f"{payload.get('version')!r} in {path}")
+    counter: Counter = Counter()
+    for entry in payload.get("findings", []):
+        counter[(entry["rule"], entry["path"], entry["text"])] \
+            += int(entry.get("count", 1))
+    return counter
+
+
+def regressions_against(report: LintReport,
+                        baseline: Counter) -> List[Finding]:
+    """Findings not covered by the baseline (new sites, or counts above
+    the recorded count for a known site)."""
+    budget = Counter(baseline)
+    fresh: List[Finding] = []
+    for finding in report.findings:
+        if budget[finding.key] > 0:
+            budget[finding.key] -= 1
+        else:
+            fresh.append(finding)
+    return fresh
+
+
+def fixed_entries(report: LintReport,
+                  baseline: Counter) -> List[Tuple[str, str, str]]:
+    """Baseline entries no longer present — candidates for baseline
+    shrinking (reported so the file can be regenerated)."""
+    current = _baseline_counter(report.findings)
+    gone: List[Tuple[str, str, str]] = []
+    for key, count in sorted(baseline.items()):
+        if current[key] < count:
+            gone.append(key)
+    return gone

@@ -1,0 +1,26 @@
+"""replint rule registry.
+
+Each rule module defines one ``RLxxx`` class; :func:`default_rules` is the
+ordered set the CLI and CI run.  Adding a rule = adding a module here and
+a fixture pair under ``tests/analysis/fixtures``.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .base import Finding, Rule, SourceFile
+from .dtype_literals import DtypeLiteralRule
+from .vjp_registry import VJPRegistryRule
+from .arena_escape import ArenaEscapeRule
+from .inplace_mutation import InplaceMutationRule
+
+__all__ = ["Finding", "Rule", "SourceFile", "DtypeLiteralRule",
+           "VJPRegistryRule", "ArenaEscapeRule", "InplaceMutationRule",
+           "default_rules"]
+
+
+def default_rules() -> List[Rule]:
+    """Fresh instances of every shipped rule, in id order."""
+    return [DtypeLiteralRule(), VJPRegistryRule(), ArenaEscapeRule(),
+            InplaceMutationRule()]

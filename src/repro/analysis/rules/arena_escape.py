@@ -1,0 +1,91 @@
+"""RL003 — workspace arena buffers must not escape a replay step.
+
+``ws_empty``/``ws_zeros``/``ws_out`` hand out slots from the active
+:class:`~repro.tensor.workspace.Workspace`; slot *i* of forward *n+1* is
+the *same ndarray* as slot *i* of forward *n*.  A buffer that outlives the
+forward that took it will be silently overwritten on the next replay —
+the classic stale-arena bug the runtime poison sanitizer catches
+dynamically.  This rule catches the two static escape shapes:
+
+* a ws-buffer stored on ``self`` (``self.cache = ws_empty(...)``) — object
+  state outlives every forward by construction;
+* a ws-buffer returned from a module-level **public** function — the
+  caller has no way to know the array is recyclable.
+
+Scope note: *methods* returning slot buffers are deliberately out of
+scope — the segment-plan kernels return slots into the op wrappers that
+immediately wrap them in a ``Tensor`` via ``_make_child`` (the documented
+workspace contract: returned tensors alias slots and callers copy what
+they keep).  The arena's own accessors in ``repro/tensor/workspace.py``
+are excluded for the same reason.
+
+The tracking is flow-insensitive on purpose: a name bound to a ws-call
+anywhere in a function taints every ``return <name>`` in that function.
+False positives are suppressed with ``# replint: allow RL003 -- <why>``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Set
+
+from .base import Finding, Rule, SourceFile, call_name
+
+WS_ALLOCATORS = ("ws_empty", "ws_zeros", "ws_out")
+EXCLUDED_PATHS = ("repro/tensor/workspace.py",)
+
+
+def _is_ws_call(node: ast.AST) -> bool:
+    return (isinstance(node, ast.Call)
+            and call_name(node) in WS_ALLOCATORS)
+
+
+class ArenaEscapeRule(Rule):
+    id = "RL003"
+    title = "workspace buffer escaping its replay step"
+
+    def check_file(self, src: SourceFile) -> Iterable[Finding]:
+        if any(fragment in src.rel for fragment in EXCLUDED_PATHS):
+            return
+        for node in ast.walk(src.tree):
+            if isinstance(node, ast.Assign) and _is_ws_call(node.value):
+                for target in node.targets:
+                    if (isinstance(target, ast.Attribute)
+                            and isinstance(target.value, ast.Name)
+                            and target.value.id == "self"):
+                        yield self.finding(
+                            src, node,
+                            f"arena buffer from {call_name(node.value)}() "
+                            f"stored on self.{target.attr} — object state "
+                            f"outlives the replay step and the slot will "
+                            f"be overwritten by the next forward")
+        for func in ast.iter_child_nodes(src.tree):
+            if isinstance(func, ast.FunctionDef):
+                yield from self._check_function(src, func)
+
+    def _check_function(self, src: SourceFile,
+                        func: ast.FunctionDef) -> Iterable[Finding]:
+        if func.name.startswith("_"):
+            return
+        tainted: Set[str] = set()
+        for node in ast.walk(func):
+            if isinstance(node, ast.Assign) and _is_ws_call(node.value):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        tainted.add(target.id)
+        for node in ast.walk(func):
+            if not isinstance(node, ast.Return) or node.value is None:
+                continue
+            value = node.value
+            if _is_ws_call(value):
+                yield self.finding(
+                    src, node,
+                    f"public function '{func.name}' returns a "
+                    f"{call_name(value)}() arena buffer — the caller "
+                    f"cannot know the array is recycled on the next replay")
+            elif isinstance(value, ast.Name) and value.id in tainted:
+                yield self.finding(
+                    src, node,
+                    f"public function '{func.name}' returns '{value.id}', "
+                    f"which aliases a workspace arena slot — copy it or "
+                    f"keep the function private to the kernel layer")

@@ -1,0 +1,116 @@
+"""RL004 — in-place NumPy mutation of tensor storage outside sanctioned
+sites.
+
+Backward closures capture forward arrays *by reference*: ``affine`` keeps
+``x.data`` for the weight VJP, ``relu`` keeps its mask, the segment
+kernels keep their gathered operands.  Mutating a tensor's ``.data``
+buffer between forward and backward therefore silently corrupts the tape —
+no error, wrong gradients.  The engine's convention is that nothing
+mutates ``.data`` in place (see ``Tensor._accumulate``'s copy-on-write
+notes and the deliberately out-of-place ``optim/clip.py``).
+
+Flagged statement shapes, on any expression ending in ``.data``:
+
+* ``x.data[...] = value`` — subscript store;
+* ``x.data += value`` (and ``-=``, ``*=``, ``/=``) — augmented assign,
+  whole-array or subscripted;
+* ``np.add.at(x.data, ...)`` / ``np.maximum.at(x.data, ...)`` /
+  ``np.copyto(x.data, ...)`` / ufunc ``out=x.data`` — in-place NumPy APIs
+  aimed at tensor storage.
+
+Sanctioned sites (excluded with reasons):
+
+* ``repro/optim/`` — optimizers update leaf parameters after
+  ``backward()`` has consumed the tape; there is no live closure over the
+  parameter buffer at step time (and they rebind ``param.data`` rather
+  than writing through it anyway);
+* everything else uses the ``# replint: allow RL004 -- <why>`` pragma so
+  each sanctioned mutation carries its justification in the diff.
+
+Rebinding (``x.data = new_array``) is *not* flagged: the old buffer —
+the one the closures captured — is untouched.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Optional
+
+from .base import Finding, Rule, SourceFile
+
+EXCLUDED_PATHS = ("repro/optim/",)
+
+_INPLACE_AT_FUNCS = ("at",)          # np.add.at / np.maximum.at / ...
+_INPLACE_CALLS = ("copyto",)         # np.copyto(dst, ...)
+
+
+def _ends_in_data(node: ast.AST) -> bool:
+    """True for expressions whose terminal attribute access is ``.data``
+    (``x.data``, ``self.weight.data``), or subscripts of one."""
+    if isinstance(node, ast.Subscript):
+        return _ends_in_data(node.value)
+    return isinstance(node, ast.Attribute) and node.attr == "data"
+
+
+def _data_owner(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Subscript):
+        return _data_owner(node.value)
+    if isinstance(node, ast.Attribute):
+        try:
+            return ast.unparse(node.value)
+        except Exception:  # pragma: no cover - unparse is total on 3.9+
+            return None
+    return None
+
+
+class InplaceMutationRule(Rule):
+    id = "RL004"
+    title = "in-place mutation of tensor storage outside sanctioned sites"
+
+    def check_file(self, src: SourceFile) -> Iterable[Finding]:
+        if any(fragment in src.rel for fragment in EXCLUDED_PATHS):
+            return
+        for node in ast.walk(src.tree):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Subscript) \
+                            and _ends_in_data(target.value):
+                        yield self._mutation(src, node, target,
+                                             "subscript store into")
+            elif isinstance(node, ast.AugAssign):
+                if _ends_in_data(node.target):
+                    yield self._mutation(src, node, node.target,
+                                         "augmented assignment on")
+            elif isinstance(node, ast.Call):
+                yield from self._check_call(src, node)
+
+    def _check_call(self, src: SourceFile,
+                    node: ast.Call) -> Iterable[Finding]:
+        func = node.func
+        # np.add.at(x.data, ...) — ufunc .at with a .data first argument.
+        if (isinstance(func, ast.Attribute)
+                and func.attr in _INPLACE_AT_FUNCS
+                and node.args and _ends_in_data(node.args[0])):
+            yield self._mutation(src, node, node.args[0],
+                                 "ufunc .at scatter into")
+        # np.copyto(x.data, ...)
+        if (isinstance(func, ast.Attribute)
+                and func.attr in _INPLACE_CALLS
+                and node.args and _ends_in_data(node.args[0])):
+            yield self._mutation(src, node, node.args[0],
+                                 "np.copyto into")
+        # out=x.data on any ufunc/matmul call.
+        for kw in node.keywords:
+            if kw.arg == "out" and _ends_in_data(kw.value):
+                yield self._mutation(src, node, kw.value,
+                                     "out= targeting")
+
+    def _mutation(self, src: SourceFile, node: ast.AST,
+                  target: ast.AST, verb: str) -> Finding:
+        owner = _data_owner(target) or "a tensor"
+        return self.finding(
+            src, node,
+            f"{verb} '{owner}.data' — backward closures capture forward "
+            f"buffers by reference, so in-place mutation between forward "
+            f"and backward corrupts the tape (rebind .data, or pragma a "
+            f"sanctioned site with the reason)")

@@ -25,9 +25,9 @@ def attention_by_class(output: AdamGNNOutput, labels: np.ndarray,
     beta = output.beta.data  # (K, n)
     k = beta.shape[0]
     if k == 0:
-        return np.full((num_classes, 1), 1.0)
+        return np.full((num_classes, 1), 1.0, dtype=beta.dtype)
     labels = np.asarray(labels, dtype=np.int64)
-    table = np.zeros((num_classes, k), dtype=np.float64)
+    table = np.zeros((num_classes, k), dtype=beta.dtype)
     for cls in range(num_classes):
         members = np.flatnonzero(labels == cls)
         if members.size == 0:

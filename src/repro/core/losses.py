@@ -18,8 +18,8 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-from ..tensor import (Tensor, clip, gather_rows, log, pair_dot, sigmoid,
-                      square_norm)
+from ..tensor import (ACCUM_DTYPE, Tensor, clip, gather_rows, log, pair_dot,
+                      sigmoid, square_norm)
 from ..nn.losses import binary_cross_entropy_with_logits
 
 
@@ -50,7 +50,9 @@ def target_distribution(q: np.ndarray) -> np.ndarray:
     frequencies ``g_i = Σ_j q_ij``.  Plain array: the target is held fixed
     while Q chases it.
     """
-    q = np.asarray(q, dtype=np.float64)
+    # The detached target sharpens in ACCUM_DTYPE: q² over tiny soft
+    # frequencies loses mass in float32.
+    q = np.asarray(q, dtype=ACCUM_DTYPE)
     frequencies = np.maximum(q.sum(axis=0, keepdims=True), 1e-12)
     weight = q ** 2 / frequencies
     return weight / np.maximum(weight.sum(axis=1, keepdims=True), 1e-12)
@@ -118,15 +120,15 @@ def self_optimisation_loss(h: Tensor, ego_ids: np.ndarray,
     # q ≤ 1 by construction, so clip(q, 1e-12, 1) is just a lower floor.
     log_q = np.maximum(q, 1e-12)
     np.log(log_q, out=log_q)
-    # The three scalar KL reductions accumulate in float64 whatever the
+    # The three scalar KL reductions accumulate in ACCUM_DTYPE whatever the
     # compute dtype — thousands of small signed terms cancel here, and
     # float32 accumulation visibly degrades the loss.  The boundary cast
     # keeps the loss scalar in the graph's dtype.
-    cross_sum = np.einsum("ij,ij->", p, log_q, dtype=np.float64)
-    colp = p.sum(axis=0, dtype=np.float64)                    # (m,)
+    cross_sum = np.einsum("ij,ij->", p, log_q, dtype=ACCUM_DTYPE)
+    colp = p.sum(axis=0, dtype=ACCUM_DTYPE)                   # (m,)
     out_data = np.asarray(
-        (cross_sum - colp @ np.log(freq.ravel()).astype(np.float64)
-         - np.log(rowsum).sum(dtype=np.float64)) / n,
+        (cross_sum - colp @ np.log(freq.ravel()).astype(ACCUM_DTYPE)
+         - np.log(rowsum).sum(dtype=ACCUM_DTYPE)) / n,
         dtype=data.dtype)
 
     def backward(grad: np.ndarray) -> None:
@@ -170,7 +172,9 @@ def self_optimisation_loss(h: Tensor, ego_ids: np.ndarray,
 def dense_reconstruction_loss(h: Tensor, adjacency: np.ndarray) -> Tensor:
     """Exact Eq. 6 on a dense adjacency (small graphs / tests)."""
     logits = h @ h.transpose()
-    targets = (np.asarray(adjacency, dtype=np.float64) > 0).astype(np.float64)
+    # 0/1 targets in the logits' dtype (the BCE recoerces anyway, but this
+    # keeps the temporary from doubling a float32 batch's footprint).
+    targets = (np.asarray(adjacency) > 0).astype(logits.data.dtype)
     return binary_cross_entropy_with_logits(logits.reshape(-1),
                                             targets.reshape(-1))
 
@@ -280,8 +284,9 @@ def sampled_reconstruction_loss(h: Tensor, edge_index: np.ndarray,
         from ..tensor import concat
         logits = concat([pair_logits(h, positives),
                          pair_logits(h, negatives)], axis=0)
-        labels = np.concatenate([np.ones(positives.shape[1]),
-                                 np.zeros(negatives.shape[1])])
+        labels = np.concatenate([
+            np.ones(positives.shape[1], dtype=h.data.dtype),
+            np.zeros(negatives.shape[1], dtype=h.data.dtype)])
         return binary_cross_entropy_with_logits(logits, labels)
     return _pair_bce_fused(h, positives, negatives)
 
@@ -312,10 +317,10 @@ def _pair_bce_fused(h: Tensor, positives: np.ndarray,
                 + np.log1p(np.exp(-np.abs(pos_logits))))
     neg_term = (np.maximum(neg_logits, 0.0)
                 + np.log1p(np.exp(-np.abs(neg_logits))))
-    # Pair-BCE accumulates its scalar sums in float64 (cast at the
+    # Pair-BCE accumulates its scalar sums in ACCUM_DTYPE (cast at the
     # boundary) — one of the precision-policy's accumulation exceptions.
-    out_data = np.asarray((pos_term.sum(dtype=np.float64)
-                           + neg_term.sum(dtype=np.float64)) / count,
+    out_data = np.asarray((pos_term.sum(dtype=ACCUM_DTYPE)
+                           + neg_term.sum(dtype=ACCUM_DTYPE)) / count,
                           dtype=data.dtype)
 
     def backward(grad: np.ndarray) -> None:

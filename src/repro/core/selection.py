@@ -21,7 +21,7 @@ from typing import Tuple
 import numpy as np
 import scipy.sparse as sp
 
-from ..tensor import Tensor, concat
+from ..tensor import ACCUM_DTYPE, Tensor, concat
 from .egonet import EgoNetworks
 
 
@@ -185,4 +185,6 @@ def hyper_graph_connectivity(assignment: Assignment, edge_index: np.ndarray,
     a_k = (s.T @ a_hat @ s).tocoo()
     keep = a_k.row != a_k.col
     new_edges = np.stack([a_k.row[keep], a_k.col[keep]]).astype(np.int64)
-    return new_edges, a_k.data[keep].astype(np.float64)
+    # Detached structural weights stay in the accumulation dtype; the
+    # compute-dtype policy coerces them where they enter the graph.
+    return new_edges, a_k.data[keep].astype(ACCUM_DTYPE)

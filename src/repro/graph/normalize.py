@@ -11,7 +11,7 @@ from typing import Tuple
 
 import numpy as np
 
-from ..tensor.precision import get_default_dtype
+from ..tensor.precision import ACCUM_DTYPE, get_default_dtype
 from .graph import Graph
 
 
@@ -37,13 +37,13 @@ def normalize_edges(edge_index: np.ndarray, edge_weight: np.ndarray,
     """
     edge_index = np.asarray(edge_index, dtype=np.int64)
     edge_weight = np.asarray(edge_weight)
-    # Degrees and inverse square roots are always formed in float64; the
-    # returned weights come back in the input's precision (float64 inputs
-    # are bitwise unchanged from the pre-policy path).
+    # Degrees and inverse square roots are always formed in ACCUM_DTYPE;
+    # the returned weights come back in the input's precision (float64
+    # inputs are bitwise unchanged from the pre-policy path).
     out_dtype = (edge_weight.dtype
                  if edge_weight.dtype in (np.float32, np.float64)
-                 else np.dtype(np.float64))
-    edge_weight = edge_weight.astype(np.float64, copy=False)
+                 else np.dtype(ACCUM_DTYPE))
+    edge_weight = edge_weight.astype(ACCUM_DTYPE, copy=False)
     if validate and edge_index.size:
         out_deg = np.bincount(edge_index[0], weights=edge_weight,
                               minlength=num_nodes)
@@ -61,7 +61,8 @@ def normalize_edges(edge_index: np.ndarray, edge_weight: np.ndarray,
         loops = np.arange(num_nodes, dtype=np.int64)
         edge_index = np.concatenate([edge_index, np.stack([loops, loops])],
                                     axis=1)
-        edge_weight = np.concatenate([edge_weight, np.ones(num_nodes)])
+        edge_weight = np.concatenate(
+            [edge_weight, np.ones(num_nodes, dtype=ACCUM_DTYPE)])
     src, dst = edge_index
     degree = np.bincount(src, weights=edge_weight, minlength=num_nodes)
     inv_sqrt = np.zeros_like(degree)
@@ -111,9 +112,11 @@ def row_normalize_features(x: np.ndarray, eps: float = 1e-12) -> np.ndarray:
     """L1-normalise feature rows (the Planetoid bag-of-words convention)."""
     x = np.asarray(x)
     if x.dtype not in (np.float32, np.float64):
-        x = x.astype(np.float64)
-    # Row sums accumulate in float64; the result keeps the input's dtype.
-    sums = np.abs(x).sum(axis=1, keepdims=True, dtype=np.float64)
+        # One-time load-boundary promotion of integer/bool bag-of-words
+        # counts; not a policy decision, loaders re-cast downstream.
+        x = x.astype(np.float64)  # replint: allow RL001 -- load-boundary promotion of non-float input
+    # Row sums accumulate in ACCUM_DTYPE; the result keeps the input's dtype.
+    sums = np.abs(x).sum(axis=1, keepdims=True, dtype=ACCUM_DTYPE)
     return (x / np.maximum(sums, eps)).astype(x.dtype, copy=False)
 
 

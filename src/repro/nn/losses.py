@@ -11,7 +11,7 @@ from typing import Optional, Union
 
 import numpy as np
 
-from ..tensor import Tensor, clip, log, log_softmax, sigmoid
+from ..tensor import ACCUM_DTYPE, Tensor, clip, log, log_softmax, sigmoid
 
 
 def cross_entropy(logits: Tensor, labels: np.ndarray,
@@ -66,8 +66,8 @@ def binary_cross_entropy_with_logits(logits: Tensor,
     data = x.data
     e = np.exp(-np.abs(data))
     loss_terms = np.maximum(data, 0.0) - data * targets + np.log1p(e)
-    # The scalar reduction accumulates in float64, cast at the boundary.
-    out_data = np.asarray(loss_terms.mean(dtype=np.float64),
+    # The scalar reduction accumulates in ACCUM_DTYPE, cast at the boundary.
+    out_data = np.asarray(loss_terms.mean(dtype=ACCUM_DTYPE),
                           dtype=data.dtype)
     count = max(loss_terms.size, 1)
 
@@ -81,9 +81,9 @@ def binary_cross_entropy_with_logits(logits: Tensor,
 def binary_cross_entropy(probs: Tensor, targets: np.ndarray,
                          eps: float = 1e-12) -> Tensor:
     """Mean BCE on probabilities already in ``(0, 1)``."""
-    targets = np.asarray(targets, dtype=np.float64)
     p = clip(probs, eps, 1.0 - eps)
-    t = Tensor(targets)
+    # Targets adopt the probabilities' dtype so a float32 graph stays f32.
+    t = Tensor(np.asarray(targets), dtype=p.data.dtype)
     return -(t * log(p) + (1.0 - t) * log(1.0 - p)).mean()
 
 
@@ -101,8 +101,10 @@ def kl_divergence(p: np.ndarray, q: Tensor, eps: float = 1e-12) -> Tensor:
     target distribution and Q the current soft assignment, so gradients flow
     only through Q.
     """
-    p = np.asarray(p, dtype=np.float64)
+    # The detached target's entropy term accumulates in ACCUM_DTYPE; the
+    # cross term joins the graph in Q's dtype.
+    p = np.asarray(p, dtype=ACCUM_DTYPE)
     q_safe = clip(q, eps, 1.0)
     p_term = np.where(p > 0, p * np.log(np.maximum(p, eps)), 0.0).sum()
-    cross = (Tensor(p) * log(q_safe)).sum()
-    return Tensor(float(p_term)) - cross
+    cross = (Tensor(p, dtype=q_safe.data.dtype) * log(q_safe)).sum()
+    return Tensor(float(p_term), dtype=q_safe.data.dtype) - cross

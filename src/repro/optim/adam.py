@@ -12,6 +12,7 @@ from typing import Iterable
 import numpy as np
 
 from ..nn.module import Parameter
+from ..tensor.precision import ACCUM_DTYPE
 from .optimizer import Optimizer
 
 
@@ -27,11 +28,11 @@ class Adam(Optimizer):
         self.weight_decay = weight_decay
         self._step = 0
         self._m = [np.zeros_like(p.data) for p in self.params]
-        # Second moments always accumulate in float64: v is a running sum
-        # of squared gradients whose bias-corrected square root divides the
-        # update, and float32 accumulation there visibly degrades late
+        # Second moments always accumulate in ACCUM_DTYPE: v is a running
+        # sum of squared gradients whose bias-corrected square root divides
+        # the update, and float32 accumulation there visibly degrades late
         # training.  For float64 parameters this is np.zeros_like as before.
-        self._v = [np.zeros(p.data.shape, dtype=np.float64)
+        self._v = [np.zeros(p.data.shape, dtype=ACCUM_DTYPE)
                    for p in self.params]
 
     def step(self) -> None:

@@ -64,7 +64,9 @@ class DiffPool(Module):
         z = self.embed(x, adj_t)
         s = softmax(self.assign(x, adj_t), axis=-1)
         if mask is not None:
-            s = s * Tensor(mask[..., None].astype(np.float64))
+            # The mask adopts the assignment tensor's dtype: a float64
+            # literal here would silently upcast a float32 graph.
+            s = s * Tensor(mask[..., None], dtype=s.data.dtype)
         st = s.transpose(0, 2, 1)
         x_pooled = st @ z
         adj_pooled = st @ adj_t @ s
@@ -76,7 +78,7 @@ class DiffPool(Module):
         entropy = -(s * log(s, eps=1e-12)).sum(axis=-1)
         if mask is not None:
             valid = float(mask.sum()) or 1.0
-            entropy_loss = (entropy * Tensor(mask.astype(np.float64))).sum() * (1.0 / valid)
+            entropy_loss = (entropy * Tensor(mask, dtype=entropy.data.dtype)).sum() * (1.0 / valid)
         else:
             entropy_loss = entropy.mean()
         return x_pooled, adj_pooled, link_loss, entropy_loss

@@ -55,6 +55,8 @@ class StructPool(Module):
             pairwise = adj_t @ q @ self.compatibility
             q = softmax(unary + pairwise, axis=-1)
         if mask is not None:
-            q = q * Tensor(mask[..., None].astype(np.float64))
+            # Match the assignment tensor's dtype — a float64 literal here
+            # would upcast a float32 graph through NumPy promotion.
+            q = q * Tensor(mask[..., None], dtype=q.data.dtype)
         qt = q.transpose(0, 2, 1)
         return qt @ x, qt @ adj_t @ q

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from . import _sanitize_state as _san
 from . import _segment_plans as _plans
 from . import workspace as _ws
 from .ops import _gather_rows_data, exp, gather_rows
@@ -67,6 +68,8 @@ def segment_sum(values: ArrayLike, segment_ids: np.ndarray,
     """
     values = values if isinstance(values, Tensor) else Tensor(values)
     ids = _check_ids(segment_ids, num_segments, values.data.shape[0])
+    if _san.ENABLED:
+        _san.check_segment_inputs("segment_sum", values.data, ids)
     if _plans.fast_kernels_enabled():
         plan = _plans.plan_for(ids, num_segments)
         out_data = plan.sum(values.data)
@@ -105,6 +108,8 @@ def segment_max(values: ArrayLike, segment_ids: np.ndarray,
     """
     values = values if isinstance(values, Tensor) else Tensor(values)
     ids = _check_ids(segment_ids, num_segments, values.data.shape[0])
+    if _san.ENABLED:
+        _san.check_segment_inputs("segment_max", values.data, ids)
     fast = _plans.fast_kernels_enabled()
     if fast:
         plan = _plans.plan_for(ids, num_segments)
@@ -149,6 +154,8 @@ def gather_scale_segment_sum(x: ArrayLike, gather_ids: np.ndarray,
     if scale.data.shape != cols.shape:
         raise ValueError(f"scale must be 1-D of length {cols.shape[0]}, "
                          f"got shape {scale.data.shape}")
+    if _san.ENABLED:
+        _san.check_segment_inputs("gather_scale_segment_sum", x.data, ids)
     if not _plans.fast_kernels_enabled():
         messages = gather_rows(x, cols) * scale.reshape(-1, 1)
         return segment_sum(messages, ids, num_segments)
@@ -187,6 +194,8 @@ def segment_softmax(scores: ArrayLike, segment_ids: np.ndarray,
     """
     scores = scores if isinstance(scores, Tensor) else Tensor(scores)
     ids = _check_ids(segment_ids, num_segments, scores.data.shape[0])
+    if _san.ENABLED:
+        _san.check_segment_inputs("segment_softmax", scores.data, ids)
     if not _plans.fast_kernels_enabled():
         return _segment_softmax_reference(scores, ids, num_segments)
 

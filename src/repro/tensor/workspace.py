@@ -84,13 +84,16 @@ class Workspace:
 
     __slots__ = ("_slots", "_cursor", "allocations", "hits",
                  "capture_structures", "_plan", "_plan_cursor",
-                 "structure_hits")
+                 "structure_hits", "generation")
 
     def __init__(self, capture_structures: bool = False) -> None:
         self._slots: List[np.ndarray] = []
         self._cursor: int = 0
         self.allocations: int = 0
         self.hits: int = 0
+        #: forwards started on this arena; each begin() releases every slot
+        #: of the previous generation (the sanitizer poisons them then).
+        self.generation: int = 0
         #: record/replay structural stage results (see module docstring);
         #: only sound for a frozen model served one fixed batch per arena.
         self.capture_structures = bool(capture_structures)
@@ -102,6 +105,7 @@ class Workspace:
         """Rewind the slot cursor — call before each forward."""
         self._cursor = 0
         self._plan_cursor = 0
+        self.generation += 1
 
     def captured(self, builder):
         """Record ``builder()``'s result on the capture pass, replay after.

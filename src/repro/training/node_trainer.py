@@ -20,7 +20,8 @@ from ..datasets import NodeDataset
 from ..graph import degree_features
 from ..nn import Module, cross_entropy
 from ..optim import Adam, clip_grad_norm
-from ..tensor import Tensor, default_dtype, no_grad, segment_plan_stats
+from ..tensor import (Tensor, default_dtype, get_default_dtype, no_grad,
+                      segment_plan_stats)
 from ..utils.timing import PhaseTimer, profile_phase
 from .config import TrainConfig
 from .early_stopping import EarlyStopping
@@ -211,7 +212,7 @@ def evaluate_node_model(model: Module, dataset: NodeDataset,
     # Evaluate at the model's own precision (set by whichever trainer
     # produced it) so the forward pass stays dtype-stable.
     params = model.parameters()
-    dtype = params[0].data.dtype if params else np.dtype(np.float64)
+    dtype = params[0].data.dtype if params else get_default_dtype()
     x = Tensor(prepare_node_features(dataset), dtype=dtype)
     masks = dataset.splits.masks(graph.num_nodes)
     model.eval()

@@ -1,0 +1,35 @@
+"""RL001 fixture: every function holds exactly one dtype-literal escape."""
+
+import numpy as np
+
+
+def bad_astype_attr(x):
+    return x.astype(np.float64)
+
+
+def bad_astype_string(x):
+    return x.astype("float32")
+
+
+def bad_dtype_kwarg(x):
+    return np.asarray(x, dtype=np.float64)
+
+
+def bad_np_dtype_call():
+    return np.dtype(np.float32)
+
+
+def bad_alloc_positional(n):
+    return np.zeros(n, np.float64)
+
+
+def bad_alloc_dtypeless(n):
+    return np.empty(n)
+
+
+def bad_full_dtypeless(n):
+    return np.full(n, 1.0)
+
+
+def bad_reduction_kwarg(x):
+    return x.sum(dtype=np.float64)

@@ -1,0 +1,29 @@
+"""RL001 fixture: policy-conforming dtype handling — zero findings."""
+
+import numpy as np
+
+ACCUM_DTYPE = np.float64  # named constant, not a casting position
+
+
+def good_policy_alloc(n, get_default_dtype):
+    return np.zeros(n, dtype=get_default_dtype())
+
+
+def good_input_dtype(x):
+    return np.empty(x.shape, dtype=x.dtype)
+
+
+def good_accum_reduction(x):
+    return x.sum(dtype=ACCUM_DTYPE)
+
+
+def good_pragma(x):
+    return x.astype(np.float64)  # replint: allow RL001 -- fixture: deliberate accumulation boundary
+
+
+def good_int_alloc(n):
+    return np.zeros(n, dtype=np.int64)
+
+
+def good_dtype_check(x):
+    return x.dtype in (np.float32, np.float64)

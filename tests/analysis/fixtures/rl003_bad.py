@@ -1,0 +1,19 @@
+"""RL003 fixture: arena buffers escaping their replay step — 3 findings."""
+
+from repro.tensor.workspace import ws_empty, ws_zeros
+
+
+class LeakyCache:
+    def forward(self, shape, dtype):
+        self.buffer = ws_empty(shape, dtype)
+        return float(self.buffer.sum())
+
+
+def leak_direct(shape, dtype):
+    return ws_zeros(shape, dtype)
+
+
+def leak_via_name(shape, dtype):
+    out = ws_empty(shape, dtype)
+    out[...] = 1.0
+    return out

@@ -1,0 +1,27 @@
+"""RL004 fixture: in-place mutation of tensor storage — 6 findings."""
+
+import numpy as np
+
+
+def mutate_subscript(x, idx, value):
+    x.data[idx] = value
+
+
+def mutate_augassign(x, g):
+    x.data += g
+
+
+def mutate_aug_subscript(x, idx, g):
+    x.data[idx] -= g
+
+
+def mutate_ufunc_at(x, idx, messages):
+    np.add.at(x.data, idx, messages)
+
+
+def mutate_copyto(x, source):
+    np.copyto(x.data, source)
+
+
+def mutate_out_kwarg(a, b, x):
+    np.multiply(a, b, out=x.data)

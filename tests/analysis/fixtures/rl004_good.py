@@ -1,0 +1,20 @@
+"""RL004 fixture: sanctioned storage handling — zero findings."""
+
+import numpy as np
+
+
+def rebind(x, new):
+    # Rebinding leaves the captured buffer untouched — always allowed.
+    x.data = np.asarray(new)
+
+
+def read_rows(x, idx):
+    return x.data[idx]
+
+
+def mutate_local_array(buf, idx, value):
+    buf[idx] = value
+
+
+def sanctioned(x, g):
+    x.data += g  # replint: allow RL004 -- fixture: post-backward parameter update

@@ -1,0 +1,42 @@
+"""RL002 fixture ops module.
+
+``covered_op`` is named in the fixture test corpus, ``uncovered_op`` and
+``elu`` are not (the corpus mentions ``relu``, which must NOT satisfy
+``elu`` — word-boundary matching).  Private functions and functions
+without both a ``_make_child`` call and a local ``backward`` are out of
+scope.
+"""
+
+
+def covered_op(x):
+    def backward(grad):
+        x._accumulate(grad)
+    return x._make_child(x.data, (x,), backward)
+
+
+def uncovered_op(x):
+    def backward(grad):
+        x._accumulate(grad * 2.0)
+    return x._make_child(x.data, (x,), backward)
+
+
+def elu(x):
+    def backward(grad):
+        x._accumulate(grad)
+    return x._make_child(x.data, (x,), backward)
+
+
+def _private_op(x):
+    def backward(grad):
+        x._accumulate(grad)
+    return x._make_child(x.data, (x,), backward)
+
+
+def no_custom_backward(x):
+    return x._make_child(x.data, (x,), None)
+
+
+def helper_without_graph(x):
+    def backward(grad):
+        return grad
+    return backward(x)

@@ -1,0 +1,11 @@
+"""RL002 fixture corpus: names covered_op and relu, and no other fixture
+op.  (Deliberately not ``test_``-prefixed so pytest never collects it —
+the linter only greps this directory.)"""
+
+
+def check_covered_op_gradient():
+    assert "covered_op"
+
+
+def check_relu_gradient():
+    assert "relu"

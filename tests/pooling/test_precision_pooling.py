@@ -1,0 +1,91 @@
+"""Float32/float64 parity for the dense pooling operators.
+
+Regression tests for the dtype-escape bug RL001 caught at introduction:
+``DiffPool``/``StructPool`` masked their assignments with a hard
+``astype(np.float64)`` mask tensor, so a float32 model running under the
+ambient float64 policy (exactly what inference does after an f32 fit)
+silently upcast the whole downstream graph through NumPy promotion.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.pooling.diffpool import DiffPool
+from repro.pooling.structpool import StructPool
+from repro.tensor import Tensor
+
+
+def _dense_batch(rng, batch=2, nodes=6, features=5):
+    x = rng.normal(size=(batch, nodes, features))
+    adj = (rng.random(size=(batch, nodes, nodes)) < 0.4).astype(float)
+    adj = np.triu(adj, 1)
+    adj = adj + adj.transpose(0, 2, 1)
+    mask = np.ones((batch, nodes), dtype=bool)
+    mask[0, -2:] = False  # ragged batch: padded tail on graph 0
+    adj *= mask[:, None, :] * mask[:, :, None]
+    return x, adj, mask
+
+
+def _as_dtype(model, x, adj, dtype):
+    return (model.astype(dtype),
+            Tensor(x, dtype=dtype),
+            Tensor(adj, dtype=dtype))
+
+
+@pytest.mark.parametrize("dtype", [np.float32, np.float64])
+def test_diffpool_outputs_stay_in_model_dtype(dtype):
+    # Ambient policy stays float64 — the operator must not fall back to it.
+    x, adj, mask = _dense_batch(np.random.default_rng(0))
+    pool = DiffPool(5, 4, 3, rng=np.random.default_rng(1))
+    pool, x_t, adj_t = _as_dtype(pool, x, adj, dtype)
+    x_pooled, adj_pooled, link_loss, entropy_loss = pool(x_t, adj_t,
+                                                         mask=mask)
+    for out in (x_pooled, adj_pooled, link_loss, entropy_loss):
+        assert out.data.dtype == np.dtype(dtype)
+
+
+@pytest.mark.parametrize("dtype", [np.float32, np.float64])
+def test_structpool_outputs_stay_in_model_dtype(dtype):
+    x, adj, mask = _dense_batch(np.random.default_rng(2))
+    pool = StructPool(5, 3, rng=np.random.default_rng(3))
+    pool, x_t, adj_t = _as_dtype(pool, x, adj, dtype)
+    x_pooled, adj_pooled = pool(x_t, adj_t, mask=mask)
+    assert x_pooled.data.dtype == np.dtype(dtype)
+    assert adj_pooled.data.dtype == np.dtype(dtype)
+
+
+def test_diffpool_f32_f64_parity():
+    x, adj, mask = _dense_batch(np.random.default_rng(4))
+    outs = {}
+    for dtype in (np.float64, np.float32):
+        pool = DiffPool(5, 4, 3, rng=np.random.default_rng(5))
+        pool, x_t, adj_t = _as_dtype(pool, x, adj, dtype)
+        outs[dtype] = pool(x_t, adj_t, mask=mask)
+    for o64, o32 in zip(outs[np.float64], outs[np.float32]):
+        np.testing.assert_allclose(o64.data, o32.data.astype(np.float64),
+                                   rtol=2e-4, atol=2e-5)
+
+
+def test_structpool_f32_f64_parity():
+    x, adj, mask = _dense_batch(np.random.default_rng(6))
+    outs = {}
+    for dtype in (np.float64, np.float32):
+        pool = StructPool(5, 3, rng=np.random.default_rng(7))
+        pool, x_t, adj_t = _as_dtype(pool, x, adj, dtype)
+        outs[dtype] = pool(x_t, adj_t, mask=mask)
+    for o64, o32 in zip(outs[np.float64], outs[np.float32]):
+        np.testing.assert_allclose(o64.data, o32.data.astype(np.float64),
+                                   rtol=2e-4, atol=2e-5)
+
+
+def test_diffpool_f32_gradients_stay_f32():
+    x, adj, mask = _dense_batch(np.random.default_rng(8))
+    pool = DiffPool(5, 4, 3, rng=np.random.default_rng(9))
+    pool, x_t, adj_t = _as_dtype(pool, x, adj, np.float32)
+    x_pooled, _, link_loss, entropy_loss = pool(x_t, adj_t, mask=mask)
+    (x_pooled.sum() + link_loss + entropy_loss).backward()
+    for param in pool.parameters():
+        assert param.grad is not None
+        assert param.grad.dtype == np.float32

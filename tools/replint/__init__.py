@@ -1,0 +1,1 @@
+"""``python -m tools.replint`` — CLI front-end for repro.analysis.lint."""
