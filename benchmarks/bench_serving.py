@@ -1,0 +1,338 @@
+"""Serving throughput under open-loop load: the async front end at work.
+
+The workload is the same serving scenario ``bench_inference_throughput``
+measures synchronously — a trained AdamGNN classifier answering requests
+over the PROTEINS evaluation split — but pushed through
+:class:`repro.serving.GraphServer` as independent requests instead of one
+caller's pre-collated batches.  Two arms:
+
+* **Closed loop (interleaved A/B)** — the single-caller overhead story,
+  same protocol as ``BENCH_inference.json``: arm A calls
+  ``Predictor.predict_batch`` on the canonical eval collation directly,
+  arm B pushes the same 32 graphs through the server (queue, buckets,
+  flush timer, worker hand-off) and waits.  Their ratio is the price of
+  the serving indirection for one caller.
+* **Open loop (Poisson sweep)** — the capacity story.  A seeded Poisson
+  arrival process offers single-graph (plus a few small-chunk) requests
+  at multiples of the closed-loop direct throughput; latency is accounted
+  from each request's *scheduled* arrival (no coordinated omission).  At
+  saturation, micro-batching pays for itself: duplicate requests for a
+  graph share one batch slot and recurring canonical chunks replay
+  captured arena plans, so completed requests/s exceeds the single-caller
+  graphs/s while overload beyond the admission bound sheds with a typed
+  ``Overloaded`` and the p99 of *admitted* requests stays bounded.
+
+Results land in ``BENCH_serving.json`` at the repo root.
+"""
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.datasets import GraphDataset, load_graph_dataset
+from repro.inference import Predictor
+from repro.serving import GraphServer, Overloaded, ServingConfig
+from repro.training import TrainConfig
+from repro.training.experiment import make_graph_classifier
+
+from .bench_table4_epoch_time import _current_commit, _environment
+from .common import emit, is_smoke
+
+SERVING_JSON = Path(__file__).resolve().parent.parent / "BENCH_serving.json"
+INFERENCE_JSON = Path(__file__).resolve().parent.parent \
+    / "BENCH_inference.json"
+
+DTYPE = "float32"
+
+#: Deployment tuning for this universe.  Coarse bands put the whole
+#: 32-graph eval split (which fits one ``max_batch``) in a single bucket
+#: whose canonical chunk replays one captured arena plan; fine bands
+#: would shred it into per-batch overhead.  ``pad_to_bucket`` near zero
+#: promotes *every* flush to that canonical chunk — arbitrary request
+#: subsets would each be a novel composition paying full structural
+#: derivation (collation miss + fresh arena), while the canonical chunk
+#: is a content-cache hit, so a few wasted logit rows buy an order of
+#: magnitude.  ``max_pending`` sits between the arrivals one saturated
+#: flush rotation sees at 1.5x and at 2x the closed-loop throughput:
+#: the 1.5x point is admitted in full while the 2x overload point
+#: demonstrably sheds, with the p99 of admitted requests bounded at a
+#: couple of rotations.
+SERVE_CONFIG = dict(max_batch=32, max_delay_ms=2.0, max_pending=128,
+                    workers=1, node_band=64, edge_band=512,
+                    pad_to_bucket=1e-6)
+
+#: Fraction of open-loop arrivals that are small-chunk ``submit_many``
+#: requests (2-3 graphs) rather than singles, and the resulting mean
+#: graph-requests per arrival event (0.9*1 + 0.1*2.5).
+CHUNK_PROB = 0.1
+MEAN_IDS_PER_EVENT = 1.15
+
+
+def _workload():
+    """The serving universe: a dataset of exactly the PROTEINS eval split
+    (val + test graphs re-indexed 0..n-1), plus the trained model."""
+    data = load_graph_dataset("proteins", seed=0)
+    eval_index = np.concatenate([data.val_index, data.test_index])
+    graphs = [data.graphs[int(i)] for i in np.sort(eval_index)]
+    universe = GraphDataset("proteins-eval", graphs, 2, data.num_features)
+    model = make_graph_classifier("adamgnn", data.num_features, 2, seed=0)
+    model.astype(DTYPE)
+    return model, universe
+
+
+def _percentiles(samples):
+    return {
+        "p50_ms": round(float(np.percentile(samples, 50)), 2),
+        "p99_ms": round(float(np.percentile(samples, 99)), 2),
+    }
+
+
+def _closed_loop(model, universe, rounds, reps):
+    """Interleaved A/B: direct Predictor vs served, same 32 graphs."""
+    num_graphs = len(universe.graphs)
+    all_ids = list(range(num_graphs))
+    predictor = Predictor(model)
+    structures = predictor._structures_for(universe)
+    pair = structures.batch(np.arange(num_graphs, dtype=np.int64))
+
+    with GraphServer(model, universe,
+                     ServingConfig(**SERVE_CONFIG)) as server:
+        def arm_direct():
+            start = time.perf_counter()
+            predictor.predict_batch(*pair)
+            return (time.perf_counter() - start) * 1000.0
+
+        def arm_served():
+            start = time.perf_counter()
+            for handle in server.submit_many(all_ids):
+                handle.result(timeout=60.0)
+            return (time.perf_counter() - start) * 1000.0
+
+        arm_direct(), arm_served()              # warm both arms
+        lat_a, lat_b = [], []
+        for _ in range(rounds):
+            lat_a += [arm_direct() for _ in range(reps)]
+            lat_b += [arm_served() for _ in range(reps)]
+
+    def summarise(samples):
+        out = _percentiles(samples)
+        out["graphs_per_sec"] = round(
+            float(num_graphs / (np.percentile(samples, 50) / 1000.0)), 1)
+        return out
+
+    direct, served = summarise(lat_a), summarise(lat_b)
+    return {
+        "direct_predictor": direct,
+        "served": served,
+        "overhead_p50": round(served["p50_ms"] / direct["p50_ms"], 2),
+    }
+
+
+def _schedule(rng, qps, duration_s, num_graphs):
+    """Seeded Poisson arrival plan: (scheduled_time, graph_ids) tuples.
+
+    ``qps`` is in graph-requests/s; the event rate is scaled down by the
+    mean chunk size so offered ids/s matches the target."""
+    plan = []
+    t = 0.0
+    event_rate = qps / MEAN_IDS_PER_EVENT
+    while True:
+        t += float(rng.exponential(1.0 / event_rate))
+        if t >= duration_s:
+            return plan
+        if rng.random() < CHUNK_PROB:
+            size = int(rng.integers(2, 4))
+            ids = [int(g) for g in rng.integers(0, num_graphs, size)]
+        else:
+            ids = [int(rng.integers(0, num_graphs))]
+        plan.append((t, ids))
+
+
+def _open_loop_point(model, universe, multiplier, qps, duration_s, seed):
+    """One sweep point: fresh warmed server, Poisson arrivals at ``qps``."""
+    server = GraphServer(model, universe, ServingConfig(**SERVE_CONFIG))
+    try:
+        # Warm: two canonical passes per bucket (capture, then replay),
+        # so the measured window starts in the steady state.
+        for _ in range(2):
+            for members in server._members.values():
+                for handle in server.submit_many(members):
+                    handle.result(timeout=60.0)
+        before = server.stats()
+
+        plan = _schedule(np.random.default_rng(seed), qps, duration_s,
+                         len(universe.graphs))
+        admitted = []                      # (scheduled_time, handle)
+        offered = shed = 0
+        t0 = time.monotonic()
+        for scheduled, ids in plan:
+            delay = t0 + scheduled - time.monotonic()
+            # Sub-millisecond gaps are submitted back-to-back: a sleep
+            # syscall per event would eat the single CPU the workers
+            # need, and quantising arrivals to ~1 ms does not change the
+            # offered process at these rates.
+            if delay > 1e-3:
+                time.sleep(delay)
+            offered += len(ids)
+            try:
+                if len(ids) == 1:
+                    handles = [server.submit(ids[0])]
+                else:
+                    handles = server.submit_many(ids)
+            except Overloaded:
+                shed += len(ids)
+                continue
+            admitted.extend((scheduled, h) for h in handles)
+
+        latencies, last_done = [], t0
+        for scheduled, handle in admitted:
+            handle.result(timeout=120.0)
+            latencies.append(
+                (handle.completed_at - (t0 + scheduled)) * 1000.0)
+            last_done = max(last_done, handle.completed_at)
+        after = server.stats()
+    finally:
+        server.close()
+
+    completed = len(admitted)
+    makespan = max(last_done - t0, 1e-9)
+    point = {
+        "multiplier": multiplier,
+        "offered_qps": round(qps, 1),
+        "offered": offered,
+        "completed": completed,
+        "shed": shed,
+        "shed_rate": round(shed / offered, 4) if offered else 0.0,
+        "achieved_rps": round(completed / makespan, 1),
+        "mean_batch_size": round(
+            _rate(after, before, "mean_batch_size"), 2),
+        "batches": after["batches"] - before["batches"],
+        "dedup_hits": after["dedup_hits"] - before["dedup_hits"],
+        "padded_slots": after["padded_slots"] - before["padded_slots"],
+        "collation_hits": (after["collation"]["hits"]
+                           - before["collation"]["hits"]),
+        "arena_allocations": int(after["arenas"]["allocations"]
+                                 - before["arenas"]["allocations"]),
+        "timed_out": after["timed_out"] - before["timed_out"],
+    }
+    if latencies:
+        point.update(_percentiles(latencies))
+    return point
+
+
+def _rate(after, before, _key):
+    """Mean batch size over just the measured window (hist deltas)."""
+    served = sum(size * n for size, n in after["batch_size_hist"].items())
+    served -= sum(size * n for size, n in before["batch_size_hist"].items())
+    batches = after["batches"] - before["batches"]
+    return served / batches if batches else 0.0
+
+
+def generate_serving_benchmark() -> str:
+    smoke = is_smoke()
+    rounds, reps = (1, 3) if smoke else (3, 10)
+    multipliers = [0.5, 2.0] if smoke else [0.25, 0.5, 1.0, 1.5, 2.0]
+    duration_s = 0.6 if smoke else 2.5
+
+    model, universe = _workload()
+    closed = _closed_loop(model, universe, rounds, reps)
+    baseline = closed["direct_predictor"]["graphs_per_sec"]
+
+    reference = None
+    if INFERENCE_JSON.exists():
+        payload = json.loads(INFERENCE_JSON.read_text())
+        reference = payload.get("predictor", {}).get("graphs_per_sec")
+
+    points = [
+        _open_loop_point(model, universe, m, m * baseline, duration_s,
+                         seed=100 + i)
+        for i, m in enumerate(multipliers)]
+
+    saturation = max(points, key=lambda p: p["achieved_rps"])
+    overload = points[-1]                      # highest multiplier
+    acceptance = {
+        "baseline_graphs_per_sec": baseline,
+        "target_rps_1p5x": round(1.5 * baseline, 1),
+        "saturation_achieved_rps": saturation["achieved_rps"],
+        "meets_1p5x": bool(saturation["achieved_rps"] >= 1.5 * baseline),
+        "overload_sheds": bool(overload["shed"] > 0),
+        "overload_admitted_p99_ms": overload.get("p99_ms"),
+    }
+
+    payload = {
+        "workload": {
+            "dataset": "proteins (synthetic PROTEINS-like, seed 0)",
+            "universe": "val + test split as the serving universe",
+            "num_graphs": len(universe.graphs),
+            "model": "adamgnn (hidden 64, 3 levels, radius 1)",
+            "request_mix": f"singles + {CHUNK_PROB:.0%} chunks of 2-3",
+        },
+        "environment": _environment(DTYPE),
+        "commit": _current_commit(),
+        "config": dict(SERVE_CONFIG),
+        "protocol": (
+            f"closed loop: interleaved A/B, {rounds} rounds x {reps} "
+            f"reps per arm, request = the 32-graph eval universe "
+            f"(A = direct predict_batch, B = served via submit_many); "
+            f"open loop: seeded Poisson arrivals for {duration_s}s per "
+            f"point at multiplier x closed-loop-direct graphs/s, latency "
+            f"from scheduled arrival (open loop, no coordinated "
+            f"omission); smoke={smoke}"),
+        "closed_loop": {**closed,
+                        "bench_inference_reference_graphs_per_sec":
+                            reference},
+        "open_loop": points,
+        "acceptance": acceptance,
+    }
+    SERVING_JSON.write_text(json.dumps(payload, indent=2) + "\n")
+
+    lines = [
+        f"closed loop  direct: p50 {closed['direct_predictor']['p50_ms']:7.2f} ms "
+        f"({baseline:8.1f} graphs/s)",
+        f"closed loop  served: p50 {closed['served']['p50_ms']:7.2f} ms "
+        f"({closed['served']['graphs_per_sec']:8.1f} graphs/s, "
+        f"{closed['overhead_p50']:.2f}x overhead)",
+        "",
+        f"{'mult':>5} {'offered/s':>10} {'achieved/s':>11} {'p50 ms':>8} "
+        f"{'p99 ms':>8} {'batch':>6} {'shed%':>6} {'dedup':>6}",
+    ]
+    for p in points:
+        lines.append(
+            f"{p['multiplier']:>5.2f} {p['offered_qps']:>10.1f} "
+            f"{p['achieved_rps']:>11.1f} {p.get('p50_ms', float('nan')):>8.2f} "
+            f"{p.get('p99_ms', float('nan')):>8.2f} "
+            f"{p['mean_batch_size']:>6.1f} {100 * p['shed_rate']:>6.2f} "
+            f"{p['dedup_hits']:>6d}")
+    lines += [
+        "",
+        f"saturation {acceptance['saturation_achieved_rps']:.1f} req/s vs "
+        f"1.5x target {acceptance['target_rps_1p5x']:.1f} req/s "
+        f"-> meets_1p5x={acceptance['meets_1p5x']}",
+        f"overload sheds: {acceptance['overload_sheds']} "
+        f"(p99 of admitted {acceptance['overload_admitted_p99_ms']} ms)",
+        f"\nmachine-readable copy: {SERVING_JSON.name}",
+    ]
+    return "\n".join(lines)
+
+
+@pytest.mark.benchmark(group="serving")
+def test_serving_throughput(benchmark):
+    table = benchmark.pedantic(generate_serving_benchmark, rounds=1,
+                               iterations=1)
+    emit("Serving: open-loop throughput and admission control", table)
+    assert table
+    payload = json.loads(SERVING_JSON.read_text())
+    for point in payload["open_loop"]:
+        assert point["completed"] + point["shed"] == point["offered"]
+        assert point["completed"] > 0
+        assert point["timed_out"] == 0
+    # Wall-clock acceptance is only asserted at full scope: the smoke
+    # sweep is seconds long and runs on loaded CI boxes.
+    if not is_smoke():
+        acceptance = payload["acceptance"]
+        assert acceptance["meets_1p5x"], acceptance
+        assert acceptance["overload_sheds"], acceptance
+        assert acceptance["overload_admitted_p99_ms"] < 250.0, acceptance

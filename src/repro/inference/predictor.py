@@ -23,6 +23,7 @@ capture pass.
 
 from __future__ import annotations
 
+import weakref
 from collections import OrderedDict
 from typing import Any, Dict, Optional, Tuple
 
@@ -79,12 +80,24 @@ class Predictor:
         self.dtype = resolve_dtype(dtype)
         self.model = model.eval().astype(self.dtype)
         self.max_arenas = int(max_arenas)
+        if self.max_arenas < 1:
+            # At zero the LRU below would evict the entry it just
+            # inserted, un-pinning key objects whose Workspace is still in
+            # use — the exact recycled-id() aliasing hazard pinning exists
+            # to rule out.
+            raise ValueError(
+                f"max_arenas must be >= 1, got {max_arenas!r}")
         #: id(key objects) → (pinned key objects, Workspace)
         self._arenas: "OrderedDict[Tuple[int, ...], Tuple[Tuple, Workspace]]" \
             = OrderedDict()
-        #: (dataset id → pinned dataset, DatasetStructures)
-        self._structures: Optional[Tuple[GraphDataset,
-                                         DatasetStructures]] = None
+        #: id(dataset) → (weakref to the dataset, DatasetStructures).
+        #: Weakly keyed: the entry dies with the dataset (the weakref
+        #: callback prunes it), so serving never pins a retired dataset's
+        #: graphs in memory.  ``GraphDataset`` is an eq-comparing dataclass
+        #: (unhashable), hence id keys + a liveness check on lookup rather
+        #: than a WeakKeyDictionary.
+        self._structures: Dict[int, Tuple["weakref.ref[GraphDataset]",
+                                          DatasetStructures]] = {}
 
     # ------------------------------------------------------------------
     # Arena management
@@ -96,22 +109,43 @@ class Predictor:
             self._arenas.move_to_end(key)
             return entry[1]
         workspace = Workspace(capture_structures=True)
+        # Evict *before* inserting: popping after could (at max_arenas
+        # bounds) drop the entry just created, whose workspace the caller
+        # is about to run a forward in — pinned key objects must outlive
+        # every forward that replays against them.
+        while len(self._arenas) >= self.max_arenas:
+            self._arenas.popitem(last=False)
         # Pinning the key objects keeps the id-based key sound for the
         # lifetime of the entry.
         self._arenas[key] = (key_objects, workspace)
-        if len(self._arenas) > self.max_arenas:
-            self._arenas.popitem(last=False)
         return workspace
 
     def invalidate(self) -> None:
-        """Drop every captured plan and buffer arena.
+        """Drop every captured plan, buffer arena, and dataset structure.
 
-        Call after mutating the model's parameters (e.g. fine-tuning):
-        captured coarsening plans are valid only while the weights that
-        produced them stay frozen.  The next serve of each batch pays one
+        Call after mutating the model's parameters (e.g. fine-tuning or
+        an ``astype`` precision change): captured coarsening plans are
+        valid only while the weights that produced them stay frozen, and
+        cached :class:`DatasetStructures` were cast at the old serving
+        dtype.  The serving dtype is re-read from the model so a
+        ``model.astype(...)`` followed by ``invalidate()`` serves at the
+        model's new precision.  The next serve of each batch pays one
         fresh capture pass.
         """
         self._arenas.clear()
+        self._structures.clear()
+        params = self.model.parameters()
+        if params:
+            self.dtype = resolve_dtype(params[0].data.dtype)
+
+    def release_dataset(self, dataset: Optional[GraphDataset] = None) -> None:
+        """Drop the cached structures of ``dataset`` (all datasets when
+        ``None``) so a retired dataset's graphs can be reclaimed without
+        touching the captured arenas of everything else."""
+        if dataset is None:
+            self._structures.clear()
+        else:
+            self._structures.pop(id(dataset), None)
 
     def stats(self) -> dict:
         """Aggregate workspace counters across every live arena.
@@ -161,14 +195,27 @@ class Predictor:
         return self.model(batch)
 
     def _structures_for(self, dataset: GraphDataset) -> DatasetStructures:
-        if self._structures is None or self._structures[0] is not dataset:
-            radius = (self.model.encoder.radius
-                      if isinstance(self.model, AdamGNNGraphClassifier)
-                      else None)
-            self._structures = (dataset, DatasetStructures(
-                dataset.graphs, radius=radius, labels=dataset.label_array,
-                dtype=self.dtype))
-        return self._structures[1]
+        key = id(dataset)
+        entry = self._structures.get(key)
+        # The liveness check guards the id key against the (tiny) window
+        # between a dataset's death and its weakref callback running.
+        if entry is not None and entry[0]() is dataset:
+            return entry[1]
+        radius = (self.model.encoder.radius
+                  if isinstance(self.model, AdamGNNGraphClassifier)
+                  else None)
+        structures = DatasetStructures(
+            dataset.graphs, radius=radius, labels=dataset.label_array,
+            dtype=self.dtype)
+        selfref = weakref.ref(self)
+
+        def _prune(_ref, key=key, selfref=selfref):
+            owner = selfref()
+            if owner is not None:
+                owner._structures.pop(key, None)
+
+        self._structures[key] = (weakref.ref(dataset, _prune), structures)
+        return structures
 
     def predict(self, dataset: GraphDataset, index: np.ndarray,
                 batch_size: int = 32) -> np.ndarray:

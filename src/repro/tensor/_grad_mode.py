@@ -1,4 +1,4 @@
-"""Global gradient-mode switch: ``no_grad()`` disables tape construction.
+"""Gradient-mode switch: ``no_grad()`` disables tape construction.
 
 Training builds a reverse-mode DAG for every op: parent tuples, a
 ``_backward`` closure, and (for some ops) backward-only precomputation such
@@ -8,29 +8,42 @@ consulted at the single point where all ops wire their results into the
 graph — :meth:`Tensor._make_child` — so one check covers plain ops and
 fused kernels alike.
 
-The flag is a process-global, not thread-local: the chunk-parallel executor
-(:mod:`repro.tensor._parallel`) runs raw NumPy block functions on its
-workers, never Tensor ops, so no op ever executes off the main thread.
+The flag is **thread-local**: the serving front end
+(:mod:`repro.serving`) runs warmed :class:`~repro.inference.Predictor`
+workers on their own threads, each entering ``no_grad()`` around its own
+forward, and one worker's mode must never leak into another thread (or
+into a training loop on the main thread).  Each thread starts in the
+default grad-on state.  The chunk-parallel executor
+(:mod:`repro.tensor._parallel`) is unaffected — its workers run raw NumPy
+block functions, never Tensor ops.
 """
 
 from __future__ import annotations
 
+import threading
 from contextlib import contextmanager
 from typing import Iterator
 
-_GRAD_ENABLED: bool = True
+
+class _GradState(threading.local):
+    """Per-thread grad mode; the class attribute is the fresh-thread
+    default (reads fall back to it until the thread first writes)."""
+
+    enabled: bool = True
+
+
+_STATE = _GradState()
 
 
 def grad_enabled() -> bool:
     """Return ``True`` when ops should record the autograd tape."""
-    return _GRAD_ENABLED
+    return _STATE.enabled
 
 
 def set_grad_enabled(mode: bool) -> bool:
-    """Set the grad mode; returns the previous mode (for manual restore)."""
-    global _GRAD_ENABLED
-    previous = _GRAD_ENABLED
-    _GRAD_ENABLED = bool(mode)
+    """Set the calling thread's grad mode; returns the previous mode."""
+    previous = _STATE.enabled
+    _STATE.enabled = bool(mode)
     return previous
 
 

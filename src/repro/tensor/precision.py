@@ -6,8 +6,10 @@ on a memory-bandwidth-bound NumPy substrate halving the element width is a
 direct throughput win, so the compute dtype is now a *policy*:
 
 * :func:`get_default_dtype` / :func:`set_default_dtype` read and set the
-  process-wide compute dtype (``float64`` out of the box, so library users
-  and the finite-difference gradient checks see unchanged behaviour);
+  compute dtype (``float64`` out of the box, so library users and the
+  finite-difference gradient checks see unchanged behaviour).  The policy
+  is thread-local — each serving worker scopes its own precision — with
+  fresh threads starting at the library default;
 * :func:`default_dtype` scopes a dtype change to a ``with`` block — this is
   what the trainers use to run a whole fit at ``TrainConfig(dtype=...)``;
 * :data:`ACCUM_DTYPE` names the accumulation dtype (always ``float64``)
@@ -26,6 +28,7 @@ the default (see ``tensor.py``/``ops.py``).
 
 from __future__ import annotations
 
+import threading
 from contextlib import contextmanager
 from typing import Iterator, Union
 
@@ -42,7 +45,18 @@ ACCUM_DTYPE = np.float64
 #: The dtypes the compute policy may take.
 SUPPORTED_DTYPES = (np.dtype(np.float32), np.dtype(np.float64))
 
-_default_dtype = np.dtype(np.float64)
+class _DtypeState(threading.local):
+    """Per-thread compute dtype.  Thread-local for the same reason as the
+    grad-mode switch (see ``_grad_mode.py``): serving workers scope their
+    own precision per forward, and a worker's ``default_dtype`` block must
+    not bleed into a concurrent training loop.  Fresh threads start at the
+    library default (the class attribute), not at whatever the spawning
+    thread happened to scope."""
+
+    value: np.dtype = np.dtype(np.float64)
+
+
+_state = _DtypeState()
 
 
 def resolve_dtype(dtype: DTypeLike) -> np.dtype:
@@ -61,14 +75,13 @@ def resolve_dtype(dtype: DTypeLike) -> np.dtype:
 
 def get_default_dtype() -> np.dtype:
     """The current compute dtype (``float64`` unless configured)."""
-    return _default_dtype
+    return _state.value
 
 
 def set_default_dtype(dtype: DTypeLike) -> np.dtype:
-    """Set the process-wide compute dtype; returns the previous one."""
-    global _default_dtype
-    previous = _default_dtype
-    _default_dtype = resolve_dtype(dtype)
+    """Set the calling thread's compute dtype; returns the previous one."""
+    previous = _state.value
+    _state.value = resolve_dtype(dtype)
     return previous
 
 
@@ -77,7 +90,7 @@ def default_dtype(dtype: DTypeLike) -> Iterator[np.dtype]:
     """Scope the compute dtype to a ``with`` block (restores on exit)."""
     previous = set_default_dtype(dtype)
     try:
-        yield _default_dtype
+        yield _state.value
     finally:
         set_default_dtype(previous)
 
@@ -94,7 +107,7 @@ def as_compute_array(data, dtype: np.dtype = None) -> np.ndarray:
     arr = np.asarray(data)
     if arr.dtype.kind in "iub":
         return arr
-    target = _default_dtype if dtype is None else dtype
+    target = _state.value if dtype is None else dtype
     if arr.dtype != target:
         arr = arr.astype(target)
     return arr

@@ -56,6 +56,7 @@ Safety rules
 
 from __future__ import annotations
 
+import threading
 from contextlib import contextmanager
 from typing import Iterator, List, Optional, Tuple
 
@@ -123,13 +124,12 @@ class Workspace:
         if i < len(self._plan):
             self.structure_hits += 1
             return self._plan[i]
-        global _ACTIVE
-        previous = _ACTIVE
-        _ACTIVE = None
+        previous = _state.active
+        _state.active = None
         try:
             value = builder()
         finally:
-            _ACTIVE = previous
+            _state.active = previous
         self._plan.append(value)
         return value
 
@@ -173,12 +173,21 @@ class Workspace:
                 f"nbytes={self.nbytes})")
 
 
-_ACTIVE: Optional[Workspace] = None
+class _WorkspaceState(threading.local):
+    """Per-thread active workspace.  Thread-local so each serving worker
+    (see :mod:`repro.serving`) replays its own arena: one worker's slot
+    cursor must never hand buffers to a forward running on another
+    thread.  Fresh threads start with no workspace active."""
+
+    active: Optional[Workspace] = None
+
+
+_state = _WorkspaceState()
 
 
 def active_workspace() -> Optional[Workspace]:
-    """Return the workspace the kernels are currently writing into."""
-    return _ACTIVE
+    """The calling thread's active workspace (``None`` outside serving)."""
+    return _state.active
 
 
 @contextmanager
@@ -190,24 +199,23 @@ def use_workspace(workspace: Workspace) -> Iterator[Workspace]:
     Re-entrant activations nest (the inner workspace wins), which keeps a
     Predictor-in-Predictor composition from silently interleaving slots.
     """
-    global _ACTIVE
     if grad_enabled():
         raise RuntimeError(
             "use_workspace() requires no_grad(): backward closures capture "
             "forward buffers by reference, and recycling them would corrupt "
             "the autograd tape")
-    previous = _ACTIVE
+    previous = _state.active
     workspace.begin()
-    _ACTIVE = workspace
+    _state.active = workspace
     try:
         yield workspace
     finally:
-        _ACTIVE = previous
+        _state.active = previous
 
 
 def ws_empty(shape: Tuple[int, ...], dtype) -> np.ndarray:
     """``np.empty`` that comes from the active workspace when there is one."""
-    ws = _ACTIVE
+    ws = _state.active
     if ws is None:
         return np.empty(shape, dtype=dtype)
     return ws.take(shape, dtype)
@@ -215,7 +223,7 @@ def ws_empty(shape: Tuple[int, ...], dtype) -> np.ndarray:
 
 def ws_zeros(shape: Tuple[int, ...], dtype) -> np.ndarray:
     """``np.zeros`` that reuses (and re-zeroes) a workspace slot."""
-    ws = _ACTIVE
+    ws = _state.active
     if ws is None:
         return np.zeros(shape, dtype=dtype)
     buf = ws.take(shape, dtype)
@@ -230,7 +238,7 @@ def ws_captured(builder):
     the active one was not created with ``capture_structures=True`` — the
     training path and plain no-grad evaluation always recompute.
     """
-    ws = _ACTIVE
+    ws = _state.active
     if ws is None:
         return builder()
     return ws.captured(builder)
@@ -243,7 +251,7 @@ def ws_out(shape: Tuple[int, ...], dtype) -> Optional[np.ndarray]:
     training-mode code does, so call sites stay one-liners:
     ``np.matmul(a, b, out=ws_out(shape, dt))``.
     """
-    ws = _ACTIVE
+    ws = _state.active
     if ws is None:
         return None
     return ws.take(shape, dtype)

@@ -46,11 +46,17 @@ class EarlyStopping:
         return value < self.best - self.min_delta
 
     def step(self, value: float, model: Module) -> bool:
-        """Record one epoch; returns True when training should stop."""
+        """Record one epoch; returns True when training should stop.
+
+        An improvement clears a previously latched ``stopped`` flag so a
+        resumed/continued loop (new epochs stepped after a stop fired)
+        keeps training instead of halting on the stale verdict.
+        """
         if self.improved(value):
             self.best = value
             self.best_state = model.state_dict()
             self.counter = 0
+            self.stopped = False
         else:
             self.counter += 1
             if self.counter >= self.patience:

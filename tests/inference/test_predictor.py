@@ -108,9 +108,86 @@ class TestGraphServing:
             predictor.predict_batch(batch, structure)
         assert predictor.stats()["arenas"] == 1
 
+    def test_max_arenas_below_one_rejected(self, served):
+        # max_arenas < 1 would make the LRU evict the entry it just
+        # inserted while its workspace is mid-forward, un-pinning the key
+        # objects (the recycled-id() aliasing hazard).
+        model = served[0]
+        for bad in (0, -3):
+            with pytest.raises(ValueError):
+                Predictor(model, max_arenas=bad)
+
+    def test_eviction_never_drops_fresh_entry(self, served):
+        # Serve more distinct batches than max_arenas: every serve must
+        # retain its *own* arena (the victim is the LRU entry, never the
+        # just-inserted one) and never replay another batch's captured
+        # plan — logits stay bitwise-equal to the grad-on reference even
+        # while the LRU churns.
+        from repro.training.graph_trainer import _model_forward
+        model, trainer, dataset, _, _ = served
+        eval_index = np.concatenate([dataset.val_index, dataset.test_index])
+        structures = trainer._structures_for(model, dataset)
+        pairs = [structures.batch(eval_index[lo:lo + 2])
+                 for lo in range(0, eval_index.shape[0], 2)]
+        assert len(pairs) > 1
+        with default_dtype("float32"):
+            reference = [_model_forward(model, b, s)[0].data.copy()
+                         for b, s in pairs]
+        predictor = Predictor(model, max_arenas=1)
+        for _ in range(2):       # second lap re-captures after eviction
+            for (batch, structure), ref in zip(pairs, reference):
+                out = predictor.predict_batch(batch, structure)
+                assert (out == ref).all()
+                (entry_keys, _ws), = predictor._arenas.values()
+                assert entry_keys[0] is batch
+
     def test_dtype_defaults_to_model(self, served):
         model = served[0]
         assert Predictor(model).dtype == np.float32
+
+    def test_invalidate_drops_structures_and_resyncs_dtype(self, served):
+        # model.astype + invalidate() must not keep serving structures
+        # cast at the old dtype (nor logits in the old precision).
+        model, _, dataset, _, _ = served
+        predictor = Predictor(model)
+        predictor.predict(dataset, dataset.val_index, batch_size=8)
+        assert len(predictor._structures) == 1
+        try:
+            model.astype("float64")
+            predictor.invalidate()
+            assert predictor._structures == {}
+            assert predictor.dtype == np.float64
+            structures = predictor._structures_for(dataset)
+            assert structures.graphs[0].x.dtype == np.float64
+            logits = predictor.predict_batch(
+                *structures.batch(dataset.val_index[:4]))
+            assert logits.dtype == np.float64
+        finally:
+            model.astype("float32")
+
+    def test_released_dataset_is_garbage_collected(self, served):
+        import gc
+        import weakref
+
+        from repro.datasets import GraphDataset as GD
+        model, _, dataset, _, _ = served
+        predictor = Predictor(model)
+        retired = GD("retired", list(dataset.graphs[:4]), 2,
+                     dataset.num_features,
+                     val_index=np.arange(2, dtype=np.int64))
+        predictor.predict(retired, retired.val_index, batch_size=2)
+        ref = weakref.ref(retired)
+        # The structures entry must not pin the dataset: dropping the
+        # caller's reference reclaims it (weakly-keyed path) ...
+        del retired
+        gc.collect()
+        assert ref() is None
+        assert predictor._structures == {}
+        # ... and release_dataset() drops an entry for a live dataset.
+        predictor.predict(dataset, dataset.val_index[:2], batch_size=2)
+        assert len(predictor._structures) == 1
+        predictor.release_dataset(dataset)
+        assert predictor._structures == {}
 
 
 class TestNodeServing:

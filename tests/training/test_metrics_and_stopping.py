@@ -131,3 +131,28 @@ class TestEarlyStopping:
         stopper.step(0.5, model)
         assert not stopper.improved(0.55)
         assert stopper.improved(0.65)
+
+    def test_resume_after_stop_unlatches_on_improvement(self):
+        # A continued/resumed loop steps the same stopper past a latched
+        # stop; an improving epoch must clear the verdict, not replay it.
+        model = self._model()
+        stopper = EarlyStopping(patience=2, mode="max")
+        stopper.step(0.5, model)
+        stopper.step(0.4, model)
+        assert stopper.step(0.3, model)
+        assert stopper.stopped
+        assert not stopper.step(0.7, model)   # resume with an improvement
+        assert not stopper.stopped
+        assert stopper.counter == 0
+        assert stopper.best == 0.7
+        # ... and the patience clock restarts from the new best.
+        assert not stopper.step(0.6, model)
+        assert stopper.step(0.6, model)
+
+    def test_resume_without_improvement_stays_stopped(self):
+        model = self._model()
+        stopper = EarlyStopping(patience=1, mode="max")
+        stopper.step(0.5, model)
+        assert stopper.step(0.4, model)
+        assert stopper.step(0.4, model)
+        assert stopper.stopped
