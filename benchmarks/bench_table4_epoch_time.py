@@ -226,8 +226,9 @@ def generate_graph_epoch_benchmark() -> str:
                 "dtype": "float64"}]
     if GRAPH_EPOCH_JSON.exists():
         prior = json.loads(GRAPH_EPOCH_JSON.read_text())
-        if "precision_ab" in prior:
-            payload["precision_ab"] = prior["precision_ab"]
+        for section in ("precision_ab", "sanitizer_ab", "capture_ab"):
+            if section in prior:
+                payload[section] = prior[section]
         history = prior.get("history", history)
     entry = {"commit": _current_commit(),
              "median_epoch_ms": round(median_ms, 1),
@@ -337,6 +338,163 @@ def generate_precision_ab() -> str:
     return "\n".join(lines)
 
 
+def generate_capture_ab() -> str:
+    """Interleaved capture off/on A/B on the steady PROTEINS epoch.
+
+    The on arm trains with ``TrainConfig(capture=True)``: after the mark
+    and capture visits, every step replays its recorded autograd tape
+    with gradient buffers drawn from the preallocated training arena.
+    ``profile_one_epoch`` re-seeds its chunk permutation, so the same
+    (batch, structure) keys recur every epoch and replay engages from the
+    third visit on — the warmup below runs exactly those visits so the
+    measured epochs are all replays.  Rounds alternate off/on so the
+    machine's wall-clock drift hits both arms equally; the paired
+    per-round ratio is the headline figure.  Alongside the timings this
+    records the replayed step's per-phase breakdown, the capture/arena
+    counters, and the zero-steady-state-allocation evidence (the arena's
+    ``allocations`` counter must not move across the measured epochs).
+    Medians land in the ``capture_ab`` section of
+    ``BENCH_graph_epoch.json`` and the on-arm median is appended to the
+    per-commit ``history`` trajectory.
+    """
+    try:
+        import resource
+
+        def minor_faults():
+            return resource.getrusage(resource.RUSAGE_SELF).ru_minflt
+    except ImportError:          # non-POSIX: skip the fault counters
+        def minor_faults():
+            return 0
+
+    rounds = 1 if is_smoke() else 3
+    epochs_per_round = 2 if is_smoke() else 3
+    data = load_graph_dataset("proteins", seed=0)
+    arms = {}
+    for name, capture in (("off", False), ("on", True)):
+        arms[name] = {
+            "trainer": GraphClassificationTrainer(
+                TrainConfig(epochs=1, batch_size=32, seed=0,
+                            capture=capture)),
+            "model": make_graph_classifier("adamgnn", data.num_features, 2,
+                                           seed=0),
+            "round_medians": [],
+            "round_faults": [],
+        }
+
+    def epoch_ms(arm):
+        seconds, phases = arm["trainer"].profile_one_epoch(arm["model"],
+                                                           data)
+        arm["phases"] = phases
+        return seconds * 1000.0
+
+    # Warm the off arm past the cold epoch, and the on arm past its mark
+    # (1st visit) and capture (2nd visit) epochs so every measured epoch
+    # replays a recorded tape.  Then keep warming the on arm until the
+    # arena settles — one full epoch with zero new allocations — so the
+    # measured epochs run against a fully preallocated arena.  (The
+    # learned selection's size drift can cross a size-class boundary
+    # after settling; that costs O(1) buffers ever, which the acceptance
+    # bound tolerates.)
+    epoch_ms(arms["off"])
+    for _ in range(3):
+        epoch_ms(arms["on"])
+
+    def tape_stats():
+        return arms["on"]["trainer"].cache_stats()["training_tape"]
+
+    assert tape_stats()["hits"] > 0, "replay did not engage during warmup"
+    warm_epochs, clean_epochs = 3, 0
+    allocs_at_steady = tape_stats()["arena_allocations"]
+    for _ in range(12):
+        epoch_ms(arms["on"])
+        warm_epochs += 1
+        now = tape_stats()["arena_allocations"]
+        clean_epochs = clean_epochs + 1 if now == allocs_at_steady else 0
+        allocs_at_steady = now
+        if clean_epochs >= 2:
+            break
+
+    for _ in range(rounds):
+        for arm in arms.values():
+            faults_before = minor_faults()
+            arm["round_medians"].append(statistics.median(
+                epoch_ms(arm) for _ in range(epochs_per_round)))
+            arm["round_faults"].append(
+                (minor_faults() - faults_before) / epochs_per_round)
+
+    off_ms = statistics.median(arms["off"]["round_medians"])
+    on_ms = statistics.median(arms["on"]["round_medians"])
+    off_faults = statistics.median(arms["off"]["round_faults"])
+    on_faults = statistics.median(arms["on"]["round_faults"])
+    paired = [off / on for off, on in zip(arms["off"]["round_medians"],
+                                          arms["on"]["round_medians"])]
+    stats = arms["on"]["trainer"].cache_stats()["training_tape"]
+    steady_allocs = stats["arena_allocations"] - allocs_at_steady
+
+    payload = {
+        "environment": _environment(
+            arms["on"]["trainer"].config.dtype),
+        "protocol": (f"interleaved A/B, {rounds} rounds, median of "
+                     f"{epochs_per_round} steady epochs per round per arm "
+                     f"(cold/mark/capture epochs excluded; on arm warmed "
+                     f"{warm_epochs} epochs until the arena settled); "
+                     f"smoke={is_smoke()}"),
+        "off_round_medians_ms": [round(v, 1) for v in
+                                 arms["off"]["round_medians"]],
+        "on_round_medians_ms": [round(v, 1) for v in
+                                arms["on"]["round_medians"]],
+        "off_median_ms": round(off_ms, 1),
+        "on_median_ms": round(on_ms, 1),
+        "paired_round_speedups": [round(r, 2) for r in paired],
+        "capture_speedup": round(off_ms / on_ms, 2),
+        # Minor page faults per epoch (RUSAGE_SELF): the drift-immune
+        # signal of what the arena removes — every fresh >=128 KiB NumPy
+        # allocation is an mmap whose pages fault in on first touch.
+        "off_minor_faults_per_epoch": round(off_faults),
+        "on_minor_faults_per_epoch": round(on_faults),
+        "replayed_phase_ms": {
+            name: round(seconds * 1000.0, 2)
+            for name, seconds in sorted(arms["on"]["phases"].items(),
+                                        key=lambda kv: -kv[1])},
+        "capture_stats": stats,
+        # Arena allocations across all measured epochs: 0 means every
+        # gradient/forward buffer came out of the preallocated arena.
+        "steady_state_arena_allocations": steady_allocs,
+    }
+    _merge_into_json("capture_ab", payload)
+
+    # Extend the per-commit trajectory with the captured-arm figure so
+    # the history reads as "what a default (capture-on) epoch costs".
+    contents = json.loads(GRAPH_EPOCH_JSON.read_text())
+    history = contents.setdefault("history", [])
+    entry = {"commit": _current_commit(), "median_epoch_ms": round(on_ms, 1),
+             "dtype": arms["on"]["trainer"].config.dtype, "capture": True}
+    if history and history[-1].get("commit") == entry["commit"] \
+            and history[-1].get("capture"):
+        history[-1] = entry
+    else:
+        history.append(entry)
+    GRAPH_EPOCH_JSON.write_text(json.dumps(contents, indent=2) + "\n")
+
+    lines = [
+        f"capture off:           {off_ms:8.1f} ms/epoch  "
+        f"rounds {payload['off_round_medians_ms']}",
+        f"capture on (replay):   {on_ms:8.1f} ms/epoch  "
+        f"rounds {payload['on_round_medians_ms']}",
+        f"capture speedup:       {off_ms / on_ms:8.2f}x  "
+        f"(paired per round: {payload['paired_round_speedups']})",
+        f"minor faults/epoch:    off {off_faults:8.0f}   on "
+        f"{on_faults:8.0f}",
+        f"replay: {stats['hits']} hits, {stats['fallbacks']} fallbacks, "
+        f"{stats['entries']} tapes, {stats['tape_nodes']} nodes, "
+        f"grad arena {stats['grad_arena_bytes'] / 1e6:.1f} MB",
+        f"steady-state arena allocations: {steady_allocs} "
+        f"(0 = fully preallocated)",
+        f"\nmachine-readable copy: {GRAPH_EPOCH_JSON.name} (capture_ab)",
+    ]
+    return "\n".join(lines)
+
+
 def generate_sanitizer_ab() -> str:
     """Interleaved sanitizer on/off A/B on the steady PROTEINS epoch.
 
@@ -430,6 +588,20 @@ def test_graph_epoch_sanitizer_ab(benchmark):
     assert GRAPH_EPOCH_JSON.exists()
     section = json.loads(GRAPH_EPOCH_JSON.read_text())["sanitizer_ab"]
     assert section["zero_cost_off"] is True
+
+
+@pytest.mark.benchmark(group="table4")
+def test_graph_epoch_capture_ab(benchmark):
+    table = benchmark.pedantic(generate_capture_ab, rounds=1,
+                               iterations=1)
+    emit("Table 4 (supplement): capture off/on steady epoch", table)
+    assert table
+    assert GRAPH_EPOCH_JSON.exists()
+    section = json.loads(GRAPH_EPOCH_JSON.read_text())["capture_ab"]
+    assert section["capture_stats"]["fallbacks"] == 0
+    # 0 in the common case; a selection-drift size-class crossing after
+    # the settle loop may add O(1) buffers across all measured epochs.
+    assert section["steady_state_arena_allocations"] <= 8
 
 
 @pytest.mark.benchmark(group="table4")

@@ -2,13 +2,15 @@
 
 The repo's load-bearing invariants (dtype stability, grad-mode purity,
 arena aliasing rules, fused-kernel/VJP correspondence) are enforced by
-convention in code review; this module makes four of them mechanical:
+convention in code review; this module makes five of them mechanical:
 
 ========  ==========================================================
 RL001     dtype-literal escapes bypassing ``precision.resolve_dtype``
 RL002     fused ops with custom VJPs lacking a gradcheck
 RL003     workspace arena buffers escaping their replay step
 RL004     in-place mutation of tensor storage outside sanctioned sites
+RL005     backward closures / tape records retaining arena slots
+          across training-arena generations
 ========  ==========================================================
 
 Usage (library)::

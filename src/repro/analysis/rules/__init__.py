@@ -14,13 +14,14 @@ from .dtype_literals import DtypeLiteralRule
 from .vjp_registry import VJPRegistryRule
 from .arena_escape import ArenaEscapeRule
 from .inplace_mutation import InplaceMutationRule
+from .closure_retention import ClosureRetentionRule
 
 __all__ = ["Finding", "Rule", "SourceFile", "DtypeLiteralRule",
            "VJPRegistryRule", "ArenaEscapeRule", "InplaceMutationRule",
-           "default_rules"]
+           "ClosureRetentionRule", "default_rules"]
 
 
 def default_rules() -> List[Rule]:
     """Fresh instances of every shipped rule, in id order."""
     return [DtypeLiteralRule(), VJPRegistryRule(), ArenaEscapeRule(),
-            InplaceMutationRule()]
+            InplaceMutationRule(), ClosureRetentionRule()]

@@ -116,7 +116,7 @@ def _poisoning_begin(self) -> None:
     # poisoning them turns any use-after-advance read into a NaN the
     # _make_child detector reports (kernels that honour the arena
     # contract fully overwrite their slots and never see the poison).
-    for buf in self._slots:
+    for buf in self._buffers():
         if buf.dtype.kind == "f":
             buf.fill(np.nan)
     _ORIG_BEGIN(self)

@@ -20,6 +20,7 @@ import numpy as np
 
 from ..tensor import (ACCUM_DTYPE, Tensor, clip, gather_rows, log, pair_dot,
                       sigmoid, square_norm)
+from ..tensor import workspace as _ws
 from ..nn.losses import binary_cross_entropy_with_logits
 
 
@@ -97,20 +98,27 @@ def self_optimisation_loss(h: Tensor, ego_ids: np.ndarray,
     ego_h = data[ego_ids]                                     # (m, d)
     node_sq = np.einsum("ij,ij->i", data, data)               # (n,)
     ego_sq = node_sq[ego_ids]                                 # (m,)
-    raw = data @ ego_h.T                                      # (n, m)
+    # The five (n, m) stages below are the loss's whole footprint; all of
+    # them (and the backward's gh) draw from the training arena when one
+    # is active, so a captured step runs this loss allocation-free.
+    m = ego_ids.shape[0]
+    raw = np.matmul(data, ego_h.T,
+                    out=_ws.ws_out((n, m), data.dtype))       # (n, m)
     raw *= -2.0
     raw += node_sq[:, None]
     raw += ego_sq[None, :]
-    kernel = np.maximum(raw, 0.0)                             # distances
+    kernel = np.maximum(raw, 0.0,
+                        out=_ws.ws_out((n, m), raw.dtype))    # distances
     kernel *= 1.0 / mu
     kernel += 1.0
     np.reciprocal(kernel, out=kernel)                         # (1+d/μ)^{-1}
     denom = kernel.sum(axis=1, keepdims=True)                 # > 0 always
-    q = kernel / denom
+    q = np.divide(kernel, denom,
+                  out=_ws.ws_out((n, m), kernel.dtype))
     # Target distribution (Eq. 5) inlined so its intermediates feed the
     # loss identity below: p = (q²/g) / rowsum with g the soft frequency.
     freq = np.maximum(q.sum(axis=0, keepdims=True), 1e-12)    # (1, m)
-    p = q * q
+    p = np.multiply(q, q, out=_ws.ws_out((n, m), q.dtype))
     p /= freq
     rowsum = np.maximum(p.sum(axis=1, keepdims=True), 1e-12)  # (n, 1)
     p /= rowsum
@@ -118,7 +126,7 @@ def self_optimisation_loss(h: Tensor, ego_ids: np.ndarray,
     # to 1), so a single (n, m) logarithm serves both KL terms:
     # Σ p log p − Σ p log q = Σ p log q − Σ_j colp_j log g_j − Σ_i log s_i.
     # q ≤ 1 by construction, so clip(q, 1e-12, 1) is just a lower floor.
-    log_q = np.maximum(q, 1e-12)
+    log_q = np.maximum(q, 1e-12, out=_ws.ws_out((n, m), q.dtype))
     np.log(log_q, out=log_q)
     # The three scalar KL reductions accumulate in ACCUM_DTYPE whatever the
     # compute dtype — thousands of small signed terms cancel here, and
@@ -155,7 +163,8 @@ def self_optimisation_loss(h: Tensor, ego_ids: np.ndarray,
         # raw_ij = |h_i|² + |e_j|² − 2·cross_ij.
         row_gd = gd.sum(axis=1)
         col_gd = gd.sum(axis=0)
-        gh = gd @ ego_h                                       # via cross, h
+        gh = np.matmul(gd, ego_h,                             # via cross, h
+                       out=_ws.ws_out(data.shape, gd.dtype))
         gh *= -2.0
         gh += (2.0 * row_gd)[:, None] * data                  # via node_sq
         ge = gd.T @ data                                      # via cross, e
@@ -291,6 +300,20 @@ def sampled_reconstruction_loss(h: Tensor, edge_index: np.ndarray,
     return _pair_bce_fused(h, positives, negatives)
 
 
+def _pair_ids(pairs: np.ndarray):
+    """Flat ``[u..., v...]`` ids of a ``(2, P)`` pair array, identity-stable.
+
+    C-contiguous pair arrays (composed batch edge lists, freshly stacked
+    negative samples) flatten to a zero-copy view over the same memory, so
+    the pointer-keyed segment-plan cache keeps hitting for a stable pair
+    list; strided views go through the pinned concatenation cache instead.
+    """
+    if pairs.flags["C_CONTIGUOUS"]:
+        return pairs.reshape(-1)
+    from ..tensor import _segment_plans as _plans
+    return _plans.joined_pair_ids(pairs[0], pairs[1])
+
+
 def _pair_bce_fused(h: Tensor, positives: np.ndarray,
                     negatives: np.ndarray) -> Tensor:
     """One autograd node for the sampled decoder BCE.
@@ -300,23 +323,29 @@ def _pair_bce_fused(h: Tensor, positives: np.ndarray,
     edge list), while the fusion drops the concat node, the two pair-dot
     nodes and their retained ``(P, d)`` gathers from the graph.  The
     backward pushes the BCE residual ``σ(logit) − target`` straight into
-    the four scatters of the pair-dot VJPs.
+    the pair-dot VJP scatters — one fused scatter per pair list over the
+    flattened ``[u, v]`` ids, reusing the forward's gathered rows and
+    ``e^{−|logit|}`` instead of recomputing them.  The negative ids are
+    fresh every step, so halving their plan builds (and keeping the
+    positive plan on one cached identity) is the dominant saving.
     """
     from ..tensor import _segment_plans as _plans
     data = h.data
     n = data.shape[0]
     pu, pv = positives[0], positives[1]
     nu, nv = negatives[0], negatives[1]
-    pos_logits = np.einsum("ij,ij->i", data[pu], data[pv])
-    neg_logits = np.einsum("ij,ij->i", data[nu], data[nv])
+    xpu, xpv = data[pu], data[pv]
+    xnu, xnv = data[nu], data[nv]
+    pos_logits = np.einsum("ij,ij->i", xpu, xpv)
+    neg_logits = np.einsum("ij,ij->i", xnu, xnv)
     count = pos_logits.shape[0] + neg_logits.shape[0]
+    ep = np.exp(-np.abs(pos_logits))
+    en = np.exp(-np.abs(neg_logits))
     # Stable softplus forms: BCE(x, 1) = max(x,0) − x + log1p(e^{−|x|}),
     # BCE(x, 0) = max(x,0) + log1p(e^{−|x|}) — identical to the fused
     # binary_cross_entropy_with_logits on the concatenated logits.
-    pos_term = (np.maximum(pos_logits, 0.0) - pos_logits
-                + np.log1p(np.exp(-np.abs(pos_logits))))
-    neg_term = (np.maximum(neg_logits, 0.0)
-                + np.log1p(np.exp(-np.abs(neg_logits))))
+    pos_term = np.maximum(pos_logits, 0.0) - pos_logits + np.log1p(ep)
+    neg_term = np.maximum(neg_logits, 0.0) + np.log1p(en)
     # Pair-BCE accumulates its scalar sums in ACCUM_DTYPE (cast at the
     # boundary) — one of the precision-policy's accumulation exceptions.
     out_data = np.asarray((pos_term.sum(dtype=ACCUM_DTYPE)
@@ -325,20 +354,20 @@ def _pair_bce_fused(h: Tensor, positives: np.ndarray,
 
     def backward(grad: np.ndarray) -> None:
         scale = float(grad) / count
-        ep = np.exp(-np.abs(pos_logits))
         sig_p = np.where(pos_logits >= 0, 1.0, ep) / (1.0 + ep)
-        en = np.exp(-np.abs(neg_logits))
         sig_n = np.where(neg_logits >= 0, 1.0, en) / (1.0 + en)
         rp = ((sig_p - 1.0) * scale)[:, None]
         rn = (sig_n * scale)[:, None]
-        tmp = rp * data[pv]
-        gh = _plans.scatter_add_rows(tmp, pu, n)
-        np.multiply(rp, data[pu], out=tmp)
-        gh += _plans.scatter_add_rows(tmp, pv, n)
-        tmp = rn * data[nv]
-        gh += _plans.scatter_add_rows(tmp, nu, n)
-        np.multiply(rn, data[nu], out=tmp)
-        gh += _plans.scatter_add_rows(tmp, nv, n)
+        p = pos_logits.shape[0]
+        vals = _ws.ws_empty((2 * p,) + data.shape[1:], rp.dtype)
+        np.multiply(rp, xpv, out=vals[:p])
+        np.multiply(rp, xpu, out=vals[p:])
+        gh = _plans.scatter_add_rows(vals, _pair_ids(positives), n)
+        q = neg_logits.shape[0]
+        vals = _ws.ws_empty((2 * q,) + data.shape[1:], rn.dtype)
+        np.multiply(rn, xnv, out=vals[:q])
+        np.multiply(rn, xnu, out=vals[q:])
+        gh += _plans.scatter_add_rows(vals, _pair_ids(negatives), n)
         h._accumulate(gh)
 
     return h._make_child(out_data, (h,), backward)

@@ -182,7 +182,9 @@ class AdamGNN(Module):
                 break
             with profile_phase("normalize"):
                 # Purely structural given the level's connectivity, so a
-                # serving arena replays it with the captured edges.
+                # serving arena replays it with the captured edges; in
+                # training the pooled weights move with the fitness and
+                # this renormalises fresh every step.
                 norm_e, norm_w = ws_captured(
                     lambda: normalize_edges(level.edge_index,
                                             level.edge_weight, m))

@@ -178,7 +178,8 @@ class AdaptiveGraphPooling(Module):
                     lambda: one_hop_neighbors(edge_index, n)))
             else:
                 # Pooled-level structure: fresh every training step (it
-                # tracks the learned fitness), but captured by a serving
+                # tracks the learned fitness — training arenas leave
+                # ws_captured as a passthrough), but captured by a serving
                 # arena — for a frozen model it is a pure function of the
                 # batch, so replays skip the sparse reachability products.
                 egos = ws_captured(
@@ -192,8 +193,12 @@ class AdaptiveGraphPooling(Module):
             # The selection outcome is the data-dependent control flow of
             # the forward; a serving arena records it (with the assembled
             # S_k and the per-node fitness diagnostic, neither of which
-            # carries gradient) and replays the same Assignment —
-            # identical by determinism while the parameters stay frozen.
+            # carries gradient for a frozen model) and replays the same
+            # Assignment.  In training the selection moves with the
+            # learned fitness every step — and the unpooling path
+            # differentiates through ``assignment.values`` — so the stage
+            # runs fresh per step (training arenas pass ws_captured
+            # through).
             def _select():
                 phi_nodes = segment_mean(phi_pairs.reshape(-1, 1), egos.ego,
                                          egos.num_nodes).reshape(-1)
@@ -205,9 +210,9 @@ class AdaptiveGraphPooling(Module):
         with profile_phase("hyper_features"):
             x_k = self.features(h, phi_pairs, egos, assignment)
         with profile_phase("connectivity"):
-            # Detached even in training (gradient flows through the feature
-            # and unpooling paths only), so replaying the captured product
-            # changes no value anywhere.
+            # Detached for a frozen model, so a serving replay changes no
+            # value anywhere; in training the weights of A_k track the
+            # learned fitness, so the sparse product reruns every step.
             new_edges, new_weight = ws_captured(
                 lambda: hyper_graph_connectivity(assignment, edge_index,
                                                  edge_weight))

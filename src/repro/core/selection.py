@@ -84,17 +84,30 @@ def select_egos(phi_nodes: np.ndarray, neighbors: EgoNetworks,
     return np.flatnonzero(~loses & has_members)
 
 
-def build_assignment(phi_pairs: Tensor, egos: EgoNetworks,
-                     selected: np.ndarray) -> Assignment:
-    """Assemble ``S_k`` from the selected ego-networks.
+@dataclass
+class AssignmentStructure:
+    """Plain-array skeleton of ``S_k`` — a pure function of the selection.
 
-    Entries (Section 3.2):
-
-    * ``S[j, col(i)] = φ_ij`` for every member j of a selected ego-network i
-      (members may appear in several overlapping ego-networks);
-    * ``S[i, col(i)] = 1`` for the ego itself (its own relation strength);
-    * ``S[r, col(r)] = 1`` for every retained node r.
+    Everything in here is detached topology: training arenas capture one
+    instance per step plan and replay it (stable array identities keep the
+    identity-keyed segment plans hot), while the gradient-carrying values
+    are re-assembled from the live ``φ`` tensor every step by
+    :func:`assemble_assignment`.
     """
+
+    pair_idx: np.ndarray    #: indices of the selected ego-network pairs
+    rows: np.ndarray
+    cols: np.ndarray
+    selected: np.ndarray
+    retained: np.ndarray
+    seed_of_col: np.ndarray
+    num_nodes: int
+    num_hyper: int
+
+
+def assignment_structure(egos: EgoNetworks,
+                         selected: np.ndarray) -> AssignmentStructure:
+    """The detached COO skeleton of ``S_k`` for one selection outcome."""
     n = egos.num_nodes
     selected = np.asarray(selected, dtype=np.int64)
     is_selected = np.zeros(n, dtype=bool)
@@ -103,9 +116,9 @@ def build_assignment(phi_pairs: Tensor, egos: EgoNetworks,
     col_of_ego[selected] = np.arange(selected.shape[0])
 
     pair_mask = is_selected[egos.ego]
-    member_rows = egos.member[pair_mask]
-    member_cols = col_of_ego[egos.ego[pair_mask]]
-    member_values = phi_pairs[np.flatnonzero(pair_mask)]
+    pair_idx = np.flatnonzero(pair_mask)
+    member_rows = egos.member[pair_idx]
+    member_cols = col_of_ego[egos.ego[pair_idx]]
 
     # A node is absorbed when it belongs to any selected ego-network —
     # as a member or as the ego itself.
@@ -122,16 +135,49 @@ def build_assignment(phi_pairs: Tensor, egos: EgoNetworks,
 
     rows = np.concatenate([member_rows, ego_rows, retained_rows])
     cols = np.concatenate([member_cols, ego_cols, retained_cols])
+    seed_of_col = np.concatenate([selected, retained])
+    return AssignmentStructure(pair_idx=pair_idx, rows=rows, cols=cols,
+                               selected=selected, retained=retained,
+                               seed_of_col=seed_of_col, num_nodes=n,
+                               num_hyper=num_hyper)
+
+
+def assemble_assignment(phi_pairs: Tensor,
+                        structure: AssignmentStructure) -> Assignment:
+    """Attach the gradient-carrying values to an ``S_k`` skeleton.
+
+    The fancy-index gather and the concat are live autograd ops, so the
+    loss gradient reaches the fitness scores through ``values`` (the
+    unpooling path consumes them, Section 3.3).
+    """
     dtype = phi_pairs.data.dtype
-    ones = Tensor(np.ones(ego_rows.shape[0] + retained_rows.shape[0],
-                          dtype=dtype), dtype=dtype)
+    ones = Tensor(np.ones(structure.selected.shape[0]
+                          + structure.retained.shape[0], dtype=dtype),
+                  dtype=dtype)
+    member_values = phi_pairs[structure.pair_idx]
     values = (concat([member_values, ones])
               if member_values.shape[0] else ones)
-    seed_of_col = np.concatenate([selected, retained])
-    return Assignment(rows=rows, cols=cols, values=values,
-                      num_nodes=n, num_hyper=num_hyper,
-                      selected=selected, retained=retained,
-                      seed_of_col=seed_of_col)
+    return Assignment(rows=structure.rows, cols=structure.cols,
+                      values=values, num_nodes=structure.num_nodes,
+                      num_hyper=structure.num_hyper,
+                      selected=structure.selected,
+                      retained=structure.retained,
+                      seed_of_col=structure.seed_of_col)
+
+
+def build_assignment(phi_pairs: Tensor, egos: EgoNetworks,
+                     selected: np.ndarray) -> Assignment:
+    """Assemble ``S_k`` from the selected ego-networks.
+
+    Entries (Section 3.2):
+
+    * ``S[j, col(i)] = φ_ij`` for every member j of a selected ego-network i
+      (members may appear in several overlapping ego-networks);
+    * ``S[i, col(i)] = 1`` for the ego itself (its own relation strength);
+    * ``S[r, col(r)] = 1`` for every retained node r.
+    """
+    return assemble_assignment(phi_pairs, assignment_structure(egos,
+                                                               selected))
 
 
 #: LRU of self-looped adjacency matrices keyed by memory identity of

@@ -34,29 +34,52 @@ class Adam(Optimizer):
         # training.  For float64 parameters this is np.zeros_like as before.
         self._v = [np.zeros(p.data.shape, dtype=ACCUM_DTYPE)
                    for p in self.params]
+        # Per-parameter scratch (compute dtype + ACCUM dtype): the step
+        # runs every training iteration, and the expression form allocated
+        # seven temporaries per parameter per step.  The fused form below
+        # writes through these two buffers and updates the parameter in
+        # place — same operation sequence, same dtypes, bitwise-identical
+        # values, zero steady-state allocations.
+        self._scratch = [np.empty_like(p.data) for p in self.params]
+        self._scratch2 = [np.empty_like(p.data) for p in self.params]
+        self._scratch_accum = [np.empty(p.data.shape, dtype=ACCUM_DTYPE)
+                               for p in self.params]
 
     def step(self) -> None:
         self._step += 1
         bias1 = 1.0 - self.beta1 ** self._step
         bias2 = 1.0 - self.beta2 ** self._step
-        for param, m, v in zip(self.params, self._m, self._v):
+        for param, m, v, s, s2, sa in zip(self.params, self._m, self._v,
+                                          self._scratch, self._scratch2,
+                                          self._scratch_accum):
             if param.grad is None:
                 continue
             grad = param.grad
             if self.weight_decay:
-                grad = grad + self.weight_decay * param.data
+                # grad + wd·param, formed in scratch (same evaluation
+                # order as the expression it replaces).
+                np.multiply(param.data, self.weight_decay, out=s)
+                np.add(grad, s, out=s)
+                grad = s
             m *= self.beta1
-            m += (1.0 - self.beta1) * grad
+            np.multiply(grad, 1.0 - self.beta1, out=s2)
+            m += s2
             v *= self.beta2
-            v += (1.0 - self.beta2) * grad * grad
-            m_hat = m / bias1
-            v_hat = v / bias2
-            # v_hat is float64, so the whole step is formed in float64 and
-            # cast once at the parameter boundary (a no-op for float64
-            # parameters — bitwise identical to the pre-policy update).
-            step = self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
-            param.data = param.data - step.astype(param.data.dtype,
-                                                  copy=False)
+            np.multiply(grad, 1.0 - self.beta2, out=s2)
+            s2 *= grad
+            v += s2
+            # step = lr·(m/bias1) / (sqrt(v/bias2) + eps); v/bias2 is
+            # float64, so the division is formed in float64 and cast once
+            # at the parameter boundary (a no-op for float64 parameters).
+            # ``grad`` (possibly aliasing ``s``) is dead from here on.
+            np.divide(v, bias2, out=sa)
+            np.sqrt(sa, out=sa)
+            sa += self.eps
+            np.divide(m, bias1, out=s)
+            np.multiply(s, self.lr, out=s)
+            np.divide(s, sa, out=sa)
+            np.copyto(s, sa, casting="unsafe")
+            np.subtract(param.data, s, out=param.data)
 
 
 class AdamW(Adam):

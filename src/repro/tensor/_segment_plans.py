@@ -124,23 +124,27 @@ class SegmentReductionPlan:
                                        minlength=self.num_segments)
         return self._counts
 
-    def scatter_for(self, dtype: np.dtype) -> sp.csr_matrix:
-        """``(num_segments, len(ids))`` CSR selector in ``dtype``.
+    def scatter_for(self, dtype: np.dtype) -> Tuple[np.ndarray, np.ndarray,
+                                                    np.ndarray]:
+        """``(indptr, indices, data)`` of the CSR selector in ``dtype``.
 
-        A sparse-dense product with this matrix is the fastest segment-sum
-        for wide 2-D values (single C pass, no (P, d) gather materialised).
-        Built lazily per dtype — the raw C kernel requires the matrix data
-        and the dense operand to agree — with the index structure shared
-        between the float32 and float64 variants.
+        A sparse-dense product with this selector is the fastest
+        segment-sum for wide 2-D values (single C pass, no (P, d) gather
+        materialised).  Built lazily per dtype — the raw C kernel requires
+        the matrix data and the dense operand to agree — with the index
+        structure shared between the float32 and float64 variants.  Stored
+        as bare arrays rather than an ``sp.csr_matrix``: the constructor
+        re-derives index dtypes (a content scan) and re-validates the
+        format on every build, which is measurable when fresh ids (one
+        negative-sample scatter per training step) build a plan each step.
         """
         key = np.dtype(dtype).char
-        matrix = self._scatter.get(key)
-        if matrix is None:
+        triple = self._scatter.get(key)
+        if triple is None:
             p = self.ids.shape[0]
             if self._scatter:
                 # Reuse the structure arrays of an existing variant.
-                existing = next(iter(self._scatter.values()))
-                indices, indptr = existing.indices, existing.indptr
+                indptr, indices, _ = next(iter(self._scatter.values()))
             else:
                 # The plan already holds the CSR structure: row s of the
                 # selector covers positions ``order[indptr[s]:indptr[s+1]]``
@@ -149,20 +153,24 @@ class SegmentReductionPlan:
                 indptr = np.zeros(self.num_segments + 1, dtype=np.int64)
                 np.cumsum(self.counts, out=indptr[1:])
                 indices = self.order
-            matrix = sp.csr_matrix((np.ones(p, dtype=dtype), indices,
-                                    indptr), shape=(self.num_segments, p))
-            self._scatter[key] = matrix
-        return matrix
+            triple = (indptr, indices, np.ones(p, dtype=dtype))
+            self._scatter[key] = triple
+        return triple
 
     @property
     def scatter_matrix(self) -> sp.csr_matrix:
-        """Back-compat alias: the float64 selector."""
-        return self.scatter_for(np.float64)
+        """Back-compat alias: the float64 selector as a real CSR matrix."""
+        indptr, indices, data = self.scatter_for(np.float64)
+        return sp.csr_matrix((data, indices, indptr),
+                             shape=(self.num_segments, self.ids.shape[0]))
 
     def _csr_sum(self, values: np.ndarray, dtype: np.dtype) -> np.ndarray:
-        matrix = self.scatter_for(dtype)
+        indptr, indices, data = self.scatter_for(dtype)
         dense = np.ascontiguousarray(values, dtype=dtype)
         if _sptools is None:  # pragma: no cover - without scipy internals
+            matrix = sp.csr_matrix((data, indices, indptr),
+                                   shape=(self.num_segments,
+                                          self.ids.shape[0]))
             return np.asarray(matrix @ dense, dtype=dtype)
         # Direct kernel call: scipy's ``@`` re-derives index dtypes
         # and re-validates shapes on every product, which is
@@ -172,7 +180,6 @@ class SegmentReductionPlan:
         # np.zeros.
         out = _ws.ws_zeros((self.num_segments, dense.shape[1]), dtype)
         n_rows, n_vecs = dense.shape
-        indptr, indices, data = matrix.indptr, matrix.indices, matrix.data
         plan = _parallel.chunk_plan(self.num_segments)
         if plan is None:
             _sptools.csr_matvecs(self.num_segments, n_rows, n_vecs,
@@ -287,6 +294,34 @@ def scatter_add_rows(values: np.ndarray, ids: np.ndarray,
     return plan_for(ids, num_rows).sum(values)
 
 
+#: Concatenated id arrays per (ids_a, ids_b) identity pair, LRU-bounded.
+#: Entries pin both sources, which keeps the pointer-based keys valid.
+_PAIR_IDS_CACHE: "OrderedDict[Tuple, Tuple]" = OrderedDict()
+_PAIR_IDS_CAPACITY = 256
+
+
+def joined_pair_ids(ids_a: np.ndarray, ids_b: np.ndarray) -> np.ndarray:
+    """``np.concatenate([ids_a, ids_b])`` with identity-stable caching.
+
+    The paired-gather backwards (``pair_dot``, the sampled-BCE decoder)
+    scatter two value blocks into the same output rows; reducing over the
+    concatenated ids does both in one plan sweep.  Caching the
+    concatenation per source-identity pair keeps the joined array's own
+    identity — and therefore its reduction plan and CSR selector — stable
+    across training steps whenever the sources are stable.
+    """
+    key = _array_key(ids_a) + _array_key(ids_b)
+    hit = _PAIR_IDS_CACHE.get(key)
+    if hit is not None:
+        _PAIR_IDS_CACHE.move_to_end(key)
+        return hit[2]
+    joined = np.concatenate([ids_a, ids_b])
+    _PAIR_IDS_CACHE[key] = (ids_a, ids_b, joined)
+    if len(_PAIR_IDS_CACHE) > _PAIR_IDS_CAPACITY:
+        _PAIR_IDS_CACHE.popitem(last=False)
+    return joined
+
+
 def plan_cache_stats() -> Tuple[int, int, int]:
     """``(hits, misses, live_entries)`` — diagnostics for tests/benches."""
     return _HITS, _MISSES, len(_CACHE)
@@ -306,6 +341,7 @@ def clear_plan_cache() -> None:
     """Drop all cached plans (releases the pinned ids arrays)."""
     global _HITS, _MISSES, _EVICTIONS
     _CACHE.clear()
+    _PAIR_IDS_CACHE.clear()
     _HITS = 0
     _MISSES = 0
     _EVICTIONS = 0

@@ -182,14 +182,29 @@ def leaky_relu_project(x: ArrayLike, a: Tensor,
 
     def backward(grad: np.ndarray) -> None:
         if x.requires_grad:
+            # The slope factor stays in the compute dtype: python-float
+            # operands would materialise a float64 (n, d) factor and run
+            # the multiply off the float32 fast path, doubling the memory
+            # traffic of the hottest backward in the attention stack.
+            dt = x.data.dtype.type
+            slope = dt(negative_slope)
             if plan is None:
-                gact = (grad[:, None] * a.data[None, :] if a.data.ndim == 1
-                        else grad @ a.data.T)
-                factor = np.where(x.data > 0, 1.0, negative_slope)
-                gact *= factor
+                gact = _ws.ws_empty(x.data.shape,
+                                    np.result_type(grad, a.data))
+                if a.data.ndim == 1:
+                    np.multiply(grad[:, None], a.data[None, :], out=gact)
+                else:
+                    np.matmul(grad, a.data.T, out=gact)
+                # Masked in-place scale instead of multiplying by a dense
+                # where(mask, 1, slope) factor: the positive entries need
+                # no touch at all (x·1 is bitwise x), so this runs one
+                # selective pass instead of materialising an (n, d)
+                # factor and streaming it through a full multiply.
+                np.multiply(gact, slope, out=gact, where=x.data <= 0)
                 x._accumulate(gact)
             else:
-                gact = np.empty_like(x.data)
+                gact = _ws.ws_empty(x.data.shape,
+                                    np.result_type(grad, a.data))
                 at = a.data if a.data.ndim == 1 else a.data.T
 
                 def backward_block(start: int, stop: int) -> None:
@@ -199,8 +214,8 @@ def leaky_relu_project(x: ArrayLike, a: Tensor,
                                     out=blk)
                     else:
                         np.matmul(grad[start:stop], at, out=blk)
-                    blk *= np.where(x.data[start:stop] > 0, 1.0,
-                                    negative_slope)
+                    np.multiply(blk, slope, out=blk,
+                                where=x.data[start:stop] <= 0)
 
                 _parallel.run_chunked(backward_block, plan)
                 x._accumulate(gact)
@@ -452,17 +467,18 @@ def affine(x: ArrayLike, weight: Tensor, bias: Optional[Tensor]) -> Tensor:
 
     def backward(grad: np.ndarray) -> None:
         if x.requires_grad:
+            gx = _ws.ws_empty(x.data.shape,
+                              np.result_type(grad, weight.data))
             if plan is None:
-                x._accumulate(grad @ weight.data.T)
+                np.matmul(grad, weight.data.T, out=gx)
             else:
-                gx = np.empty_like(x.data)
                 wt = weight.data.T
 
                 def backward_block(start: int, stop: int) -> None:
                     np.matmul(grad[start:stop], wt, out=gx[start:stop])
 
                 _parallel.run_chunked(backward_block, plan)
-                x._accumulate(gx)
+            x._accumulate(gx)
         if weight.requires_grad:
             weight._accumulate(x.data.T @ grad)
         if bias is not None and bias.requires_grad:
@@ -500,10 +516,17 @@ def pair_dot(x: ArrayLike, index_a: np.ndarray,
         g = grad[:, None]
         n = x.data.shape[0]
         if _plans.fast_kernels_enabled():
-            tmp = g * xb
-            gx = _plans.scatter_add_rows(tmp, idx_a, n)
-            np.multiply(g, xa, out=tmp)
-            gx += _plans.scatter_add_rows(tmp, idx_b, n)
+            # One scatter over the concatenated [a-ids, b-ids] instead of
+            # two over the halves: one plan/CSR sweep, one accumulator.
+            # The joined ids are identity-cached, so stable pair lists
+            # keep hitting one cached plan across steps.
+            p = idx_a.shape[0]
+            vals = _ws.ws_empty((2 * p,) + xb.shape[1:],
+                                np.result_type(g, xb))
+            np.multiply(g, xb, out=vals[:p])
+            np.multiply(g, xa, out=vals[p:])
+            gx = _plans.scatter_add_rows(
+                vals, _plans.joined_pair_ids(idx_a, idx_b), n)
         else:
             gx = np.zeros_like(x.data)
             np.add.at(gx, idx_a, g * xb)

@@ -169,10 +169,16 @@ def gather_scale_segment_sum(x: ArrayLike, gather_ids: np.ndarray,
     out_data = plan.sum(scaled)
 
     def backward(grad: np.ndarray) -> None:
-        pulled = grad[ids]
+        pulled = np.take(grad, ids, axis=0,
+                         out=_ws.ws_out((ids.shape[0],) + grad.shape[1:],
+                                        grad.dtype))
         if x.requires_grad:
+            vals = np.multiply(pulled, weights,
+                               out=_ws.ws_out(pulled.shape,
+                                              np.result_type(pulled,
+                                                             weights)))
             x._accumulate(_plans.scatter_add_rows(
-                pulled * weights, cols, x.data.shape[0]))
+                vals, cols, x.data.shape[0]))
         if scale.requires_grad:
             scale._accumulate(np.einsum("ij,ij->i", pulled, gathered))
 

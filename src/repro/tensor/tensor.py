@@ -27,6 +27,7 @@ import numpy as np
 from . import _grad_mode as _grad
 from . import _segment_plans as _plans
 from . import precision as _precision
+from .tape import _state as _tape_state
 
 Number = Union[int, float]
 ArrayLike = Union[Number, Sequence, np.ndarray, "Tensor"]
@@ -228,13 +229,25 @@ class Tensor:
         the result is a graph-free leaf and ``parents``/``backward`` are
         dropped (this is the single choke point every op flows through, so
         one check here covers plain ops and fused kernels alike).
+
+        The training-tape hook also lives here: with a
+        :class:`~repro.tensor.tape.TrainingTape` active on this thread,
+        grad-wired results are recorded in creation order (capture) or
+        served from the recording with their data rebound (replay) — see
+        the tape module for the replay contract.
         """
-        out = Tensor._from_data(np.asarray(data))
         if _grad.grad_enabled() and any(p.requires_grad for p in parents):
+            tape = _tape_state.active
+            if tape is not None and tape.mode == 2:  # TrainingTape.REPLAY
+                return tape._replay_node(data, backward)
+            out = Tensor._from_data(np.asarray(data))
             out.requires_grad = True
             out._parents = tuple(p for p in parents if p.requires_grad)
             out._backward = backward
-        return out
+            if tape is not None:
+                tape.nodes.append(out)
+            return out
+        return Tensor._from_data(np.asarray(data))
 
     def _accumulate(self, grad: np.ndarray) -> None:
         """Add ``grad`` into this tensor's gradient buffer.

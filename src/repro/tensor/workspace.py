@@ -64,7 +64,8 @@ import numpy as np
 
 from ._grad_mode import grad_enabled
 
-__all__ = ["Workspace", "use_workspace", "active_workspace",
+__all__ = ["Workspace", "use_workspace", "use_training_workspace",
+           "active_workspace", "training_arena_active",
            "ws_empty", "ws_zeros", "ws_out", "ws_captured"]
 
 
@@ -83,13 +84,19 @@ class Workspace:
         Number of requests served by reusing an existing slot buffer.
     """
 
-    __slots__ = ("_slots", "_cursor", "allocations", "hits",
+    __slots__ = ("_slots", "_cursor", "_buckets", "_bucket_cursor",
+                 "allocations", "hits",
                  "capture_structures", "_plan", "_plan_cursor",
-                 "structure_hits", "generation")
+                 "structure_hits", "generation", "training")
 
-    def __init__(self, capture_structures: bool = False) -> None:
+    def __init__(self, capture_structures: bool = False,
+                 training: bool = False) -> None:
         self._slots: List[np.ndarray] = []
         self._cursor: int = 0
+        #: training-arena storage: size-class buckets (see take()) with a
+        #: per-generation cursor into each bucket's buffer list.
+        self._buckets: dict = {}
+        self._bucket_cursor: dict = {}
         self.allocations: int = 0
         self.hits: int = 0
         #: forwards started on this arena; each begin() releases every slot
@@ -98,13 +105,23 @@ class Workspace:
         #: record/replay structural stage results (see module docstring);
         #: only sound for a frozen model served one fixed batch per arena.
         self.capture_structures = bool(capture_structures)
+        #: grad-enabled generation: one generation spans one whole training
+        #: step (forward + loss + backward), entered via
+        #: :func:`use_training_workspace`.  The slot cursor never rewinds
+        #: within a step, so every ``take()`` — forward intermediates *and*
+        #: gradient buffers — gets a distinct slot, and backward closures
+        #: from step *n* are dropped by the tape before step *n+1* begins
+        #: a new generation (replint RL005 polices retention).
+        self.training = bool(training)
         self._plan: List = []
         self._plan_cursor: int = 0
         self.structure_hits: int = 0
 
     def begin(self) -> None:
-        """Rewind the slot cursor — call before each forward."""
+        """Rewind the slot cursors — call before each forward/step."""
         self._cursor = 0
+        if self._bucket_cursor:
+            self._bucket_cursor.clear()
         self._plan_cursor = 0
         self.generation += 1
 
@@ -133,8 +150,60 @@ class Workspace:
         self._plan.append(value)
         return value
 
+    #: training-arena service floor, in *elements*: requests below it go
+    #: straight to ``np.empty``.  glibc malloc serves small repeated
+    #: allocations from its free lists with no page faulting, so routing
+    #: them through the slot machinery costs Python-level bookkeeping per
+    #: call and saves nothing — measured on PROTEINS, ~500 of the ~800
+    #: per-epoch arena requests were under 64 KiB while carrying under a
+    #: tenth of the bytes.  The arena keeps the large compute/gradient
+    #: buffers, which is where kernel page faulting actually lived.
+    SMALL_ELEMS = 16384
+
     def take(self, shape: Tuple[int, ...], dtype) -> np.ndarray:
-        """Return the next slot buffer, (re)allocating only on mismatch."""
+        """Return the next slot buffer, (re)allocating only on mismatch.
+
+        Inference arenas match slots *exactly* (one arena serves one fixed
+        batch, so shapes never move and the buffer itself is returned).
+        Training arenas match by **size class**: AdamGNN's pooled-level
+        sizes wobble per step as the learned selection moves, and both an
+        exact-shape arena and a strict call-order arena churn under that —
+        the latter because one request drifting across the
+        :data:`SMALL_ELEMS` floor (or between sizes) shifts every
+        subsequent cursor position onto a slot of the wrong capacity.
+        Instead each request is bucketed by ``(dtype,
+        ceil(log2(need * 9/8)))`` — power-of-two capacity classes with the
+        boundary shifted ~12.5% below each power of two, so requests sized
+        *at* a power of two (the common case: feature dims are 64/196)
+        keep a headroom margin and small drift stays inside the class.
+        Buffers within a bucket are handed out in per-generation arrival
+        order as reshaped prefix views; a size wobbling across a class
+        boundary populates both classes once and then stops allocating —
+        the ``allocations`` counter settles even though shapes drift.
+        Small requests below :data:`SMALL_ELEMS` go straight to
+        ``np.empty`` (see its comment) and cannot perturb the buckets.
+        """
+        if self.training:
+            need = 1
+            for dim in shape:
+                need *= dim
+            if need < Workspace.SMALL_ELEMS:
+                return np.empty(shape, dtype=dtype)
+            key = (np.dtype(dtype).char,
+                   (need + (need >> 3) + 7).bit_length())
+            cursors = self._bucket_cursor
+            i = cursors.get(key, 0)
+            cursors[key] = i + 1
+            bucket = self._buckets.get(key)
+            if bucket is None:
+                bucket = self._buckets[key] = []
+            if i < len(bucket):
+                self.hits += 1
+                return bucket[i][:need].reshape(shape)
+            self.allocations += 1
+            buf = np.empty(1 << key[1], dtype=dtype)
+            bucket.append(buf)
+            return buf[:need].reshape(shape)
         shape = tuple(shape)
         dtype = np.dtype(dtype)
         i = self._cursor
@@ -153,13 +222,20 @@ class Workspace:
         self._slots.append(buf)
         return buf
 
+    def _buffers(self) -> Iterator[np.ndarray]:
+        """Every live buffer: inference slots plus training buckets."""
+        yield from self._slots
+        for bucket in self._buckets.values():
+            yield from bucket
+
     @property
     def num_slots(self) -> int:
-        return len(self._slots)
+        return len(self._slots) + sum(len(b)
+                                      for b in self._buckets.values())
 
     @property
     def nbytes(self) -> int:
-        return sum(buf.nbytes for buf in self._slots)
+        return sum(buf.nbytes for buf in self._buffers())
 
     def stats(self) -> dict:
         return {"allocations": self.allocations, "hits": self.hits,
@@ -213,6 +289,44 @@ def use_workspace(workspace: Workspace) -> Iterator[Workspace]:
         _state.active = previous
 
 
+@contextmanager
+def use_training_workspace(workspace: Workspace) -> Iterator[Workspace]:
+    """Route one *training step* (forward + loss + backward) through an arena.
+
+    The grad-enabled counterpart of :func:`use_workspace`: the no-grad
+    requirement is deliberately waived because the aliasing hazard it
+    guards against — backward closures reading recycled buffers — is
+    resolved differently here.  One activation is one generation spanning
+    the whole step; the cursor hands out a fresh slot for every request,
+    so forward intermediates and gradient buffers never alias within the
+    step, and the step's closures are all consumed (and dropped by the
+    tape) before the next activation recycles anything.  The workspace
+    must have been created with ``training=True``.
+    """
+    if not workspace.training:
+        raise RuntimeError(
+            "use_training_workspace() needs a Workspace(training=True); "
+            "inference arenas must go through use_workspace()")
+    previous = _state.active
+    workspace.begin()
+    _state.active = workspace
+    try:
+        yield workspace
+    finally:
+        _state.active = previous
+
+
+def training_arena_active() -> bool:
+    """Whether the calling thread's active workspace is a training arena.
+
+    Call sites that must behave differently under training capture — e.g.
+    per-step recomputation of value-carrying stages that the inference
+    path is allowed to freeze — branch on this.
+    """
+    ws = _state.active
+    return ws is not None and ws.training
+
+
 def ws_empty(shape: Tuple[int, ...], dtype) -> np.ndarray:
     """``np.empty`` that comes from the active workspace when there is one."""
     ws = _state.active
@@ -236,7 +350,10 @@ def ws_captured(builder):
 
     Transparent (just calls ``builder()``) when no workspace is active or
     the active one was not created with ``capture_structures=True`` — the
-    training path and plain no-grad evaluation always recompute.
+    training path and plain no-grad evaluation always recompute.  Training
+    arenas are created *without* structure capture on purpose: the stages
+    behind this helper (ego selection, assignment assembly, connectivity)
+    track the learned fitness and must recompute every step.
     """
     ws = _state.active
     if ws is None:

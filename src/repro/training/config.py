@@ -2,7 +2,9 @@
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
+from typing import Optional
 
 
 @dataclass
@@ -41,8 +43,19 @@ class TrainConfig:
     #: recompute-per-batch path; kept as an escape hatch and as the
     #: baseline arm of the epoch-time benchmark.
     batch_cache: bool = True
+    #: Training-step plan capture: record the autograd tape + buffer arena
+    #: once per recurring (batch, structure) pair and replay it (see
+    #: DESIGN.md "Training plan capture").  ``None`` resolves from the
+    #: ``REPRO_TRAIN_CAPTURE`` env var (``0``/``false``/``off`` disables)
+    #: and defaults to on — replay is validated per step and falls back to
+    #: the uncaptured path transparently, and it is bitwise-identical to
+    #: capture-off training by construction.
+    capture: Optional[bool] = None
 
     def __post_init__(self) -> None:
+        if self.capture is None:
+            flag = os.environ.get("REPRO_TRAIN_CAPTURE", "1").lower()
+            self.capture = flag not in ("0", "false", "off")
         if self.epochs < 1:
             raise ValueError("epochs must be >= 1")
         if not 0 < self.lr:

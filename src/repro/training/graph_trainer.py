@@ -34,6 +34,7 @@ from ..nn import Module, cross_entropy
 from ..optim import Adam, clip_grad_norm
 from ..tensor import Tensor, default_dtype, no_grad, segment_plan_stats
 from ..utils.timing import PhaseTimer, profile_phase
+from .capture import StepCapture, model_rngs
 from .config import TrainConfig
 from .early_stopping import EarlyStopping
 from .metrics import accuracy
@@ -88,6 +89,9 @@ class GraphClassificationTrainer:
         #: for the check.
         self._structures: Optional[Tuple[GraphDataset, Tuple,
                                          DatasetStructures]] = None
+        #: training-step tape/arena registry (None = capture disabled)
+        self._capture: Optional[StepCapture] = \
+            StepCapture() if self.config.capture else None
 
     # ------------------------------------------------------------------
     # Minibatch pipeline
@@ -149,7 +153,38 @@ class GraphClassificationTrainer:
         if isinstance(model, AdamGNNGraphClassifier):
             stats["structure_cache"] = \
                 model.encoder.structure_cache.stats()
+        if self._capture is not None:
+            stats["training_tape"] = self._capture.stats()
         return stats
+
+    # ------------------------------------------------------------------
+    # Step execution (captured or plain)
+    # ------------------------------------------------------------------
+    def _train_step(self, model: Module, batch: GraphBatch,
+                    structure: Optional[BatchStructure],
+                    rng: np.random.Generator, rngs: List) -> Tensor:
+        """One forward + loss + backward, through the capture registry.
+
+        The capture key pins the batch and (when present) its composed
+        structure — the content-keyed batch cache hands back the same
+        objects for a recurring chunk, so identity *is* the
+        frozen-structure contract.  With capture off this is exactly the
+        original three profiled phases.
+        """
+        def forward_loss() -> Tensor:
+            with profile_phase("forward"):
+                logits, extra = _model_forward(model, batch, structure)
+            with profile_phase("loss"):
+                return self._loss(logits, extra, batch, rng)
+
+        if self._capture is None:
+            loss = forward_loss()
+            with profile_phase("backward"):
+                loss.backward()
+            return loss
+        pins = (batch,) if structure is None else (batch, structure)
+        return self._capture.run_step(pins, self.config.dtype, rngs,
+                                      forward_loss)
 
     # ------------------------------------------------------------------
     # Loss / evaluation
@@ -212,6 +247,7 @@ class GraphClassificationTrainer:
         profiler = PhaseTimer() if cfg.profile else None
         scope = profiler.activate() if profiler else contextlib.nullcontext()
         structures = self._structures_for(model, dataset)
+        rngs = [rng] + model_rngs(model)
 
         with scope, default_dtype(cfg.dtype):
             for epoch in range(cfg.epochs):
@@ -220,13 +256,7 @@ class GraphClassificationTrainer:
                 for batch, structure in self._batches(
                         structures, dataset, dataset.train_index, rng=rng):
                     model.zero_grad()
-                    with profile_phase("forward"):
-                        logits, extra = _model_forward(model, batch,
-                                                       structure)
-                    with profile_phase("loss"):
-                        loss = self._loss(logits, extra, batch, rng)
-                    with profile_phase("backward"):
-                        loss.backward()
+                    self._train_step(model, batch, structure, rng, rngs)
                     with profile_phase("optimizer"):
                         if cfg.grad_clip:
                             clip_grad_norm(model.parameters(), cfg.grad_clip)
@@ -275,18 +305,14 @@ class GraphClassificationTrainer:
                          weight_decay=cfg.weight_decay)
         model.train()
         structures = self._structures_for(model, dataset)
+        rngs = [rng] + model_rngs(model)
         profiler = PhaseTimer()
         start = time.time()
         with profiler.activate(), default_dtype(cfg.dtype):
             for batch, structure in self._batches(
                     structures, dataset, dataset.train_index, rng=rng):
                 model.zero_grad()
-                with profile_phase("forward"):
-                    logits, extra = _model_forward(model, batch, structure)
-                with profile_phase("loss"):
-                    loss = self._loss(logits, extra, batch, rng)
-                with profile_phase("backward"):
-                    loss.backward()
+                self._train_step(model, batch, structure, rng, rngs)
                 with profile_phase("optimizer"):
                     optimizer.step()
             profiler.end_epoch()

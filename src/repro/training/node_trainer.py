@@ -23,6 +23,7 @@ from ..optim import Adam, clip_grad_norm
 from ..tensor import (Tensor, default_dtype, get_default_dtype, no_grad,
                       segment_plan_stats)
 from ..utils.timing import PhaseTimer, profile_phase
+from .capture import StepCapture, model_rngs
 from .config import TrainConfig
 from .early_stopping import EarlyStopping
 from .metrics import accuracy
@@ -55,13 +56,16 @@ class NodeTrainResult:
     cache_stats: Optional[Dict[str, dict]] = None
 
 
-def _cache_stats(model: Module) -> Dict[str, dict]:
+def _cache_stats(model: Module,
+                 capture: Optional[StepCapture] = None) -> Dict[str, dict]:
     """Structure-cache + segment-plan counters for the profile report."""
     stats: Dict[str, dict] = {"segment_plans": segment_plan_stats()}
     structure_cache = getattr(getattr(model, "encoder", None),
                               "structure_cache", None)
     if structure_cache is not None:
         stats["structure_cache"] = structure_cache.stats()
+    if capture is not None:
+        stats["training_tape"] = capture.stats()
     return stats
 
 
@@ -70,6 +74,9 @@ class NodeClassificationTrainer:
 
     def __init__(self, config: Optional[TrainConfig] = None):
         self.config = config if config is not None else TrainConfig()
+        #: training-step tape/arena registry (None = capture disabled)
+        self._capture: Optional[StepCapture] = \
+            StepCapture() if self.config.capture else None
 
     def _forward(self, model: Module, x: Tensor, edge_index: np.ndarray,
                  edge_weight: np.ndarray):
@@ -77,6 +84,41 @@ class NodeClassificationTrainer:
         if isinstance(out, tuple):
             return out          # (logits, AdamGNNOutput)
         return out, None
+
+    def _train_step(self, model: Module, graph, x: Tensor,
+                    labels: np.ndarray, train_mask: np.ndarray,
+                    rng: np.random.Generator, rngs: List) -> Tensor:
+        """One full-batch forward + loss + backward via the capture registry.
+
+        Full-batch training revisits the identical (graph, dtype) key every
+        epoch, so after the mark + capture epochs every remaining epoch
+        replays the tape.
+        """
+        cfg = self.config
+
+        def forward_loss() -> Tensor:
+            with profile_phase("forward"):
+                logits, extra = self._forward(model, x, graph.edge_index,
+                                              graph.edge_weight)
+            with profile_phase("loss"):
+                loss = cross_entropy(logits, labels, mask=train_mask)
+                if isinstance(extra, AdamGNNOutput):
+                    if cfg.use_kl and cfg.gamma:
+                        loss = loss + self_optimisation_loss(
+                            extra.h, extra.level1_egos()) * cfg.gamma
+                    if cfg.use_recon and cfg.delta:
+                        loss = loss + sampled_reconstruction_loss(
+                            extra.h, graph.edge_index, graph.num_nodes,
+                            rng) * cfg.delta
+                return loss
+
+        if self._capture is None:
+            loss = forward_loss()
+            with profile_phase("backward"):
+                loss.backward()
+            return loss
+        return self._capture.run_step((graph,), cfg.dtype, rngs,
+                                      forward_loss)
 
     def fit(self, model: Module, dataset: NodeDataset) -> NodeTrainResult:
         cfg = self.config
@@ -100,26 +142,14 @@ class NodeClassificationTrainer:
         profiler = PhaseTimer() if cfg.profile else None
         scope = profiler.activate() if profiler else contextlib.nullcontext()
 
+        rngs = [rng] + model_rngs(model)
         with scope, default_dtype(cfg.dtype):
             for epoch in range(cfg.epochs):
                 epochs_run = epoch + 1
                 model.train()
                 model.zero_grad()
-                with profile_phase("forward"):
-                    logits, extra = self._forward(model, x, graph.edge_index,
-                                                  graph.edge_weight)
-                with profile_phase("loss"):
-                    loss = cross_entropy(logits, labels, mask=masks["train"])
-                    if isinstance(extra, AdamGNNOutput):
-                        if cfg.use_kl and cfg.gamma:
-                            loss = loss + self_optimisation_loss(
-                                extra.h, extra.level1_egos()) * cfg.gamma
-                        if cfg.use_recon and cfg.delta:
-                            loss = loss + sampled_reconstruction_loss(
-                                extra.h, graph.edge_index, graph.num_nodes,
-                                rng) * cfg.delta
-                with profile_phase("backward"):
-                    loss.backward()
+                loss = self._train_step(model, graph, x, labels,
+                                        masks["train"], rng, rngs)
                 with profile_phase("optimizer"):
                     if cfg.grad_clip:
                         clip_grad_norm(model.parameters(), cfg.grad_clip)
@@ -151,7 +181,8 @@ class NodeClassificationTrainer:
             seconds=time.time() - start,
             history=history,
             phase_seconds=profiler.mean_epoch() if profiler else None,
-            cache_stats=_cache_stats(model) if profiler else None)
+            cache_stats=(_cache_stats(model, self._capture)
+                         if profiler else None))
 
     def time_one_epoch(self, model: Module, dataset: NodeDataset,
                        epochs: int = 4,
@@ -174,26 +205,14 @@ class NodeClassificationTrainer:
                          weight_decay=cfg.weight_decay)
         profiler = PhaseTimer()
         laps: List[float] = []
+        rngs = [rng] + model_rngs(model)
         with profiler.activate(), default_dtype(cfg.dtype):
             for _ in range(max(epochs, 1)):
                 model.train()
                 tic = time.perf_counter()
                 model.zero_grad()
-                with profile_phase("forward"):
-                    logits, extra = self._forward(model, x, graph.edge_index,
-                                                  graph.edge_weight)
-                with profile_phase("loss"):
-                    loss = cross_entropy(logits, labels, mask=masks["train"])
-                    if isinstance(extra, AdamGNNOutput):
-                        if cfg.use_kl and cfg.gamma:
-                            loss = loss + self_optimisation_loss(
-                                extra.h, extra.level1_egos()) * cfg.gamma
-                        if cfg.use_recon and cfg.delta:
-                            loss = loss + sampled_reconstruction_loss(
-                                extra.h, graph.edge_index, graph.num_nodes,
-                                rng) * cfg.delta
-                with profile_phase("backward"):
-                    loss.backward()
+                self._train_step(model, graph, x, labels, masks["train"],
+                                 rng, rngs)
                 with profile_phase("optimizer"):
                     if cfg.grad_clip:
                         clip_grad_norm(model.parameters(), cfg.grad_clip)

@@ -1,0 +1,39 @@
+"""RL005 fixture: arena slots retained across generations — 4 findings."""
+
+from repro.tensor.workspace import ws_empty, ws_zeros
+
+_HISTORY = []
+
+
+class FusedOp:
+    def apply(self, x, shape, dtype):
+        gact = ws_empty(shape, dtype)
+
+        def backward(grad):
+            # Retention shape 1: slot stored on object state from a
+            # backward closure — stale by the next training step.
+            self.last_grad = gact
+            # Retention shape 2: slot appended to a container from a
+            # backward closure.
+            _HISTORY.append(gact)
+
+        return backward
+
+
+def leak_to_global(shape, dtype):
+    global _latest
+    buf = ws_zeros(shape, dtype)
+    # Retention shape 3: slot written through a global declaration.
+    _latest = buf
+    return None
+
+
+class FakeTape:
+    def __init__(self):
+        self.nodes = []
+
+
+def record_buffer(tape, shape, dtype):
+    buf = ws_empty(shape, dtype)
+    # Retention shape 4: slot appended to a tape record list.
+    tape.nodes.append(buf)

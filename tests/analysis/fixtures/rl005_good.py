@@ -1,0 +1,32 @@
+"""RL005 fixture: sanctioned within-generation slot usage — zero findings."""
+
+from repro.tensor.workspace import ws_empty
+
+
+class FusedOp:
+    def apply(self, x, shape, dtype):
+        gact = ws_empty(shape, dtype)
+
+        def backward(grad):
+            # Consuming the slot within the closure is the contract:
+            # _accumulate adopts by reference but the optimizer drains
+            # grads before the next generation begins.
+            gact[...] = grad
+            x._accumulate(gact)
+
+        return backward
+
+
+def collect_copies(results, shape, dtype):
+    buf = ws_empty(shape, dtype)
+    # Copies are stable arrays — retaining them is fine.
+    results.append(buf.copy())
+
+
+class FakeTape:
+    def __init__(self):
+        self.nodes = []
+
+    def record(self, node):
+        # Tape records hold graph nodes (stable objects), not raw slots.
+        self.nodes.append(node)

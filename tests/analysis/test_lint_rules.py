@@ -10,9 +10,9 @@ from pathlib import Path
 import pytest
 
 from repro.analysis import lint
-from repro.analysis.rules import (ArenaEscapeRule, DtypeLiteralRule,
-                                  InplaceMutationRule, SourceFile,
-                                  VJPRegistryRule, default_rules)
+from repro.analysis.rules import (ArenaEscapeRule, ClosureRetentionRule,
+                                  DtypeLiteralRule, InplaceMutationRule,
+                                  SourceFile, VJPRegistryRule, default_rules)
 from repro.analysis.rules.vjp_registry import fused_ops_with_custom_backward
 
 FIXTURES = Path(__file__).parent / "fixtures"
@@ -144,6 +144,39 @@ def test_rl004_excludes_optimizers():
     src = SourceFile(Path("sgd.py"), "repro/optim/sgd.py",
                      "def step(p, g):\n    p.data += g\n")
     assert list(rule.check_file(src)) == []
+
+
+# ---------------------------------------------------------------------------
+# RL005 — cross-generation retention of arena slots
+# ---------------------------------------------------------------------------
+def test_rl005_flags_retention_shapes():
+    findings = run_rule(ClosureRetentionRule(), "rl005_bad.py")
+    assert len(findings) == 4
+    assert {f.rule for f in findings} == {"RL005"}
+    messages = "\n".join(f.message for f in findings)
+    assert "stores an arena slot on self.last_grad" in messages
+    assert "appends an arena slot to a container" in messages
+    assert "declared global/nonlocal" in messages
+    assert "tape record" in messages
+
+
+def test_rl005_clean_on_sanctioned_usage():
+    assert run_rule(ClosureRetentionRule(), "rl005_good.py") == []
+
+
+def test_rl005_excludes_workspace_module():
+    rule = ClosureRetentionRule()
+    src = SourceFile(Path("workspace.py"), "repro/tensor/workspace.py",
+                     "def backward(g):\n"
+                     "    global _slot\n"
+                     "    _slot = ws_empty((3,), float)\n")
+    assert list(rule.check_file(src)) == []
+
+
+def test_rl005_real_tree_is_clean():
+    report = lint.lint_paths([REPO_ROOT / "src" / "repro"],
+                             rules=[ClosureRetentionRule()], root=REPO_ROOT)
+    assert report.findings == []
 
 
 # ---------------------------------------------------------------------------
