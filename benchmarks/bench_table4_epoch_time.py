@@ -25,7 +25,6 @@ root next to the recorded pre-optimisation baseline.
 import json
 import os
 import statistics
-import subprocess
 from pathlib import Path
 from typing import Dict
 
@@ -42,7 +41,8 @@ from repro.training.graph_trainer import GraphClassificationTrainer
 from repro.training.node_trainer import (NodeClassificationTrainer,
                                          prepare_node_features)
 
-from .common import PAPER_TABLE4, comparison_table, emit, is_smoke
+from .common import (PAPER_TABLE4, bench_environment, comparison_table,
+                     current_commit, emit, is_smoke)
 
 MODELS = ("diffpool", "sagpool", "topkpool", "structpool", "adamgnn")
 DATASETS = ("nci1", "nci109", "proteins")
@@ -129,34 +129,12 @@ GRAPH_EPOCH_BASELINE = {
 GRAPH_EPOCH_JSON = Path(__file__).resolve().parent.parent \
     / "BENCH_graph_epoch.json"
 
-#: Environment knobs that change what a wall-clock number means.  BLAS
-#: thread counts matter because the fused kernels lean on matmul; the
-#: kernel worker count is the chunk-parallel executor's pool size.
-_THREAD_ENV_KEYS = ("REPRO_NUM_WORKERS", "OMP_NUM_THREADS",
-                    "OPENBLAS_NUM_THREADS", "MKL_NUM_THREADS",
-                    "NUMEXPR_NUM_THREADS")
-
-
-def _environment(dtype: str) -> dict:
-    """Precision/parallelism context for a recorded measurement."""
-    return {
-        "dtype": dtype,
-        "kernel_workers": get_num_workers(),
-        "cpu_count": os.cpu_count(),
-        "thread_env": {key: os.environ.get(key)
-                       for key in _THREAD_ENV_KEYS},
-    }
-
-
-def _current_commit() -> str:
-    """Short hash of HEAD, or ``"unknown"`` outside a usable git checkout."""
-    try:
-        return subprocess.run(
-            ["git", "rev-parse", "--short", "HEAD"],
-            cwd=Path(__file__).resolve().parent, capture_output=True,
-            text=True, timeout=10, check=True).stdout.strip() or "unknown"
-    except Exception:
-        return "unknown"
+# Shared with the other benches (serving/inference import these names
+# from here): the canonical implementations live in ``common.py`` since
+# the data-parallel extension, with the DP knobs recorded alongside the
+# thread environment.
+_environment = bench_environment
+_current_commit = current_commit
 
 
 def _merge_into_json(section: str, payload: dict) -> None:
@@ -226,7 +204,8 @@ def generate_graph_epoch_benchmark() -> str:
                 "dtype": "float64"}]
     if GRAPH_EPOCH_JSON.exists():
         prior = json.loads(GRAPH_EPOCH_JSON.read_text())
-        for section in ("precision_ab", "sanitizer_ab", "capture_ab"):
+        for section in ("precision_ab", "sanitizer_ab", "capture_ab",
+                        "dp_scaling"):
             if section in prior:
                 payload[section] = prior[section]
         history = prior.get("history", history)
@@ -577,6 +556,147 @@ def generate_sanitizer_ab() -> str:
         f"\nmachine-readable copy: {GRAPH_EPOCH_JSON.name} (sanitizer_ab)",
     ]
     return "\n".join(lines)
+
+
+def generate_dp_scaling() -> str:
+    """Interleaved data-parallel scaling sweep on the steady PROTEINS epoch.
+
+    Arms: the plain serial trainer, and the sharded trainer at a fixed
+    four-shard assignment with ``num_procs`` ∈ {1, 2, 4}.  Shard count is
+    held constant across the dp arms because the run is a pure function of
+    the assignment — worker count is packing — so the sweep isolates
+    exactly the cost/benefit of processes.  Each arm runs a full ``fit``
+    (fresh model and trainer) and its steady figure is the median of
+    ``result.epoch_seconds`` with the cold first epoch excluded; rounds
+    alternate through all arms so wall-clock drift hits them equally, and
+    the paired per-round ratios are the headline figures.  Alongside the
+    timings this records each dp arm's sharding record (mode, start
+    method, comm segment bytes, chunk layout).  Results land in the
+    ``dp_scaling`` section of ``BENCH_graph_epoch.json``.
+
+    On a multi-core box the dp4 arm is the scaling claim; on a single
+    core the sweep is still recorded and the meaningful figure is the
+    dp1 overhead — what the lane writes, the f64 reduction and the
+    ragged shard chunking cost relative to the plain trainer.
+    """
+    rounds = 1 if is_smoke() else 3
+    epochs_per_fit = 2 if is_smoke() else 4
+    procs_sweep = (1, 2) if is_smoke() else (1, 2, 4)
+    num_shards = 4
+    data = load_graph_dataset("proteins", seed=0)
+
+    def run_arm(num_procs: int, shards: int):
+        trainer = GraphClassificationTrainer(
+            TrainConfig(epochs=epochs_per_fit, patience=4 * epochs_per_fit,
+                        batch_size=32, seed=0, num_procs=num_procs,
+                        num_shards=shards))
+        model = make_graph_classifier("adamgnn", data.num_features, 2,
+                                      seed=0)
+        result = trainer.fit(model, data)
+        steady = [s * 1000.0 for s in result.epoch_seconds[1:]]
+        return statistics.median(steady), result
+
+    arm_names = ["plain"] + [f"dp{p}" for p in procs_sweep]
+    arms = {name: {"round_medians": []} for name in arm_names}
+    sharding_records: Dict[str, dict] = {}
+    for _ in range(rounds):
+        median_ms, _ = run_arm(1, 1)
+        arms["plain"]["round_medians"].append(median_ms)
+        for procs in procs_sweep:
+            median_ms, result = run_arm(procs, num_shards)
+            arms[f"dp{procs}"]["round_medians"].append(median_ms)
+            record = dict(result.sharding)
+            assignment = record.pop("assignment", None) or {}
+            record["chunks_per_shard"] = assignment.get("chunks_per_shard")
+            record["steps_per_epoch"] = assignment.get("steps_per_epoch")
+            sharding_records[f"dp{procs}"] = record
+
+    medians = {name: statistics.median(arm["round_medians"])
+               for name, arm in arms.items()}
+    plain_rounds = arms["plain"]["round_medians"]
+    paired_speedups = {
+        f"dp{p}": [round(plain / dp, 2) for plain, dp in
+                   zip(plain_rounds, arms[f"dp{p}"]["round_medians"])]
+        for p in procs_sweep}
+    overhead_rounds = [dp / plain for plain, dp in
+                       zip(plain_rounds, arms["dp1"]["round_medians"])]
+    dp1_overhead = statistics.median(overhead_rounds)
+    dtype = TrainConfig(epochs=1, num_procs=1, num_shards=1).dtype
+
+    payload = {
+        "environment": _environment(dtype, num_shards=num_shards,
+                                    procs_sweep=list(procs_sweep)),
+        "protocol": (f"interleaved sweep, {rounds} rounds; each arm one "
+                     f"fresh fit of {epochs_per_fit} epochs, steady "
+                     f"figure = median with the cold epoch excluded; dp "
+                     f"arms share a fixed {num_shards}-shard assignment "
+                     f"(worker count is pure packing); "
+                     f"smoke={is_smoke()}"),
+        "round_medians_ms": {name: [round(v, 1) for v in
+                                    arm["round_medians"]]
+                             for name, arm in arms.items()},
+        "median_ms": {name: round(v, 1) for name, v in medians.items()},
+        "paired_speedup_vs_plain": paired_speedups,
+        "speedup_vs_plain": {f"dp{p}": round(
+            medians["plain"] / medians[f"dp{p}"], 2) for p in procs_sweep},
+        "dp1_overhead_vs_plain": round(dp1_overhead, 3),
+        "sharding": sharding_records,
+    }
+    _merge_into_json("dp_scaling", payload)
+
+    # Extend the per-commit trajectory with the widest dp arm so the
+    # history records what a maximally parallel epoch costs here.
+    top = max(procs_sweep)
+    contents = json.loads(GRAPH_EPOCH_JSON.read_text())
+    history = contents.setdefault("history", [])
+    entry = {"commit": _current_commit(),
+             "median_epoch_ms": round(medians[f"dp{top}"], 1),
+             "dtype": dtype, "dp_procs": top}
+    if history and history[-1].get("commit") == entry["commit"] \
+            and history[-1].get("dp_procs"):
+        history[-1] = entry
+    else:
+        history.append(entry)
+    GRAPH_EPOCH_JSON.write_text(json.dumps(contents, indent=2) + "\n")
+
+    lines = [f"plain serial:          {medians['plain']:8.1f} ms/epoch  "
+             f"rounds {payload['round_medians_ms']['plain']}"]
+    for procs in procs_sweep:
+        name = f"dp{procs}"
+        mode = sharding_records[name]["mode"]
+        lines.append(
+            f"{name} ({mode:>6s}/4sh):   {medians[name]:8.1f} ms/epoch  "
+            f"{medians['plain'] / medians[name]:5.2f}x  "
+            f"rounds {payload['round_medians_ms'][name]}")
+    lines += [
+        f"dp1 sharding overhead: {dp1_overhead:8.2f}x vs plain "
+        f"(paired rounds {[round(r, 2) for r in overhead_rounds]})",
+        f"comm segment: "
+        f"{sharding_records[f'dp{top}'].get('comm_bytes', 0) / 1e6:.1f} MB, "
+        f"start method {sharding_records[f'dp{top}'].get('start_method')}, "
+        f"cpus: {os.cpu_count()}",
+        f"\nmachine-readable copy: {GRAPH_EPOCH_JSON.name} (dp_scaling)",
+    ]
+    return "\n".join(lines)
+
+
+@pytest.mark.benchmark(group="table4")
+def test_graph_epoch_dp_scaling(benchmark):
+    table = benchmark.pedantic(generate_dp_scaling, rounds=1, iterations=1)
+    emit("Table 4 (supplement): data-parallel scaling sweep", table)
+    assert table
+    assert GRAPH_EPOCH_JSON.exists()
+    section = json.loads(GRAPH_EPOCH_JSON.read_text())["dp_scaling"]
+    assert section["sharding"]["dp2"]["comm_bytes"] > 0
+    if not is_smoke():
+        if (os.cpu_count() or 1) >= 4:
+            # Multi-core: the scaling claim proper.
+            assert section["speedup_vs_plain"]["dp4"] >= 1.5
+        else:
+            # Single core: processes cannot speed anything up; the gate
+            # is that sharded serial execution stays within 10% of the
+            # plain trainer (lane writes + f64 reduction are cheap).
+            assert section["dp1_overhead_vs_plain"] <= 1.10
 
 
 @pytest.mark.benchmark(group="table4")

@@ -21,11 +21,55 @@ complete grids (~30–45 minutes total on a laptop CPU).
 from __future__ import annotations
 
 import os
+import subprocess
 import sys
 from pathlib import Path
 from typing import Dict, Sequence
 
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+#: Environment knobs that change what a wall-clock number means.  BLAS
+#: thread counts matter because the fused kernels lean on matmul; the
+#: kernel worker count is the chunk-parallel executor's pool size.
+THREAD_ENV_KEYS = ("REPRO_NUM_WORKERS", "OMP_NUM_THREADS",
+                   "OPENBLAS_NUM_THREADS", "MKL_NUM_THREADS",
+                   "NUMEXPR_NUM_THREADS")
+
+#: Data-parallel knobs: process count routing ``fit`` through the sharded
+#: trainer, and the multiprocessing start-method override.
+DP_ENV_KEYS = ("REPRO_DP_PROCS", "REPRO_DP_START_METHOD")
+
+
+def bench_environment(dtype: str, **extra) -> dict:
+    """Precision/parallelism context for a recorded measurement.
+
+    Records the compute dtype, the kernel pool configuration, the BLAS
+    thread environment and the data-parallel knobs; benches measuring a
+    sharded run pass run-scoped facts (shard count, comm segment bytes,
+    effective process count) through ``extra``.
+    """
+    from repro.tensor import get_num_workers
+    env = {
+        "dtype": dtype,
+        "kernel_workers": get_num_workers(),
+        "cpu_count": os.cpu_count(),
+        "thread_env": {key: os.environ.get(key)
+                       for key in THREAD_ENV_KEYS},
+        "dp_env": {key: os.environ.get(key) for key in DP_ENV_KEYS},
+    }
+    env.update(extra)
+    return env
+
+
+def current_commit() -> str:
+    """Short hash of HEAD, or ``"unknown"`` outside a usable git checkout."""
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=Path(__file__).resolve().parent, capture_output=True,
+            text=True, timeout=10, check=True).stdout.strip() or "unknown"
+    except Exception:
+        return "unknown"
 
 #: Paper-reported values, used to print side-by-side comparisons.
 PAPER_TABLE1 = {

@@ -1,0 +1,81 @@
+"""Sharded data-parallel training — same bits, more processes.
+
+Scenario: the PROTEINS graph-classification workload from Table 1,
+trained three ways — the plain serial trainer, the sharded trainer
+running its four shards in-process, and the sharded trainer packing
+those same four shards onto two worker processes with gradients crossing
+through shared memory.  The point of the demo is the repo's determinism
+contract: **worker count is pure packing**, so all three runs produce
+bitwise-identical weights and identical histories, and the only thing
+that changes is the wall clock.
+
+Run with::
+
+    python examples/data_parallel_training.py
+
+or route *any* training in the repo through the sharded trainer without
+touching code::
+
+    REPRO_DP_PROCS=2 python examples/data_parallel_training.py
+"""
+
+import time
+
+import numpy as np
+
+from repro.datasets import load_graph_dataset
+from repro.training import (GraphClassificationTrainer, TrainConfig,
+                            make_graph_classifier)
+
+
+def train(dataset, num_procs: int, num_shards: int):
+    config = TrainConfig(epochs=6, patience=10, batch_size=32, seed=0,
+                         num_procs=num_procs, num_shards=num_shards)
+    model = make_graph_classifier("adamgnn", dataset.num_features,
+                                  dataset.num_classes, seed=0)
+    start = time.perf_counter()
+    result = GraphClassificationTrainer(config).fit(model, dataset)
+    seconds = time.perf_counter() - start
+    flat = np.concatenate([p.data.reshape(-1) for p in model.parameters()])
+    return flat, result, seconds
+
+
+def main() -> None:
+    dataset = load_graph_dataset("proteins", seed=0)
+    print(f"Dataset: {dataset.name} — {len(dataset.graphs)} graphs, "
+          f"{int(dataset.train_index.shape[0])} train")
+
+    runs = {
+        "plain serial": train(dataset, num_procs=1, num_shards=1),
+        "4 shards, in-process": train(dataset, num_procs=1, num_shards=4),
+        "4 shards, 2 processes": train(dataset, num_procs=2, num_shards=4),
+    }
+
+    print(f"\n{'configuration':<24}{'mode':>8}{'test acc':>10}"
+          f"{'wall s':>8}")
+    for name, (_, result, seconds) in runs.items():
+        mode = result.sharding["mode"] if result.sharding else "plain"
+        print(f"{name:<24}{mode:>8}{result.test_accuracy:>10.4f}"
+              f"{seconds:>8.2f}")
+
+    # The determinism contract, checked bit for bit.
+    flats = [flat for flat, _, _ in runs.values()]
+    serial_flat, sharded_flat, procs_flat = flats
+    print("\nsharded(in-process) == sharded(2 procs) bitwise:",
+          np.array_equal(sharded_flat, procs_flat))
+    print("4-shard run == plain serial run bitwise:",
+          np.array_equal(serial_flat, sharded_flat),
+          "(expected False — shard count changes batch composition;"
+          " process count never changes anything)")
+
+    sharding = runs["4 shards, 2 processes"][1].sharding
+    print(f"\nsharding record: start method {sharding['start_method']}, "
+          f"comm segment {sharding['comm_bytes'] / 1e6:.1f} MB, "
+          f"chunks per shard "
+          f"{sharding['assignment']['chunks_per_shard']}")
+    if sharding["fallback"]:
+        print(f"(fell back to serial sharding: {sharding['fallback']})")
+
+
+if __name__ == "__main__":
+    main()

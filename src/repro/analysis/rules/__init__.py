@@ -15,13 +15,15 @@ from .vjp_registry import VJPRegistryRule
 from .arena_escape import ArenaEscapeRule
 from .inplace_mutation import InplaceMutationRule
 from .closure_retention import ClosureRetentionRule
+from .comm_reduction import CommReductionRule
 
 __all__ = ["Finding", "Rule", "SourceFile", "DtypeLiteralRule",
            "VJPRegistryRule", "ArenaEscapeRule", "InplaceMutationRule",
-           "ClosureRetentionRule", "default_rules"]
+           "ClosureRetentionRule", "CommReductionRule", "default_rules"]
 
 
 def default_rules() -> List[Rule]:
     """Fresh instances of every shipped rule, in id order."""
     return [DtypeLiteralRule(), VJPRegistryRule(), ArenaEscapeRule(),
-            InplaceMutationRule(), ClosureRetentionRule()]
+            InplaceMutationRule(), ClosureRetentionRule(),
+            CommReductionRule()]

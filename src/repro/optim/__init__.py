@@ -2,10 +2,10 @@
 
 from .optimizer import Optimizer
 from .sgd import SGD
-from .adam import Adam, AdamW
+from .adam import Adam, AdamW, FlatParams
 from .clip import clip_grad_norm, clip_grad_value
 from .lr_scheduler import CosineAnnealingLR, StepLR
 
-__all__ = ["Optimizer", "SGD", "Adam", "AdamW",
+__all__ = ["Optimizer", "SGD", "Adam", "AdamW", "FlatParams",
            "clip_grad_norm", "clip_grad_value",
            "CosineAnnealingLR", "StepLR"]

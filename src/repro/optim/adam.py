@@ -7,13 +7,78 @@ harness, matching the reference implementation's settings.
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import Iterable, List
 
 import numpy as np
 
 from ..nn.module import Parameter
 from ..tensor.precision import ACCUM_DTYPE
 from .optimizer import Optimizer
+
+
+class FlatParams:
+    """Flat offset map over a parameter list for gradient/weight exchange.
+
+    The data-parallel trainer moves gradients and weights between
+    processes as single contiguous vectors (one shared-memory lane per
+    shard, one weight segment — see ``repro/tensor/_comm.py``).  This
+    class owns the parameter side of that exchange: the fixed parameter
+    order and offsets, the flatten (parameters → segment) and the two
+    load directions (segment → ``.data`` for a weight broadcast,
+    segment → ``.grad`` for the reduced gradient).
+
+    It lives in ``repro/optim`` deliberately: loading broadcast weights
+    writes parameter storage in place, and the optimizer package is the
+    one sanctioned location for that (RL004) — at load time the previous
+    step's backward has already consumed the tape, so no closure holds
+    the buffer.
+
+    The gradient buffers are preallocated per parameter and rebound onto
+    ``.grad`` each step, so the steady-state reduce→step path allocates
+    nothing.
+    """
+
+    def __init__(self, params: Iterable[Parameter]):
+        self.params: List[Parameter] = list(params)
+        self.offsets: List[int] = []
+        self.sizes: List[int] = []
+        total = 0
+        for p in self.params:
+            self.offsets.append(total)
+            self.sizes.append(int(p.data.size))
+            total += int(p.data.size)
+        #: total flat element count across all parameters
+        self.total_size = total
+        self._grad_bufs = [np.empty_like(p.data) for p in self.params]
+
+    def grads(self) -> List:
+        """Current ``.grad`` arrays in parameter order (entries may be
+        ``None`` for parameters the step never touched)."""
+        return [p.grad for p in self.params]
+
+    def write_params(self, out: np.ndarray) -> None:
+        """Flatten every parameter's data into ``out`` (compute dtype)."""
+        for p, lo in zip(self.params, self.offsets):
+            out[lo:lo + p.data.size] = p.data.reshape(-1)
+
+    def load_params(self, flat: np.ndarray) -> None:
+        """Copy a flat weight vector back into parameter storage."""
+        for p, lo in zip(self.params, self.offsets):
+            np.copyto(p.data, flat[lo:lo + p.data.size]
+                      .reshape(p.data.shape))
+
+    def load_grads(self, flat: np.ndarray) -> None:
+        """Bind the reduced flat gradient onto every ``.grad``.
+
+        ``flat`` is the f64 reduction output; the element-wise copy into
+        the per-parameter buffer casts once at the parameter dtype
+        boundary (a no-op for float64 parameters), mirroring how the
+        fused ops cast their ACCUM_DTYPE reductions.
+        """
+        for p, buf, lo in zip(self.params, self._grad_bufs,
+                              self.offsets):
+            buf[...] = flat[lo:lo + p.data.size].reshape(p.data.shape)
+            p.grad = buf
 
 
 class Adam(Optimizer):

@@ -1,0 +1,386 @@
+"""Shared-memory gradient exchange for data-parallel training.
+
+The sharded trainer (``repro/training/dataparallel.py``) runs one
+synchronous-SGD step per coordinator iteration: every shard contributes
+the gradient of its minibatch chunk, the coordinator reduces the
+contributions into one flat gradient, takes a single Adam step on the
+master weights and broadcasts them back.  This module owns the transport
+and the arithmetic of that exchange; everything in it is deliberately
+NumPy-on-raw-arrays (no :class:`~repro.tensor.tensor.Tensor`), because
+the views may be backed by ``multiprocessing.shared_memory`` buffers
+that must never enter the autograd tape.
+
+Layout
+------
+Two segments per run:
+
+* **grads** — ``ACCUM_DTYPE`` (float64), shape
+  ``(2, num_shards, flat_size + 1)``.  Axis 0 is a double buffer indexed
+  by step parity; axis 1 is one *lane per shard* (not per worker — see
+  below); the last element of each lane is the lane's weight (the number
+  of graphs in the shard's chunk this step, ``0.0`` when the shard had no
+  chunk because another shard has more chunks per epoch).
+* **params** — compute dtype, shape ``(flat_size,)``.  The coordinator
+  writes the post-step master weights here; workers load them before
+  their next forward.
+
+Determinism
+-----------
+Lanes are per *shard* and the reduction iterates lanes in fixed shard
+order, so the floating-point sum is a function of the shard schedule
+alone — never of how shards are packed onto workers or of worker arrival
+order.  A 1-process run and an N-process run of the same shard schedule
+execute the identical sequence of float operations and are bitwise
+identical.  Each lane is written as ``weight · grad`` with the product
+formed in ``ACCUM_DTYPE`` (float32 gradients are cast up exactly), and
+the weighted mean divides once, in ``ACCUM_DTYPE``, after the fixed-order
+sum.
+
+Reduce window
+-------------
+Every write to a lane or segment happens inside a function decorated
+with :func:`reduce_window`.  The decorator is the machine-checkable
+marker of the protocol's barrier guarantee: a worker calls these
+functions only between receiving a step token and sending its "done"
+message, and the coordinator only after collecting every "done" and
+before releasing workers — so no two processes ever write the same lane,
+and the coordinator never reads a lane mid-write.  The double buffer
+widens the window: once workers are released they may write the *other*
+grads buffer while the coordinator is still reading this one.  replint
+rule RL006 enforces the static half of this contract (segment writes
+only inside decorated functions, accumulation only through
+``ACCUM_DTYPE``).
+
+The :class:`LocalFlatComm` twin backs the same layout with process-local
+arrays so the serial fallback runs the identical write/reduce code —
+which is what makes "serial vs multi-process" a bitwise property rather
+than a tolerance one.
+"""
+
+from __future__ import annotations
+
+import functools
+import threading
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .precision import ACCUM_DTYPE, resolve_dtype
+
+__all__ = [
+    "CommUnavailable", "LocalFlatComm", "SharedFlatComm", "clear_lane",
+    "in_reduce_window", "probe_shared_memory", "publish_params",
+    "reduce_lanes", "reduce_window", "write_lane", "write_segment",
+]
+
+
+class CommUnavailable(RuntimeError):
+    """Shared-memory communication cannot be used here.
+
+    Raised by :func:`probe_shared_memory` / :class:`SharedFlatComm` when
+    the platform lacks ``multiprocessing.shared_memory`` or refuses to
+    map a segment.  The sharded trainer catches exactly this type and
+    falls back to the serial schedule, recording the reason.
+    """
+
+
+# ---------------------------------------------------------------------------
+# Reduce window marker
+# ---------------------------------------------------------------------------
+class _WindowState(threading.local):
+    depth: int = 0
+
+
+_window = _WindowState()
+
+
+def in_reduce_window() -> bool:
+    """True while the calling thread is inside a reduce-window function."""
+    return _window.depth > 0
+
+
+def reduce_window(fn):
+    """Mark ``fn`` as a barrier-guarded segment writer.
+
+    All process-shared segment writes live in functions carrying this
+    decorator (statically enforced by replint RL006); the runtime wrapper
+    keeps a nesting depth so tests and sanitizers can assert the
+    discipline dynamically via :func:`in_reduce_window`.
+    """
+    @functools.wraps(fn)
+    def wrapper(*args, **kwargs):
+        _window.depth += 1
+        try:
+            return fn(*args, **kwargs)
+        finally:
+            _window.depth -= 1
+    return wrapper
+
+
+# ---------------------------------------------------------------------------
+# Lane arithmetic (shared by the process-local and shared-memory backends)
+# ---------------------------------------------------------------------------
+@reduce_window
+def clear_lane(lane: np.ndarray) -> None:
+    """Zero one lane (grad vector and weight slot).
+
+    Used for shards that have no chunk at this step: the stale contents
+    from two steps ago (the same double-buffer slot) must not leak into
+    the reduction, and a zero weight tells the reducer to skip the lane
+    without reading its grad vector.
+    """
+    lane[...] = 0.0
+
+
+@reduce_window
+def write_lane(lane: np.ndarray, grads: Sequence[Optional[np.ndarray]],
+               sizes: Sequence[int], weight: float) -> None:
+    """Write one shard's contribution: ``weight · grad`` per parameter.
+
+    ``grads`` is the per-parameter gradient list in ``FlatParams`` order
+    and ``sizes`` the matching flat element counts; a ``None`` entry
+    (parameter untouched by this chunk's backward) contributes zeros.
+    The product is formed directly in the lane in ``ACCUM_DTYPE`` —
+    float32 gradients are cast up exactly, so the lane content is
+    independent of which process computes it.  The lane's final slot
+    records the weight.
+    """
+    lo = 0
+    for g, n in zip(grads, sizes):
+        if g is None:
+            lane[lo:lo + n] = 0.0
+        else:
+            np.multiply(g.reshape(-1), weight, out=lane[lo:lo + n],
+                        dtype=ACCUM_DTYPE)
+        lo += n
+    lane[-1] = weight
+
+
+@reduce_window
+def reduce_lanes(lanes: np.ndarray, out: np.ndarray) -> float:
+    """Weighted-mean reduction over lanes, in fixed shard order.
+
+    ``lanes`` is the ``(num_shards, flat_size + 1)`` buffer of the
+    current step; ``out`` receives the combined flat gradient
+    (``ACCUM_DTYPE``).  Iterating shards in ascending order makes the
+    float sum a pure function of the shard schedule; zero-weight lanes
+    are skipped entirely, exactly as a serial run skips a shard with no
+    chunk.  Returns the total weight (0.0 when no shard contributed).
+    """
+    out[...] = 0.0
+    total = 0.0
+    for s in range(lanes.shape[0]):
+        w = float(lanes[s, -1])
+        if w == 0.0:
+            continue
+        np.add(out, lanes[s, :-1], out=out, dtype=ACCUM_DTYPE)
+        total += w
+    if total > 0.0:
+        np.divide(out, total, out=out, dtype=ACCUM_DTYPE)
+    return total
+
+
+@reduce_window
+def write_segment(segment: np.ndarray, values) -> None:
+    """Publish ``values`` into a shared segment (zero fill, broadcast)."""
+    segment[...] = values
+
+
+@reduce_window
+def publish_params(segment: np.ndarray, flat_params) -> None:
+    """Flatten master weights into the params segment.
+
+    ``flat_params`` is the coordinator's
+    :class:`~repro.optim.FlatParams`; the actual stores go through its
+    offset map (one contiguous slice per parameter, no temporaries).
+    """
+    flat_params.write_params(segment)
+
+
+# ---------------------------------------------------------------------------
+# Backends
+# ---------------------------------------------------------------------------
+class LocalFlatComm:
+    """Process-local twin of :class:`SharedFlatComm`.
+
+    Identical layout and views backed by ordinary arrays, so the serial
+    fallback schedule runs through the very same :func:`write_lane` /
+    :func:`reduce_lanes` code path as the multi-process run — the basis
+    of the bitwise serial/parallel parity contract.
+    """
+
+    shared = False
+
+    def __init__(self, flat_size: int, num_shards: int, dtype) -> None:
+        self.flat_size = int(flat_size)
+        self.num_shards = int(num_shards)
+        self.dtype = resolve_dtype(dtype)
+        self.grads = np.zeros((2, self.num_shards, self.flat_size + 1),
+                              dtype=ACCUM_DTYPE)
+        self.params = np.zeros(self.flat_size, dtype=self.dtype)
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.grads.nbytes + self.params.nbytes)
+
+    def lanes(self, step: int) -> np.ndarray:
+        """The ``(num_shards, flat_size + 1)`` buffer for this step."""
+        return self.grads[step % 2]
+
+    def close(self) -> None:  # interface parity with SharedFlatComm
+        pass
+
+    def unlink(self) -> None:
+        pass
+
+
+def _unregister_from_tracker(shm) -> None:
+    """Detach an *attached* segment from the child's resource tracker.
+
+    ``SharedMemory(name=...)`` registers the mapping with the process's
+    resource tracker, and on worker exit the tracker would unlink a
+    segment the coordinator still owns (and warn about a "leak").  Only
+    the creating process may manage the segment's lifetime, so attached
+    handles are unregistered.  Best-effort: the tracker API is private
+    and its absence only costs a warning at exit.
+    """
+    try:  # pragma: no cover - exercised only in worker processes
+        from multiprocessing import resource_tracker
+        resource_tracker.unregister(getattr(shm, "_name", shm.name),
+                                    "shared_memory")
+    except Exception:
+        pass
+
+
+class SharedFlatComm:
+    """Owner/attachment of the two shared-memory segments.
+
+    The coordinator constructs one (``create=True`` via the normal
+    constructor) and serialises :meth:`spec` into each worker's spawn
+    payload; workers call :meth:`attach`.  ``close()`` drops this
+    process's mapping; ``unlink()`` (owner only) destroys the segments.
+    """
+
+    shared = True
+
+    def __init__(self, flat_size: int, num_shards: int, dtype, *,
+                 _names: Optional[Dict[str, str]] = None,
+                 _untrack: bool = False) -> None:
+        try:
+            from multiprocessing import shared_memory
+        except ImportError as exc:  # pragma: no cover - always importable
+            raise CommUnavailable(
+                f"multiprocessing.shared_memory unavailable: {exc}")
+        self.flat_size = int(flat_size)
+        self.num_shards = int(num_shards)
+        self.dtype = resolve_dtype(dtype)
+        self.owner = _names is None
+        grads_count = 2 * self.num_shards * (self.flat_size + 1)
+        grads_bytes = grads_count * np.dtype(ACCUM_DTYPE).itemsize
+        params_bytes = max(1, self.flat_size * self.dtype.itemsize)
+        try:
+            if self.owner:
+                self._grads_shm = shared_memory.SharedMemory(
+                    create=True, size=grads_bytes)
+                self._params_shm = shared_memory.SharedMemory(
+                    create=True, size=params_bytes)
+            else:
+                self._grads_shm = shared_memory.SharedMemory(
+                    name=_names["grads"])
+                self._params_shm = shared_memory.SharedMemory(
+                    name=_names["params"])
+                if _untrack:
+                    _unregister_from_tracker(self._grads_shm)
+                    _unregister_from_tracker(self._params_shm)
+        except (OSError, ValueError) as exc:
+            raise CommUnavailable(f"shared memory mapping failed: {exc}")
+        # Segments may be page-rounded: slice to the exact element count
+        # before reshaping.
+        self.grads = np.frombuffer(
+            self._grads_shm.buf, dtype=ACCUM_DTYPE,
+            count=grads_count).reshape(2, self.num_shards,
+                                       self.flat_size + 1)
+        self.params = np.frombuffer(
+            self._params_shm.buf, dtype=self.dtype, count=self.flat_size)
+        if self.owner:
+            clear_lane(self.grads)        # whole-buffer zero fill
+            write_segment(self.params, 0.0)
+
+    # ------------------------------------------------------------------
+    @property
+    def nbytes(self) -> int:
+        return int(self._grads_shm.size + self._params_shm.size)
+
+    def lanes(self, step: int) -> np.ndarray:
+        """The ``(num_shards, flat_size + 1)`` buffer for this step."""
+        return self.grads[step % 2]
+
+    def spec(self) -> Dict:
+        """Picklable attachment spec for worker processes."""
+        return {
+            "flat_size": self.flat_size,
+            "num_shards": self.num_shards,
+            "dtype": self.dtype.name,
+            "names": {"grads": self._grads_shm.name,
+                      "params": self._params_shm.name},
+        }
+
+    @classmethod
+    def attach(cls, spec: Dict, *,
+               untrack: bool = False) -> "SharedFlatComm":
+        """Map the coordinator's segments inside a worker process.
+
+        ``untrack`` detaches the mapping from the worker's resource
+        tracker.  Under the standard ``multiprocessing`` start methods
+        (fork *and* spawn) workers inherit the coordinator's tracker
+        process, whose registry is a set — the duplicate registration on
+        attach is a no-op and the owner's ``unlink`` clears it exactly
+        once, so the default is ``False``: unregistering from a shared
+        tracker would strip the owner's entry.  Pass ``True`` only when
+        the attaching process runs its *own* tracker (segments attached
+        from an unrelated process), which would otherwise destroy the
+        owner's live segments when it exits.
+        """
+        return cls(spec["flat_size"], spec["num_shards"], spec["dtype"],
+                   _names=spec["names"], _untrack=untrack)
+
+    def close(self) -> None:
+        """Drop this process's mapping (views become invalid)."""
+        # The numpy views hold exported pointers into the buffer; they
+        # must be released before SharedMemory.close() will succeed.
+        self.grads = None
+        self.params = None
+        for shm in (self._grads_shm, self._params_shm):
+            try:
+                shm.close()
+            except Exception:
+                pass
+
+    def unlink(self) -> None:
+        """Destroy the segments (owner only; call after ``close``)."""
+        if not self.owner:
+            return
+        for shm in (self._grads_shm, self._params_shm):
+            try:
+                shm.unlink()
+            except Exception:
+                pass
+
+
+def probe_shared_memory() -> None:
+    """Raise :exc:`CommUnavailable` when shm segments cannot be created.
+
+    A tiny create/close/unlink round-trip — the cheapest honest answer to
+    "will :class:`SharedFlatComm` work here", used by the trainer to pick
+    the typed serial fallback up front instead of dying mid-spawn.
+    """
+    try:
+        from multiprocessing import shared_memory
+        seg = shared_memory.SharedMemory(create=True, size=16)
+    except Exception as exc:
+        raise CommUnavailable(f"shared memory probe failed: {exc}")
+    try:
+        seg.close()
+        seg.unlink()
+    except Exception:
+        pass

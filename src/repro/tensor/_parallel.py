@@ -29,8 +29,10 @@ and therefore reproduce the pre-policy float64 path exactly.
 
 from __future__ import annotations
 
+import atexit
 import os
 import threading
+from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 from contextlib import contextmanager
 from typing import Callable, Iterator, List, Optional, Sequence, Tuple
@@ -53,8 +55,11 @@ def _workers_from_env() -> int:
 
 _num_workers = _workers_from_env()
 _serial_only = False
-_pool: Optional[ThreadPoolExecutor] = None
-_pool_size = 0
+#: Live executors keyed by worker count, LRU-ordered.  Bounded: repeated
+#: ``set_num_workers`` flips (benchmark sweeps, per-process bootstraps)
+#: must not accumulate thread pools for every size ever requested.
+_pools: "OrderedDict[int, ThreadPoolExecutor]" = OrderedDict()
+_MAX_POOLS = 2
 _pool_lock = threading.Lock()
 
 
@@ -130,15 +135,54 @@ def chunk_plan(n: int, *, min_rows: int = PARALLEL_MIN_ROWS,
 
 
 def _get_pool(size: int) -> ThreadPoolExecutor:
-    global _pool, _pool_size
     with _pool_lock:
-        if _pool is None or _pool_size < size:
-            if _pool is not None:
-                _pool.shutdown(wait=False)
-            _pool = ThreadPoolExecutor(max_workers=size,
-                                       thread_name_prefix="repro-kernel")
-            _pool_size = size
-        return _pool
+        pool = _pools.get(size)
+        if pool is None:
+            pool = ThreadPoolExecutor(max_workers=size,
+                                      thread_name_prefix="repro-kernel")
+            _pools[size] = pool
+            while len(_pools) > _MAX_POOLS:
+                _, evicted = _pools.popitem(last=False)
+                evicted.shutdown(wait=False)
+        else:
+            _pools.move_to_end(size)
+        return pool
+
+
+def shutdown_pools(wait: bool = False) -> None:
+    """Shut down every live kernel pool (registered at interpreter exit).
+
+    Callable directly by embedders/tests; idempotent.  The next
+    :func:`run_chunked` dispatch after a shutdown simply creates a fresh
+    pool.
+    """
+    with _pool_lock:
+        pools = list(_pools.values())
+        _pools.clear()
+    for pool in pools:
+        pool.shutdown(wait=wait)
+
+
+atexit.register(shutdown_pools)
+
+
+def _reset_after_fork() -> None:
+    """Drop inherited pool state in a forked child.
+
+    The parent's executor threads do not exist in the child, so the
+    inherited ``ThreadPoolExecutor`` objects are husks whose internal
+    locks may have been captured mid-operation — calling ``shutdown`` on
+    them (or reusing them) can deadlock.  The child discards the
+    references (no threads to stop) and re-creates pools on demand; the
+    lock is re-minted for the same reason.
+    """
+    global _pool_lock
+    _pool_lock = threading.Lock()
+    _pools.clear()
+
+
+if hasattr(os, "register_at_fork"):
+    os.register_at_fork(after_in_child=_reset_after_fork)
 
 
 def run_chunked(fn: Callable[[int, int], None],

@@ -8,6 +8,9 @@ from .node_trainer import (NodeClassificationTrainer, NodeTrainResult,
 from .link_trainer import LinkPredictionTrainer, LinkTrainResult
 from .graph_trainer import (GraphClassificationTrainer, GraphTrainResult,
                             iterate_batches)
+from .sharding import (ShardAssignment, make_shards, shard_dropout_rngs,
+                       shard_sampler, worker_shards)
+from .dataparallel import ShardedTrainer
 from .experiment import (ADAMGNN_LEVELS_GC, ADAMGNN_LEVELS_LP,
                          ADAMGNN_LEVELS_NC, ExperimentResult,
                          GRAPH_MODEL_NAMES, NODE_MODEL_NAMES,
@@ -22,6 +25,8 @@ __all__ = [
     "prepare_node_features",
     "LinkPredictionTrainer", "LinkTrainResult",
     "GraphClassificationTrainer", "GraphTrainResult", "iterate_batches",
+    "ShardAssignment", "ShardedTrainer", "make_shards",
+    "shard_dropout_rngs", "shard_sampler", "worker_shards",
     "ADAMGNN_LEVELS_GC", "ADAMGNN_LEVELS_LP", "ADAMGNN_LEVELS_NC",
     "ExperimentResult", "GRAPH_MODEL_NAMES", "NODE_MODEL_NAMES",
     "format_results_table", "make_graph_classifier", "make_link_predictor",

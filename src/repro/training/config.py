@@ -51,11 +51,34 @@ class TrainConfig:
     #: the uncaptured path transparently, and it is bitwise-identical to
     #: capture-off training by construction.
     capture: Optional[bool] = None
+    #: Data-parallel worker process count for the graph-classification
+    #: trainer.  ``None`` resolves from the ``REPRO_DP_PROCS`` env var
+    #: and defaults to 1 (plain in-process training).  Any value > 1
+    #: routes ``fit`` through :class:`~repro.training.ShardedTrainer`;
+    #: the worker count is a pure packing decision — results depend only
+    #: on ``num_shards`` (see ``training/sharding.py``).
+    num_procs: Optional[int] = None
+    #: Gradient shard count for data-parallel training.  ``None``
+    #: defaults to ``num_procs``.  ``num_shards == 1`` is plain serial
+    #: training (bitwise-identical to ``num_procs=1`` by fallback).
+    num_shards: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.capture is None:
             flag = os.environ.get("REPRO_TRAIN_CAPTURE", "1").lower()
             self.capture = flag not in ("0", "false", "off")
+        if self.num_procs is None:
+            raw = os.environ.get("REPRO_DP_PROCS", "1")
+            try:
+                self.num_procs = max(1, int(raw))
+            except ValueError:
+                self.num_procs = 1
+        if self.num_procs < 1:
+            raise ValueError("num_procs must be >= 1")
+        if self.num_shards is None:
+            self.num_shards = self.num_procs
+        if self.num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
         if self.epochs < 1:
             raise ValueError("epochs must be >= 1")
         if not 0 < self.lr:

@@ -54,6 +54,42 @@ class GraphTrainResult:
     phase_seconds: Optional[Dict[str, float]] = None
     #: per-cache hit/miss counters (only with ``config.profile``)
     cache_stats: Optional[Dict[str, dict]] = None
+    #: wall seconds of each epoch (steps + eval), in epoch order
+    epoch_seconds: Optional[List[float]] = None
+    #: data-parallel run record: mode, effective process count, fallback
+    #: reason, comm segment bytes and the serialized shard assignment
+    #: (``None`` for plain non-sharded training).  See
+    #: ``training/dataparallel.py``.
+    sharding: Optional[Dict] = None
+
+
+#: Stat counters that describe a per-process constant rather than an
+#: accumulating event count — merged across worker processes by ``max``
+#: instead of ``+`` (summing three copies of a cache's capacity, or of
+#: ``graphs_total``, would be nonsense).
+_NON_ADDITIVE_STATS = frozenset({"capacity", "graphs_total"})
+
+
+def _merge_stat_sections(base: Dict[str, dict],
+                         extra: Dict[str, dict]) -> Dict[str, dict]:
+    """Fold one cache-stats report into another, counter-wise.
+
+    Sections (``batch_cache``, ``training_tape``, ...) are matched by
+    name; numeric counters add, except the :data:`_NON_ADDITIVE_STATS`
+    per-process constants which take the max.  Used to combine the
+    coordinator's view with data-parallel workers' private caches.
+    """
+    out = {name: dict(counters) for name, counters in base.items()}
+    for name, counters in extra.items():
+        dst = out.setdefault(name, {})
+        for key, value in counters.items():
+            if not isinstance(value, (int, float, np.integer, np.floating)):
+                dst.setdefault(key, value)
+            elif key in _NON_ADDITIVE_STATS:
+                dst[key] = max(dst.get(key, value), value)
+            else:
+                dst[key] = dst.get(key, 0) + value
+    return out
 
 
 def iterate_batches(dataset: GraphDataset, index: np.ndarray,
@@ -92,6 +128,11 @@ class GraphClassificationTrainer:
         #: training-step tape/arena registry (None = capture disabled)
         self._capture: Optional[StepCapture] = \
             StepCapture() if self.config.capture else None
+        #: merged per-worker cache counters of the last data-parallel
+        #: ``fit`` (worker processes own private caches; their final
+        #: counters are shipped back at shutdown and folded into
+        #: :meth:`cache_stats`).  ``None`` outside multi-process runs.
+        self._dp_worker_stats: Optional[Dict[str, dict]] = None
 
     # ------------------------------------------------------------------
     # Minibatch pipeline
@@ -155,6 +196,8 @@ class GraphClassificationTrainer:
                 model.encoder.structure_cache.stats()
         if self._capture is not None:
             stats["training_tape"] = self._capture.stats()
+        if self._dp_worker_stats:
+            stats = _merge_stat_sections(stats, self._dp_worker_stats)
         return stats
 
     # ------------------------------------------------------------------
@@ -234,6 +277,24 @@ class GraphClassificationTrainer:
     # ------------------------------------------------------------------
     def fit(self, model: Module, dataset: GraphDataset) -> GraphTrainResult:
         cfg = self.config
+        if max(cfg.num_procs, cfg.num_shards) > 1:
+            # Data-parallel mode (TrainConfig(num_procs=...) or the
+            # REPRO_DP_PROCS env var): the sharded coordinator owns the
+            # loop.  Passing ``inner=self`` shares this trainer's
+            # structure pipeline and capture registry with the
+            # coordinator, so evaluation caches (and, in serial-sharded
+            # mode, training collation) stay observable through
+            # ``cache_stats``.  The single-shard fallback calls
+            # ``_fit_plain`` directly, so there is no recursion.
+            from .dataparallel import ShardedTrainer
+            return ShardedTrainer(cfg, inner=self).fit(model, dataset)
+        return self._fit_plain(model, dataset)
+
+    def _fit_plain(self, model: Module,
+                   dataset: GraphDataset) -> GraphTrainResult:
+        """The single-process training loop (no shard scheduling)."""
+        cfg = self.config
+        self._dp_worker_stats = None
         # Cast the model before the optimiser snapshots parameter shapes,
         # so Adam's moment buffers are born at the compute precision.
         model.astype(cfg.dtype)
@@ -242,6 +303,7 @@ class GraphClassificationTrainer:
                          weight_decay=cfg.weight_decay)
         stopper = EarlyStopping(patience=cfg.patience, mode="max")
         history: List[float] = []
+        epoch_seconds: List[float] = []
         start = time.time()
         epochs_run = 0
         profiler = PhaseTimer() if cfg.profile else None
@@ -252,6 +314,7 @@ class GraphClassificationTrainer:
         with scope, default_dtype(cfg.dtype):
             for epoch in range(cfg.epochs):
                 epochs_run = epoch + 1
+                epoch_start = time.time()
                 model.train()
                 for batch, structure in self._batches(
                         structures, dataset, dataset.train_index, rng=rng):
@@ -265,6 +328,7 @@ class GraphClassificationTrainer:
                 with profile_phase("eval"):
                     val_acc = self.evaluate(model, dataset, dataset.val_index)
                 history.append(val_acc)
+                epoch_seconds.append(time.time() - epoch_start)
                 if profiler:
                     profiler.end_epoch()
                 if cfg.verbose:
@@ -282,7 +346,8 @@ class GraphClassificationTrainer:
             seconds_per_epoch=elapsed / max(epochs_run, 1),
             history=history,
             phase_seconds=profiler.mean_epoch() if profiler else None,
-            cache_stats=self.cache_stats(model) if profiler else None)
+            cache_stats=self.cache_stats(model) if profiler else None,
+            epoch_seconds=epoch_seconds)
 
     def time_one_epoch(self, model: Module, dataset: GraphDataset) -> float:
         """Wall-clock seconds for a single training epoch (Table 4)."""

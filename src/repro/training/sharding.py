@@ -1,0 +1,151 @@
+"""Deterministic shard assignment for data-parallel training.
+
+The sharded trainer partitions a dataset's training index into
+``num_shards`` fixed subsets once per run.  The partition — not the
+worker count — is the unit of determinism: every shard owns a private
+sampler stream and dropout streams derived from ``(seed, stream tag,
+shard id)``, each epoch it permutes *its own* subset and chunks it by
+``batch_size``, and its gradient contribution lands in its own reduction
+lane (``repro/tensor/_comm.py``).  Packing shards onto 1, 2 or 4 worker
+processes therefore changes which OS process executes a shard's steps
+but not one bit of what is computed.
+
+The assignment itself is seeded (a ``default_rng((seed, SHARD_STREAM))``
+permutation split into contiguous near-equal parts), stable across
+epochs by construction (it is computed once and never reshuffled), and
+serialised into the train result so a run can be reproduced from its
+artifact alone.
+
+Stream tags: the plain trainer draws its sampler from
+``default_rng(seed + 307)``; the shard streams use seed *tuples* with
+distinct tags so no shard stream can collide with the plain stream or
+with each other.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+__all__ = ["ShardAssignment", "make_shards", "shard_dropout_rngs",
+           "shard_sampler", "worker_shards"]
+
+#: Stream tag for the one-off assignment permutation.
+SHARD_STREAM = 5711
+#: Stream tag for per-shard sampler streams (epoch permutation + loss
+#: sampling).  Mirrors the plain trainer's ``seed + 307`` sampler.
+SAMPLER_STREAM = 307
+#: Stream tag for per-shard dropout replacement streams.
+DROPOUT_STREAM = 9181
+
+
+@dataclass(frozen=True)
+class ShardAssignment:
+    """One run's fixed partition of the training index.
+
+    ``shards[s]`` holds the dataset indices shard ``s`` owns, in
+    assignment order.  Frozen: the whole point is that nothing mutates
+    the partition after it is drawn.
+    """
+
+    seed: int
+    batch_size: int
+    shards: Tuple[Tuple[int, ...], ...]
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.shards)
+
+    @property
+    def num_items(self) -> int:
+        return sum(len(s) for s in self.shards)
+
+    @property
+    def chunks_per_shard(self) -> Tuple[int, ...]:
+        """Minibatch chunk count of each shard (constant across epochs)."""
+        return tuple(-(-len(s) // self.batch_size) for s in self.shards)
+
+    @property
+    def steps_per_epoch(self) -> int:
+        """Optimizer steps per epoch: the largest shard's chunk count.
+
+        Shards with fewer chunks sit out the trailing steps (their lanes
+        carry weight 0, which the reducer skips).
+        """
+        return max(self.chunks_per_shard) if self.shards else 0
+
+    def shard_index(self, shard: int) -> np.ndarray:
+        """Shard ``shard``'s dataset indices as an int64 array."""
+        return np.asarray(self.shards[shard], dtype=np.int64)
+
+    def to_dict(self) -> Dict:
+        """JSON-serialisable form recorded in the train result."""
+        return {
+            "seed": self.seed,
+            "batch_size": self.batch_size,
+            "num_shards": self.num_shards,
+            "num_items": self.num_items,
+            "steps_per_epoch": self.steps_per_epoch,
+            "chunks_per_shard": list(self.chunks_per_shard),
+            "shards": [list(s) for s in self.shards],
+        }
+
+
+def make_shards(index: np.ndarray, num_shards: int, seed: int,
+                batch_size: int) -> ShardAssignment:
+    """Draw the run's shard assignment.
+
+    A seeded permutation of ``index`` split into ``num_shards``
+    contiguous, near-equal parts (sizes differ by at most one, larger
+    shards first — ``np.array_split`` semantics).  ``num_shards`` is
+    clamped to the index size so every shard is non-empty.
+    """
+    if num_shards < 1:
+        raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+    index = np.asarray(index, dtype=np.int64)
+    num_shards = min(num_shards, max(1, int(index.size)))
+    order = np.random.default_rng((seed, SHARD_STREAM)).permutation(index)
+    parts = np.array_split(order, num_shards)
+    return ShardAssignment(
+        seed=int(seed), batch_size=int(batch_size),
+        shards=tuple(tuple(int(i) for i in part) for part in parts))
+
+
+def shard_sampler(seed: int, shard: int) -> np.random.Generator:
+    """Shard ``shard``'s private sampler stream.
+
+    Drives the shard's per-epoch permutation *and* the loss sampling of
+    its steps (negative edges for L_R) — the same dual role the plain
+    trainer's single sampler plays.
+    """
+    return np.random.default_rng((seed, SAMPLER_STREAM, shard))
+
+
+def shard_dropout_rngs(seed: int, shard: int,
+                       count: int) -> List[np.random.Generator]:
+    """Per-module dropout streams for one shard.
+
+    A shard's steps swap these onto the model's RNG-bearing modules
+    before each forward, so mask draws depend on ``(seed, shard, module
+    position)`` only — never on which worker process runs the shard or
+    how steps from different shards interleave in time.
+    """
+    return [np.random.default_rng((seed, DROPOUT_STREAM, shard, i))
+            for i in range(count)]
+
+
+def worker_shards(num_shards: int, num_procs: int) -> List[List[int]]:
+    """Contiguous shard-id ranges owned by each worker.
+
+    Contiguity in shard-id order means a worker executing its shards in
+    ascending id order visits lanes in exactly the order the fixed-order
+    reducer reads them — the property that makes worker count a pure
+    packing decision.
+    """
+    if num_procs < 1:
+        raise ValueError(f"num_procs must be >= 1, got {num_procs}")
+    parts = np.array_split(np.arange(num_shards), min(num_procs,
+                                                      num_shards))
+    return [[int(s) for s in part] for part in parts]

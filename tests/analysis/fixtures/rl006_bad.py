@@ -1,0 +1,33 @@
+"""RL006 fixture: comm-segment discipline violations — 6 findings."""
+
+import numpy as np
+
+from repro.tensor._comm import reduce_window
+
+
+def leak_store(lane, grad):
+    # Subscript store into a lane with no reduce window in sight.
+    lane[:] = grad
+
+
+def leak_augassign(segment, lo, hi, update):
+    segment[lo:hi] += update
+
+
+def leak_fill(segment):
+    segment.fill(0.0)
+
+
+def leak_out(lane, grad, weight):
+    np.multiply(grad, weight, out=lane)
+
+
+@reduce_window
+def sloppy_reduce(lanes, out):
+    # Inside the window, but accumulating without the float64 cast-up.
+    np.add(out, lanes[0], out=out)
+
+
+@reduce_window
+def wrong_dtype(lanes, out):
+    np.add(out, lanes[1], out=out, dtype=np.float32)

@@ -11,8 +11,9 @@ import pytest
 
 from repro.analysis import lint
 from repro.analysis.rules import (ArenaEscapeRule, ClosureRetentionRule,
-                                  DtypeLiteralRule, InplaceMutationRule,
-                                  SourceFile, VJPRegistryRule, default_rules)
+                                  CommReductionRule, DtypeLiteralRule,
+                                  InplaceMutationRule, SourceFile,
+                                  VJPRegistryRule, default_rules)
 from repro.analysis.rules.vjp_registry import fused_ops_with_custom_backward
 
 FIXTURES = Path(__file__).parent / "fixtures"
@@ -176,6 +177,43 @@ def test_rl005_excludes_workspace_module():
 def test_rl005_real_tree_is_clean():
     report = lint.lint_paths([REPO_ROOT / "src" / "repro"],
                              rules=[ClosureRetentionRule()], root=REPO_ROOT)
+    assert report.findings == []
+
+
+# ---------------------------------------------------------------------------
+# RL006 — comm-segment reduce-window discipline
+# ---------------------------------------------------------------------------
+def test_rl006_flags_discipline_violations():
+    findings = run_rule(CommReductionRule(), "rl006_bad.py")
+    assert len(findings) == 6
+    assert {f.rule for f in findings} == {"RL006"}
+    messages = "\n".join(f.message for f in findings)
+    assert "subscript store" in messages
+    assert "augmented assignment" in messages
+    assert ".fill() on" in messages
+    assert "out= targeting" in messages
+    assert "lacks dtype=ACCUM_DTYPE" in messages
+
+
+def test_rl006_clean_on_disciplined_usage():
+    assert run_rule(CommReductionRule(), "rl006_good.py") == []
+
+
+def test_rl006_inactive_outside_comm_files():
+    # A file that neither lives under repro/tensor/_comm nor mentions
+    # reduce_window is out of scope, whatever it writes.
+    rule = CommReductionRule()
+    src = SourceFile(Path("other.py"), "repro/nn/other.py",
+                     "import numpy as np\n"
+                     "def f(lane, g):\n"
+                     "    lane[:] = g\n")
+    assert list(rule.check_file(src)) == []
+
+
+def test_rl006_real_comm_module_is_clean():
+    report = lint.lint_paths(
+        [REPO_ROOT / "src" / "repro" / "tensor" / "_comm.py"],
+        rules=[CommReductionRule()], root=REPO_ROOT)
     assert report.findings == []
 
 

@@ -200,3 +200,52 @@ def test_naive_kernels_float64_is_chunking_free():
         wide = run_naive()
     for lhs, rhs in zip(base, wide):
         assert np.array_equal(lhs, rhs)
+
+
+# ---------------------------------------------------------------------------
+# Pool lifecycle: bounded cache, shutdown hook, fork reset
+# ---------------------------------------------------------------------------
+def test_pool_cache_is_bounded_and_lru():
+    from repro.tensor import _parallel
+    _parallel.shutdown_pools()
+    pools = [_parallel._get_pool(size) for size in (2, 3, 4)]
+    assert len(_parallel._pools) <= _parallel._MAX_POOLS
+    # The oldest size was evicted and shut down; re-requesting it mints a
+    # fresh executor instead of reusing the dead one.
+    assert 2 not in _parallel._pools
+    fresh = _parallel._get_pool(2)
+    assert fresh is not pools[0]
+    assert fresh.submit(lambda: 41 + 1).result() == 42
+    # A cache hit returns the identical executor (and refreshes its LRU
+    # position).
+    assert _parallel._get_pool(2) is fresh
+    _parallel.shutdown_pools()
+
+
+def test_shutdown_pools_is_idempotent_and_recoverable():
+    from repro.tensor import _parallel
+    _parallel._get_pool(2)
+    _parallel.shutdown_pools()
+    _parallel.shutdown_pools()           # second call is a no-op
+    assert not _parallel._pools
+    # The executor path still works after shutdown: pools re-create on
+    # demand, so atexit/shutdown ordering can never wedge a later run.
+    out = np.zeros(BIG)
+    with num_workers(4):
+        run_chunked(lambda lo, hi: out.__setitem__(slice(lo, hi), 1.0),
+                    chunk_plan(BIG))
+    assert out.all()
+
+
+def test_fork_reset_discards_inherited_pools_without_shutdown():
+    from repro.tensor import _parallel
+    husk = _parallel._get_pool(2)
+    old_lock = _parallel._pool_lock
+    _parallel._reset_after_fork()
+    # The child must not reuse (or try to join) the parent's executors:
+    # the registry is empty and the lock is a fresh object.
+    assert not _parallel._pools
+    assert _parallel._pool_lock is not old_lock
+    assert _parallel._get_pool(2) is not husk
+    husk.shutdown(wait=False)            # tidy the real (parent) pool
+    _parallel.shutdown_pools()
