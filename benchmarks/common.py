@@ -61,6 +61,67 @@ def bench_environment(dtype: str, **extra) -> dict:
     return env
 
 
+def peak_rss_bytes() -> int:
+    """High-water resident set size of this process, in bytes.
+
+    Uses ``resource.getrusage`` (``ru_maxrss`` is KiB on Linux, bytes on
+    macOS) with a ``psutil`` fallback; returns 0 when neither source is
+    available.  Note the value is a process-lifetime high-water mark — to
+    attribute a peak to one workload, run it via :func:`run_isolated`.
+    """
+    try:
+        import resource
+        raw = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        return int(raw) if sys.platform == "darwin" else int(raw) * 1024
+    except Exception:
+        pass
+    try:
+        import psutil
+        return int(psutil.Process().memory_info().rss)
+    except Exception:
+        return 0
+
+
+def run_isolated(fn, *args, **kwargs):
+    """Run ``fn(*args, **kwargs)`` in a forked child; return
+    ``(result, peak_rss_bytes)``.
+
+    Forking gives the workload a private address space, so the child's
+    ``ru_maxrss`` *is* the workload's peak (the parent's own history
+    cannot inflate it) — this is how benches report memory alongside
+    latency.  Falls back to in-process execution (peak measured before
+    and after, high-water semantics) when fork is unavailable; the
+    result must be picklable on the forked path.
+    """
+    import multiprocessing as mp
+    try:
+        ctx = mp.get_context("fork")
+    except ValueError:
+        return fn(*args, **kwargs), peak_rss_bytes()
+    parent_conn, child_conn = ctx.Pipe(duplex=False)
+
+    def _child() -> None:
+        try:
+            result = fn(*args, **kwargs)
+            child_conn.send(("ok", result, peak_rss_bytes()))
+        except BaseException as exc:  # surface the real failure in the parent
+            child_conn.send(("err", repr(exc), peak_rss_bytes()))
+        finally:
+            child_conn.close()
+
+    proc = ctx.Process(target=_child)
+    proc.start()
+    child_conn.close()
+    try:
+        status, payload, peak = parent_conn.recv()
+    finally:
+        proc.join()
+        parent_conn.close()
+    if status == "err":
+        raise RuntimeError(f"run_isolated child failed: {payload}")
+    return payload, peak
+
+
 def current_commit() -> str:
     """Short hash of HEAD, or ``"unknown"`` outside a usable git checkout."""
     try:

@@ -1,0 +1,263 @@
+"""Compact CSC adjacency with sampled-neighborhood extraction.
+
+The sampled minibatch pipeline (DESIGN.md "Sampled minibatch training")
+never materialises anything graph-sized per step: a :class:`CSCGraph` is
+built once per graph — two flat arrays, ``indptr`` (n+1) and ``indices``
+(E), in the spirit of graphbolt's ``csc_sampling_graph`` — and every
+minibatch touches only the slices behind its seed nodes.
+
+Layout: ``indices[indptr[v]:indptr[v+1]]`` are the *sources* of edges
+whose destination is ``v``, sorted ascending.  All loaders in this library
+produce symmetric edge lists, so these double as out-neighbours; the
+sampler semantics below are defined in terms of in-edges (messages are
+*pulled* onto a node), matching the message-passing convention.
+
+Two operations drive training:
+
+* :meth:`CSCGraph.sample_neighbors` — per-node fixed-fanout neighbour
+  draws, uniform or weighted (the pluggable sampler policies pass learned
+  weights), without replacement, exact when the degree is at most the
+  fanout;
+* :meth:`CSCGraph.ego_net` — radius-λ sampled ego-net extraction around a
+  seed set: λ rounds of frontier expansion whose union, relabelled to
+  local ids with seeds first and symmetrised, is a subgraph every existing
+  kernel (GCN normalisation, segment plans, ego-structure caches) consumes
+  unchanged.
+
+Determinism: both operations consume only the caller's RNG, in iteration
+order over the given nodes — the same generator state always yields the
+bitwise-identical subgraph (property-tested), which is what lets the
+sampled trainer key its RNG streams per (seed, epoch, batch) exactly like
+the PR-8 sharding discipline.
+"""
+
+from __future__ import annotations
+
+import weakref
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .graph import Graph
+
+__all__ = ["CSCGraph", "SampledSubgraph", "csc_cache_stats"]
+
+
+@dataclass
+class SampledSubgraph:
+    """One sampled radius-λ ego-net minibatch.
+
+    ``nodes`` holds original node ids — the ``num_seeds`` seed nodes
+    first, then each hop's frontier in discovery order — and
+    ``edge_index`` is the sampled edge set relabelled to local ids
+    (``0 .. len(nodes)-1``) and symmetrised, so it feeds straight into
+    the layers' message-passing kernels.
+    """
+
+    nodes: np.ndarray
+    edge_index: np.ndarray
+    num_seeds: int
+
+    @property
+    def num_nodes(self) -> int:
+        return int(self.nodes.shape[0])
+
+    @property
+    def num_edges(self) -> int:
+        return int(self.edge_index.shape[1])
+
+    def seed_mask(self) -> np.ndarray:
+        """Boolean mask over local nodes marking the seed rows."""
+        mask = np.zeros(self.num_nodes, dtype=bool)
+        mask[:self.num_seeds] = True
+        return mask
+
+    def to_graph(self, x: Optional[np.ndarray] = None,
+                 y: Optional[np.ndarray] = None) -> Graph:
+        """Materialise the minibatch as a :class:`Graph`.
+
+        ``x``/``y`` are *full-graph* arrays; the rows behind this
+        subgraph's nodes are gathered here, so the caller never slices
+        graph-sized data itself.
+        """
+        sub_x = None if x is None else x[self.nodes]
+        sub_y = None if y is None else np.asarray(y)[self.nodes]
+        return Graph(self.edge_index, x=sub_x, y=sub_y,
+                     num_nodes=self.num_nodes)
+
+
+class CSCGraph:
+    """Compressed sparse column adjacency for neighbour sampling."""
+
+    def __init__(self, indptr: np.ndarray, indices: np.ndarray,
+                 num_nodes: int):
+        self.indptr = np.asarray(indptr, dtype=np.int64)
+        self.indices = np.asarray(indices, dtype=np.int64)
+        self.num_nodes = int(num_nodes)
+        if self.indptr.shape != (self.num_nodes + 1,):
+            raise ValueError("indptr must have num_nodes + 1 entries")
+        if self.indptr[0] != 0 or self.indptr[-1] != self.indices.shape[0]:
+            raise ValueError("indptr does not span indices")
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edge_index(cls, edge_index: np.ndarray,
+                        num_nodes: int) -> "CSCGraph":
+        """Build from a ``(2, E)`` COO edge list (kept as given, directed)."""
+        edge_index = np.asarray(edge_index, dtype=np.int64)
+        if edge_index.size == 0:
+            return cls(np.zeros(num_nodes + 1, dtype=np.int64),
+                       np.zeros(0, dtype=np.int64), num_nodes)
+        src, dst = edge_index
+        # Column-major order with sorted source lists per column: a
+        # deterministic canonical layout (tests rely on it).
+        order = np.lexsort((src, dst))
+        indices = src[order]
+        counts = np.bincount(dst, minlength=num_nodes)
+        indptr = np.zeros(num_nodes + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        return cls(indptr, indices, num_nodes)
+
+    @classmethod
+    def from_graph(cls, graph: Graph) -> "CSCGraph":
+        """Identity-cached build: the same :class:`Graph` object reuses
+        its CSC structure across trainer/eval/bench calls."""
+        entry = _CSC_CACHE.get(id(graph))
+        if entry is not None:
+            ref, csc = entry
+            if ref() is graph:
+                _CSC_STATS["hits"] += 1
+                return csc
+        _CSC_STATS["misses"] += 1
+        csc = cls.from_edge_index(graph.edge_index, graph.num_nodes)
+        key = id(graph)
+        _CSC_CACHE[key] = (weakref.ref(
+            graph, lambda _, key=key: _CSC_CACHE.pop(key, None)), csc)
+        return csc
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def num_edges(self) -> int:
+        return int(self.indices.shape[0])
+
+    def degrees(self) -> np.ndarray:
+        """In-degree of every node."""
+        return np.diff(self.indptr)
+
+    def neighbors(self, node: int) -> np.ndarray:
+        """Sorted in-neighbours of ``node`` (a view, do not mutate)."""
+        if not 0 <= node < self.num_nodes:
+            raise IndexError(f"node {node} out of range")
+        return self.indices[self.indptr[node]:self.indptr[node + 1]]
+
+    # ------------------------------------------------------------------
+    # Sampling
+    # ------------------------------------------------------------------
+    def sample_neighbors(self, nodes: np.ndarray, fanout: Optional[int],
+                         rng: np.random.Generator,
+                         weights: Optional[np.ndarray] = None,
+                         ) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-node neighbour draws: ``(src, dst)`` in original ids.
+
+        Every node in ``nodes`` contributes ``min(degree, fanout)``
+        distinct in-neighbours (all of them when ``fanout`` is ``None``),
+        drawn without replacement — uniformly, or proportional to
+        ``weights`` (a full-graph score array) when given.  Nodes are
+        visited in the order given, each consuming RNG draws only when a
+        real choice exists, so replaying the generator state replays the
+        sample bitwise.
+        """
+        nodes = np.asarray(nodes, dtype=np.int64)
+        src_parts: List[np.ndarray] = []
+        dst_parts: List[np.ndarray] = []
+        for v in nodes:
+            lo, hi = self.indptr[v], self.indptr[v + 1]
+            nbrs = self.indices[lo:hi]
+            deg = nbrs.shape[0]
+            if deg == 0:
+                continue
+            if fanout is None or deg <= fanout:
+                picked = nbrs
+            elif weights is None:
+                picked = nbrs[rng.choice(deg, size=fanout, replace=False)]
+            else:
+                w = weights[nbrs]
+                total = w.sum()
+                if total <= 0:
+                    picked = nbrs[rng.choice(deg, size=fanout,
+                                             replace=False)]
+                else:
+                    picked = nbrs[rng.choice(deg, size=fanout,
+                                             replace=False, p=w / total)]
+            src_parts.append(picked)
+            dst_parts.append(np.full(picked.shape[0], v, dtype=np.int64))
+        if not src_parts:
+            empty = np.zeros(0, dtype=np.int64)
+            return empty, empty.copy()
+        return np.concatenate(src_parts), np.concatenate(dst_parts)
+
+    def ego_net(self, seeds: np.ndarray, radius: int,
+                fanout: Optional[int], rng: np.random.Generator,
+                weights: Optional[np.ndarray] = None) -> SampledSubgraph:
+        """Sampled radius-``radius`` ego-net around ``seeds``.
+
+        ``radius`` rounds of :meth:`sample_neighbors` starting from the
+        (unique) seed set; each round's newly discovered nodes form the
+        next frontier.  With ``fanout=None`` the result is exact: nodes
+        are all vertices within ``radius`` hops of a seed, and edges are
+        every edge incident to a node within ``radius - 1`` hops (both
+        directions).  The returned edge set is deduplicated and
+        symmetrised so GCN normalisation's symmetry contract holds.
+        """
+        if radius < 1:
+            raise ValueError(f"radius must be >= 1, got {radius}")
+        seeds = np.unique(np.asarray(seeds, dtype=np.int64))
+        if seeds.size and (seeds[0] < 0 or seeds[-1] >= self.num_nodes):
+            raise IndexError("seed ids out of range")
+        visited = np.zeros(self.num_nodes, dtype=bool)
+        visited[seeds] = True
+        layers = [seeds]
+        src_parts: List[np.ndarray] = []
+        dst_parts: List[np.ndarray] = []
+        frontier = seeds
+        for _ in range(radius):
+            if frontier.size == 0:
+                break
+            src, dst = self.sample_neighbors(frontier, fanout, rng, weights)
+            src_parts.append(src)
+            dst_parts.append(dst)
+            fresh = np.unique(src[~visited[src]])
+            visited[fresh] = True
+            layers.append(fresh)
+            frontier = fresh
+        nodes = np.concatenate(layers) if layers else seeds
+        lookup = np.full(self.num_nodes, -1, dtype=np.int64)
+        lookup[nodes] = np.arange(nodes.shape[0])
+        if src_parts:
+            src = lookup[np.concatenate(src_parts)]
+            dst = lookup[np.concatenate(dst_parts)]
+            # Symmetrise + dedupe through one encoded key pass.
+            m = nodes.shape[0]
+            keys = np.unique(np.concatenate([src * m + dst,
+                                             dst * m + src]))
+            edge_index = np.stack([keys // m, keys % m])
+        else:
+            edge_index = np.zeros((2, 0), dtype=np.int64)
+        return SampledSubgraph(nodes=nodes, edge_index=edge_index,
+                               num_seeds=int(seeds.shape[0]))
+
+
+#: Identity-keyed CSC structures (weakly held) + hit/miss counters,
+#: surfaced through the trainers' ``cache_stats()`` profile report.
+_CSC_CACHE: Dict[int, Tuple[weakref.ref, CSCGraph]] = {}
+_CSC_STATS = {"hits": 0, "misses": 0}
+
+
+def csc_cache_stats() -> Dict[str, int]:
+    """Hit/miss counters of the identity-keyed CSC structure cache."""
+    return dict(_CSC_STATS, entries=len(_CSC_CACHE))

@@ -62,6 +62,27 @@ class TrainConfig:
     #: defaults to ``num_procs``.  ``num_shards == 1`` is plain serial
     #: training (bitwise-identical to ``num_procs=1`` by fallback).
     num_shards: Optional[int] = None
+    #: Node classification: train on sampled radius-λ ego-net minibatches
+    #: extracted from a CSC structure instead of full-batch epochs (see
+    #: DESIGN.md "Sampled minibatch training").  Epoch cost becomes
+    #: O(minibatch count), independent of graph size — the path that
+    #: opens the 10^5–10^6-node regime.
+    sampled: bool = False
+    #: Seed nodes per sampled minibatch.
+    node_batch_size: int = 512
+    #: Neighbours sampled per node per hop (``None`` = no sampling: the
+    #: exact radius-λ ego-net, useful for parity checks).
+    fanout: Optional[int] = 10
+    #: Ego-net radius λ of each sampled minibatch; match the model's
+    #: receptive field (2 for the 2-layer baselines).
+    num_hops: int = 2
+    #: Neighbour-sampling policy: ``"uniform"`` (GraphSAGE baseline) or
+    #: ``"adaptive"`` (GRAPES-style learned utility scores).
+    sampler: str = "uniform"
+    #: Optional cap on optimizer steps per sampled epoch (``None`` = the
+    #: full train-node permutation).  The scaling benchmark uses this to
+    #: time fixed minibatch budgets on 10^6-node graphs.
+    max_steps_per_epoch: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.capture is None:
@@ -88,3 +109,15 @@ class TrainConfig:
         if self.dtype not in ("float32", "float64"):
             raise ValueError(
                 f"dtype must be 'float32' or 'float64', got {self.dtype!r}")
+        if self.node_batch_size < 1:
+            raise ValueError("node_batch_size must be >= 1")
+        if self.fanout is not None and self.fanout < 1:
+            raise ValueError("fanout must be >= 1 or None")
+        if self.num_hops < 1:
+            raise ValueError("num_hops must be >= 1")
+        if self.sampler not in ("uniform", "adaptive"):
+            raise ValueError(
+                f"sampler must be 'uniform' or 'adaptive', got {self.sampler!r}")
+        if self.max_steps_per_epoch is not None \
+                and self.max_steps_per_epoch < 1:
+            raise ValueError("max_steps_per_epoch must be >= 1 or None")

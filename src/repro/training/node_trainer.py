@@ -17,16 +17,23 @@ import numpy as np
 from ..core import (AdamGNNOutput, sampled_reconstruction_loss,
                     self_optimisation_loss)
 from ..datasets import NodeDataset
-from ..graph import degree_features
+from ..graph import CSCGraph, degree_features, csc_cache_stats
 from ..nn import Module, cross_entropy
 from ..optim import Adam, clip_grad_norm
 from ..tensor import (Tensor, default_dtype, get_default_dtype, no_grad,
                       segment_plan_stats)
+from ..tensor.precision import ACCUM_DTYPE
 from ..utils.timing import PhaseTimer, profile_phase
 from .capture import StepCapture, model_rngs
 from .config import TrainConfig
 from .early_stopping import EarlyStopping
 from .metrics import accuracy
+from .samplers import NeighborSampler, eval_rng, make_sampler, minibatch_rng
+
+#: Sampled evaluation uses exact radius-λ ego-nets (no fanout cap) up to
+#: this many graph nodes; beyond it, eval samples at twice the training
+#: fanout — still deterministic (fixed eval RNG streams), still O(batch).
+SAMPLED_EVAL_EXACT_NODES = 20_000
 
 
 def prepare_node_features(dataset: NodeDataset) -> np.ndarray:
@@ -54,10 +61,15 @@ class NodeTrainResult:
     phase_seconds: Optional[Dict[str, float]] = None
     #: per-cache hit/miss counters (only with ``config.profile``)
     cache_stats: Optional[Dict[str, dict]] = None
+    #: optimizer steps per epoch (1 for full-batch, the minibatch count
+    #: for sampled training)
+    steps_per_epoch: int = 1
 
 
 def _cache_stats(model: Module,
-                 capture: Optional[StepCapture] = None) -> Dict[str, dict]:
+                 capture: Optional[StepCapture] = None,
+                 sampler: Optional[NeighborSampler] = None,
+                 ) -> Dict[str, dict]:
     """Structure-cache + segment-plan counters for the profile report."""
     stats: Dict[str, dict] = {"segment_plans": segment_plan_stats()}
     structure_cache = getattr(getattr(model, "encoder", None),
@@ -66,6 +78,9 @@ def _cache_stats(model: Module,
         stats["structure_cache"] = structure_cache.stats()
     if capture is not None:
         stats["training_tape"] = capture.stats()
+    if sampler is not None:
+        stats["sampler"] = sampler.stats()
+        stats["csc_cache"] = csc_cache_stats()
     return stats
 
 
@@ -77,6 +92,8 @@ class NodeClassificationTrainer:
         #: training-step tape/arena registry (None = capture disabled)
         self._capture: Optional[StepCapture] = \
             StepCapture() if self.config.capture else None
+        #: neighbour-sampling policy of the last sampled fit (counters)
+        self._sampler: Optional[NeighborSampler] = None
 
     def _forward(self, model: Module, x: Tensor, edge_index: np.ndarray,
                  edge_weight: np.ndarray):
@@ -121,6 +138,12 @@ class NodeClassificationTrainer:
                                       forward_loss)
 
     def fit(self, model: Module, dataset: NodeDataset) -> NodeTrainResult:
+        if self.config.sampled:
+            return self._fit_sampled(model, dataset)
+        return self._fit_full_batch(model, dataset)
+
+    def _fit_full_batch(self, model: Module,
+                        dataset: NodeDataset) -> NodeTrainResult:
         cfg = self.config
         # Inputs and model move to the compute precision once, up front:
         # the graph cast covers edge weights, the Tensor dtype covers the
@@ -183,6 +206,160 @@ class NodeClassificationTrainer:
             phase_seconds=profiler.mean_epoch() if profiler else None,
             cache_stats=(_cache_stats(model, self._capture)
                          if profiler else None))
+
+    # ------------------------------------------------------------------
+    # Sampled minibatch path (DESIGN.md "Sampled minibatch training")
+    # ------------------------------------------------------------------
+    def _sampled_step(self, model: Module, sampler: NeighborSampler,
+                      csc: CSCGraph, seeds: np.ndarray,
+                      features: np.ndarray, labels: np.ndarray,
+                      edge_weight_dtype, rng_b: np.random.Generator,
+                      optimizer: Adam) -> Tensor:
+        """One sampled minibatch step: extract, forward, loss, backward.
+
+        All randomness — ego-net draws and the reconstruction loss's
+        negative sampling — comes from ``rng_b``, the batch's keyed
+        stream, so the step is a pure function of (weights, seed, epoch,
+        batch index).  No tape capture: every batch is a fresh structure,
+        so a capture key would never recur.
+        """
+        cfg = self.config
+        with profile_phase("sample"):
+            sub = sampler.sample(csc, seeds, rng_b)
+            x_sub = Tensor(features[sub.nodes], dtype=cfg.dtype,
+                           requires_grad=sampler.needs_input_grad)
+            sub_weight = np.ones(sub.num_edges, dtype=edge_weight_dtype)
+        model.zero_grad()
+        with profile_phase("forward"):
+            logits, extra = self._forward(model, x_sub, sub.edge_index,
+                                          sub_weight)
+        with profile_phase("loss"):
+            loss = cross_entropy(logits, labels[sub.nodes],
+                                 mask=sub.seed_mask())
+            if isinstance(extra, AdamGNNOutput):
+                if cfg.use_kl and cfg.gamma:
+                    loss = loss + self_optimisation_loss(
+                        extra.h, extra.level1_egos()) * cfg.gamma
+                if cfg.use_recon and cfg.delta:
+                    loss = loss + sampled_reconstruction_loss(
+                        extra.h, sub.edge_index, sub.num_nodes,
+                        rng_b) * cfg.delta
+        with profile_phase("backward"):
+            loss.backward()
+        if x_sub.grad is not None:
+            signal = np.sqrt(
+                (x_sub.grad.astype(ACCUM_DTYPE) ** 2).sum(axis=1))
+            sampler.update(sub, signal)
+        with profile_phase("optimizer"):
+            if cfg.grad_clip:
+                clip_grad_norm(model.parameters(), cfg.grad_clip)
+            optimizer.step()
+        return loss
+
+    def _evaluate_sampled(self, model: Module, csc: CSCGraph,
+                          features: np.ndarray, labels: np.ndarray,
+                          idx: np.ndarray) -> float:
+        """Deterministic minibatched accuracy over ``idx``.
+
+        Exact ego-nets below :data:`SAMPLED_EVAL_EXACT_NODES` graph
+        nodes; above, neighbourhoods are sampled at twice the training
+        fanout from fixed eval RNG streams, so every epoch's validation
+        scores the same subgraphs and early stopping stays meaningful.
+        """
+        cfg = self.config
+        if csc.num_nodes <= SAMPLED_EVAL_EXACT_NODES or cfg.fanout is None:
+            fanout = None
+        else:
+            fanout = 2 * cfg.fanout
+        idx = np.asarray(idx, dtype=np.int64)
+        correct = 0
+        for b, start in enumerate(range(0, idx.size, cfg.node_batch_size)):
+            chunk = idx[start:start + cfg.node_batch_size]
+            sub = csc.ego_net(chunk, radius=cfg.num_hops, fanout=fanout,
+                              rng=eval_rng(cfg.seed, b))
+            x_sub = Tensor(features[sub.nodes], dtype=cfg.dtype)
+            sub_weight = np.ones(sub.num_edges,
+                                 dtype=np.dtype(cfg.dtype))
+            logits, _ = self._forward(model, x_sub, sub.edge_index,
+                                      sub_weight)
+            pred = logits.data[:sub.num_seeds].argmax(axis=1)
+            correct += int((pred == labels[sub.nodes[:sub.num_seeds]]).sum())
+        return correct / max(idx.size, 1)
+
+    def _fit_sampled(self, model: Module,
+                     dataset: NodeDataset) -> NodeTrainResult:
+        """Minibatch training over sampled ego-nets (O(batch) per step)."""
+        cfg = self.config
+        graph = dataset.graph.astype(cfg.dtype)
+        model.astype(cfg.dtype)
+        features = prepare_node_features(dataset)
+        labels = np.asarray(graph.y, dtype=np.int64)
+        csc = CSCGraph.from_graph(graph)
+        sampler = make_sampler(cfg.sampler, cfg.fanout, cfg.num_hops,
+                               graph.num_nodes)
+        self._sampler = sampler
+        train_idx = np.asarray(dataset.splits.train, dtype=np.int64)
+        val_idx = np.asarray(dataset.splits.val, dtype=np.int64)
+        test_idx = np.asarray(dataset.splits.test, dtype=np.int64)
+
+        optimizer = Adam(model.parameters(), lr=cfg.lr,
+                         weight_decay=cfg.weight_decay)
+        stopper = EarlyStopping(patience=cfg.patience, mode="max")
+        history: List[float] = []
+        start = time.time()
+        epochs_run = 0
+        steps_per_epoch = max(1, -(-train_idx.size // cfg.node_batch_size))
+        if cfg.max_steps_per_epoch is not None:
+            steps_per_epoch = min(steps_per_epoch, cfg.max_steps_per_epoch)
+        profiler = PhaseTimer() if cfg.profile else None
+        scope = profiler.activate() if profiler else contextlib.nullcontext()
+
+        with scope, default_dtype(cfg.dtype):
+            for epoch in range(cfg.epochs):
+                epochs_run = epoch + 1
+                model.train()
+                perm = minibatch_rng(cfg.seed, epoch).permutation(train_idx)
+                loss = None
+                for b in range(steps_per_epoch):
+                    seeds = perm[b * cfg.node_batch_size:
+                                 (b + 1) * cfg.node_batch_size]
+                    if seeds.size == 0:
+                        break
+                    loss = self._sampled_step(
+                        model, sampler, csc, seeds, features, labels,
+                        graph.edge_weight.dtype,
+                        minibatch_rng(cfg.seed, epoch, b), optimizer)
+
+                model.eval()
+                with profile_phase("eval"), no_grad():
+                    val_acc = self._evaluate_sampled(model, csc, features,
+                                                     labels, val_idx)
+                history.append(val_acc)
+                if profiler:
+                    profiler.end_epoch()
+                if cfg.verbose:
+                    print(f"epoch {epoch:3d}  loss {loss.item():.4f}  "
+                          f"val {val_acc:.4f}")
+                if stopper.step(val_acc, model):
+                    break
+
+        stopper.restore(model)
+        model.eval()
+        with default_dtype(cfg.dtype), no_grad():
+            test_acc = self._evaluate_sampled(model, csc, features, labels,
+                                              test_idx)
+            val_acc = self._evaluate_sampled(model, csc, features, labels,
+                                             val_idx)
+        return NodeTrainResult(
+            test_accuracy=test_acc,
+            val_accuracy=val_acc,
+            epochs_run=epochs_run,
+            seconds=time.time() - start,
+            history=history,
+            phase_seconds=profiler.mean_epoch() if profiler else None,
+            cache_stats=(_cache_stats(model, self._capture, sampler)
+                         if profiler else None),
+            steps_per_epoch=steps_per_epoch)
 
     def time_one_epoch(self, model: Module, dataset: NodeDataset,
                        epochs: int = 4,

@@ -1,0 +1,158 @@
+"""Streaming SBM sampler: bitwise legacy stability + distribution parity.
+
+The dense→streaming rewrite of ``datasets/sbm.py`` carries two promises:
+
+1. the legacy (``method="dense"``) path still produces every existing
+   dataset bit for bit — pinned here by content fingerprints, so any
+   accidental RNG-stream drift fails loudly;
+2. the streamed path samples from the *same* edge distribution (per-pair
+   Bernoulli with the same block/degree-corrected rates), verified as a
+   seed-averaged property at small n where both paths run.
+"""
+
+import hashlib
+
+import numpy as np
+import pytest
+
+from repro.datasets import SBMConfig, generate_sbm_graph, load_node_dataset
+from repro.datasets.sbm import (STREAMING_NODE_THRESHOLD, _block_memberships,
+                                _block_prob_table, _degree_corrections,
+                                scaled_sbm_config)
+
+TOY_CFG = SBMConfig(num_nodes=120, num_classes=3, num_features=32,
+                    words_per_node=10)
+
+
+def fingerprint(graph) -> str:
+    h = hashlib.sha256()
+    h.update(np.ascontiguousarray(graph.edge_index).tobytes())
+    if graph.x is not None:
+        h.update(np.ascontiguousarray(graph.x).tobytes())
+    h.update(np.ascontiguousarray(graph.y).tobytes())
+    return h.hexdigest()[:16]
+
+
+class TestLegacyBitwiseStability:
+    """The dense path is the format every recorded dataset was built with."""
+
+    def test_toy_fingerprint_pinned(self):
+        assert fingerprint(generate_sbm_graph(TOY_CFG, seed=5)) \
+            == "cfc859200f01b088"
+
+    def test_cora_fingerprint_pinned(self):
+        assert fingerprint(load_node_dataset("cora", seed=0).graph) \
+            == "19644f56bf78bb24"
+
+    def test_emails_fingerprint_pinned(self):
+        """Featureless + degree-corrected path."""
+        assert fingerprint(load_node_dataset("emails", seed=0).graph) \
+            == "52dc022930d68cc3"
+
+    def test_auto_is_dense_below_threshold(self):
+        assert TOY_CFG.num_nodes <= STREAMING_NODE_THRESHOLD
+        auto = generate_sbm_graph(TOY_CFG, seed=5)
+        dense = generate_sbm_graph(TOY_CFG, seed=5, method="dense")
+        assert np.array_equal(auto.edge_index, dense.edge_index)
+        assert np.array_equal(auto.x, dense.x)
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError, match="unknown SBM sampling method"):
+            generate_sbm_graph(TOY_CFG, seed=0, method="sparse")
+
+
+class TestStreamedSampler:
+    def test_deterministic(self):
+        cfg = scaled_sbm_config(3_000)
+        a = generate_sbm_graph(cfg, seed=3, method="streaming")
+        b = generate_sbm_graph(cfg, seed=3, method="streaming")
+        assert np.array_equal(a.edge_index, b.edge_index)
+        assert np.array_equal(a.x, b.x)
+        assert np.array_equal(a.y, b.y)
+
+    def test_structural_invariants(self):
+        g = generate_sbm_graph(scaled_sbm_config(3_000), seed=0,
+                               method="streaming")
+        src, dst = g.edge_index
+        assert g.is_undirected()
+        assert (src != dst).all()                      # no self-loops
+        keys = src.astype(np.int64) * g.num_nodes + dst
+        assert np.unique(keys).shape[0] == keys.shape[0]   # no duplicates
+
+    def test_assortative_structure(self):
+        g = generate_sbm_graph(scaled_sbm_config(3_000), seed=1,
+                               method="streaming")
+        src, dst = g.edge_index
+        assert (g.y[src] == g.y[dst]).mean() > 0.5
+
+    def test_featureless(self):
+        cfg = scaled_sbm_config(2_000, num_features=0)
+        assert generate_sbm_graph(cfg, seed=0, method="streaming").x is None
+
+    def test_edge_count_matches_dense_distribution(self):
+        """Seed-averaged edge counts of the two samplers agree.
+
+        Both paths draw per-pair Bernoulli(p_block · θi·θj); the streamed
+        path aggregates per block pair via a binomial, so individual seeds
+        differ but the means must match within sampling noise.
+        """
+        cfg = SBMConfig(num_nodes=400, num_classes=4, num_features=0,
+                        words_per_node=0)
+        seeds = range(12)
+        dense = [generate_sbm_graph(cfg, seed=s, method="dense").num_edges
+                 for s in seeds]
+        stream = [generate_sbm_graph(cfg, seed=s,
+                                     method="streaming").num_edges
+                  for s in seeds]
+        md, ms = np.mean(dense), np.mean(stream)
+        sd = np.std(dense) + np.std(stream) + 1.0
+        assert abs(md - ms) < 4.0 * sd / np.sqrt(len(dense))
+
+    def test_block_mixing_matches_dense(self):
+        """Within-class edge fraction agrees between the two samplers."""
+        cfg = SBMConfig(num_nodes=400, num_classes=4, num_features=0,
+                        words_per_node=0)
+
+        def within(method, seed):
+            g = generate_sbm_graph(cfg, seed=seed, method=method)
+            src, dst = g.edge_index
+            return float((g.y[src] == g.y[dst]).mean())
+
+        dense = [within("dense", s) for s in range(8)]
+        stream = [within("streaming", s) for s in range(8)]
+        assert abs(np.mean(dense) - np.mean(stream)) < 0.05
+
+
+class TestScaledConfig:
+    def test_mean_degree_tracks_target(self):
+        for n in (2_000, 8_000):
+            cfg = scaled_sbm_config(n, avg_degree=12.0, num_features=0)
+            g = generate_sbm_graph(cfg, seed=0, method="streaming")
+            mean_degree = g.num_edges / g.num_nodes   # directed edges / n
+            assert 8.0 < mean_degree < 16.0
+
+    def test_rejects_too_few_nodes(self):
+        with pytest.raises(ValueError, match="at least one node per block"):
+            scaled_sbm_config(10)
+
+    def test_block_table_matches_config_rates(self):
+        cfg = TOY_CFG
+        table = _block_prob_table(cfg)
+        assert table.shape[0] == table.shape[1]
+        assert table.max() == pytest.approx(cfg.p_sub)
+        assert table.min() == pytest.approx(cfg.p_out)
+        # Diagonal blocks are the same-sub rate.
+        assert np.allclose(np.diag(table), cfg.p_sub)
+
+    def test_memberships_encode_hierarchy(self):
+        rng = np.random.default_rng(0)
+        labels, communities, subs = _block_memberships(TOY_CFG, rng)
+        s = TOY_CFG.subs_per_community
+        c = TOY_CFG.communities_per_class
+        assert np.array_equal(subs // s, communities)
+        assert np.array_equal(communities // c, labels)
+
+    def test_degree_corrections_positive_mean_one(self):
+        theta = _degree_corrections(TOY_CFG, np.random.default_rng(0))
+        assert (theta > 0).all()
+        assert theta.mean() == pytest.approx(1.0, abs=0.25)

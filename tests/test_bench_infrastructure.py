@@ -43,6 +43,41 @@ class TestScope:
         assert common.is_smoke()
 
 
+class TestPeakRss:
+    def test_positive_on_this_platform(self):
+        assert common.peak_rss_bytes() > 0
+
+    def test_monotone_high_water_mark(self):
+        before = common.peak_rss_bytes()
+        assert common.peak_rss_bytes() >= before
+
+
+def _allocate_mb(mb):
+    block = np.ones(mb * 1024 * 1024 // 8, dtype=np.float64)
+    return float(block.sum())
+
+
+def _raise_value_error():
+    raise ValueError("boom")
+
+
+class TestRunIsolated:
+    def test_returns_result_and_peak(self):
+        result, peak = common.run_isolated(_allocate_mb, 32)
+        assert result == 32 * 1024 * 1024 // 8
+        assert peak > 32 * 1024 * 1024  # at least the allocation itself
+
+    def test_child_peak_is_workload_private(self):
+        """The parent's own allocation history never inflates a child."""
+        _allocate_mb(256)   # raise the parent's high-water mark
+        _, small_peak = common.run_isolated(_allocate_mb, 1)
+        assert small_peak < common.peak_rss_bytes()
+
+    def test_child_exception_surfaces(self):
+        with pytest.raises(RuntimeError, match="boom"):
+            common.run_isolated(_raise_value_error)
+
+
 class TestPaperReferenceTables:
     """Sanity-lock the transcribed paper values used in every comparison."""
 

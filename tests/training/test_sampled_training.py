@@ -1,0 +1,159 @@
+"""Sampled minibatch node training: parity, determinism, counters."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import load_node_dataset
+from repro.training import (AdaptiveNeighborSampler, TrainConfig,
+                            UniformNeighborSampler, make_sampler,
+                            minibatch_rng)
+from repro.training.experiment import make_node_classifier
+from repro.training.node_trainer import (NodeClassificationTrainer,
+                                         prepare_node_features)
+from repro.training.samplers import EVAL_STREAM, MINIBATCH_STREAM, eval_rng
+
+
+@pytest.fixture(scope="module")
+def cora():
+    return load_node_dataset("cora", seed=0)
+
+
+def fit(dataset, epochs=12, **overrides):
+    defaults = dict(epochs=epochs, patience=epochs, seed=0, sampled=True,
+                    node_batch_size=128, fanout=5, num_hops=2)
+    defaults.update(overrides)
+    config = TrainConfig(**defaults)
+    features = prepare_node_features(dataset)
+    model = make_node_classifier("gcn", features.shape[1],
+                                 dataset.num_classes, seed=0)
+    return NodeClassificationTrainer(config).fit(model, dataset)
+
+
+class TestParity:
+    def test_sampled_matches_full_batch_accuracy(self, cora):
+        full = fit(cora, epochs=20, sampled=False)
+        sampled = fit(cora, epochs=20)
+        # Same data, same model family; sampling is a different estimator
+        # of the same objective, so accuracy lands in the same band.
+        assert sampled.test_accuracy >= full.test_accuracy - 0.10
+        assert sampled.test_accuracy >= 0.5
+
+    def test_exact_egonets_when_fanout_none(self, cora):
+        result = fit(cora, epochs=8, fanout=None)
+        assert result.test_accuracy >= 0.5
+
+
+class TestDeterminism:
+    def test_fit_is_bitwise_reproducible(self, cora):
+        a = fit(cora, epochs=6)
+        b = fit(cora, epochs=6)
+        assert a.history == b.history
+        assert a.test_accuracy == b.test_accuracy
+        assert a.val_accuracy == b.val_accuracy
+
+    def test_adaptive_fit_is_bitwise_reproducible(self, cora):
+        a = fit(cora, epochs=5, sampler="adaptive")
+        b = fit(cora, epochs=5, sampler="adaptive")
+        assert a.history == b.history
+        assert a.test_accuracy == b.test_accuracy
+
+    def test_seed_changes_trajectory(self, cora):
+        a = fit(cora, epochs=5)
+        b = fit(cora, epochs=5, seed=1)
+        assert a.history != b.history
+
+    def test_rng_streams_are_keyed_and_disjoint(self):
+        assert MINIBATCH_STREAM != EVAL_STREAM
+        # Same coordinates → same stream; any coordinate change → new one.
+        a = minibatch_rng(0, 2, 3).random(4)
+        assert np.array_equal(a, minibatch_rng(0, 2, 3).random(4))
+        assert not np.array_equal(a, minibatch_rng(0, 2, 4).random(4))
+        assert not np.array_equal(a, minibatch_rng(0, 3, 3).random(4))
+        assert not np.array_equal(a, eval_rng(0, 3).random(4))
+
+
+class TestCountersAndResult:
+    def test_profile_surfaces_sampler_and_csc_stats(self, cora):
+        result = fit(cora, epochs=3, profile=True)
+        assert result.cache_stats is not None
+        sampler = result.cache_stats["sampler"]
+        assert sampler["policy"] == "uniform"
+        assert sampler["batches"] > 0
+        assert sampler["nodes_sampled"] > 0
+        assert sampler["edges_sampled"] > 0
+        assert sum(sampler["fanout_hist"]) > 0
+        assert "csc_cache" in result.cache_stats
+        assert result.phase_seconds is not None
+        assert "sample" in result.phase_seconds
+
+    def test_steps_per_epoch_math(self, cora):
+        train_nodes = cora.splits.train.shape[0]
+        result = fit(cora, epochs=2, node_batch_size=100)
+        assert result.steps_per_epoch == -(-train_nodes // 100)
+        capped = fit(cora, epochs=2, node_batch_size=100,
+                     max_steps_per_epoch=2)
+        assert capped.steps_per_epoch == 2
+
+    def test_adaptive_sampler_learns(self, cora):
+        result = fit(cora, epochs=5, sampler="adaptive", profile=True)
+        stats = result.cache_stats["sampler"]
+        assert stats["policy"] == "adaptive"
+        assert stats["updates"] > 0
+        assert stats["score_max"] > stats["score_mean"] > 0
+        assert result.test_accuracy >= 0.5
+
+    def test_adamgnn_trains_on_sampled_subgraphs(self, cora):
+        features = prepare_node_features(cora)
+        model = make_node_classifier("adamgnn", features.shape[1],
+                                     cora.num_classes, seed=0,
+                                     num_levels=2)
+        config = TrainConfig(epochs=2, patience=2, seed=0, sampled=True,
+                             node_batch_size=128, fanout=5, num_hops=2)
+        result = NodeClassificationTrainer(config).fit(model, cora)
+        assert result.epochs_run == 2
+        assert 0.0 <= result.test_accuracy <= 1.0
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize("kwargs,match", [
+        (dict(node_batch_size=0), "node_batch_size"),
+        (dict(fanout=0), "fanout"),
+        (dict(num_hops=0), "num_hops"),
+        (dict(sampler="gflownet"), "sampler"),
+        (dict(max_steps_per_epoch=0), "max_steps_per_epoch"),
+    ])
+    def test_rejects_bad_values(self, kwargs, match):
+        with pytest.raises(ValueError, match=match):
+            TrainConfig(**kwargs)
+
+    def test_make_sampler(self):
+        assert isinstance(make_sampler("uniform", 5, 2, 10),
+                          UniformNeighborSampler)
+        adaptive = make_sampler("adaptive", 5, 2, 10)
+        assert isinstance(adaptive, AdaptiveNeighborSampler)
+        assert adaptive.scores.shape == (10,)
+        with pytest.raises(ValueError, match="unknown sampler"):
+            make_sampler("learned", 5, 2, 10)
+
+    def test_sampler_argument_validation(self):
+        with pytest.raises(ValueError, match="num_hops"):
+            UniformNeighborSampler(5, 0)
+        with pytest.raises(ValueError, match="fanout"):
+            UniformNeighborSampler(0, 2)
+        with pytest.raises(ValueError, match="ema"):
+            AdaptiveNeighborSampler(5, 2, 10, ema=0.0)
+        with pytest.raises(ValueError, match="floor"):
+            AdaptiveNeighborSampler(5, 2, 10, floor=2.0)
+
+    def test_adaptive_update_shape_check(self):
+        from repro.graph.csc import SampledSubgraph
+        sampler = AdaptiveNeighborSampler(5, 2, 10)
+        sub = SampledSubgraph(nodes=np.array([0, 1, 2]),
+                              edge_index=np.zeros((2, 0), dtype=np.int64),
+                              num_seeds=1)
+        with pytest.raises(ValueError, match="one entry per"):
+            sampler.update(sub, np.ones(5))
+        sampler.update(sub, None)          # no-signal steps are fine
+        assert sampler.updates == 0
+        sampler.update(sub, np.array([1.0, 2.0, 3.0]))
+        assert sampler.updates == 1
