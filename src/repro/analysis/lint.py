@@ -40,6 +40,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
+from .project import ProjectIndex
 from .rules import Finding, Rule, SourceFile, default_rules
 
 PathLike = Union[str, Path]
@@ -81,6 +82,12 @@ class LintReport:
     findings: List[Finding]
     root: Path
     parse_errors: List[Tuple[str, str]] = field(default_factory=list)
+    #: findings silenced by an inline ``# replint: allow`` pragma —
+    #: kept so ``--check-pragmas`` can prove every pragma still earns
+    #: its keep (never serialized, never part of the baseline)
+    suppressed: List[Finding] = field(default_factory=list)
+    #: the parsed sources of this run (pragma maps live on them)
+    sources: List[SourceFile] = field(default_factory=list)
 
     def counts(self) -> Dict[str, int]:
         counter: Counter = Counter(f.rule for f in self.findings)
@@ -116,20 +123,88 @@ def lint_paths(paths: Sequence[PathLike],
         except SyntaxError as exc:  # unparseable file is itself a finding
             parse_errors.append((rel, str(exc)))
 
+    project = ProjectIndex(root_path, sources)
+    by_rel = {src.rel: src for src in sources}
     findings: List[Finding] = []
+    suppressed: List[Finding] = []
+
+    def emit(rule: Rule, finding: Finding) -> None:
+        src = by_rel.get(finding.path)
+        if src is not None and src.is_allowed(rule.id, finding.line):
+            suppressed.append(finding)
+        else:
+            findings.append(finding)
+
     for rule in rules:
         for src in sources:
             for finding in rule.check_file(src):
-                if not src.is_allowed(rule.id, finding.line):
-                    findings.append(finding)
-        by_rel = {src.rel: src for src in sources}
+                emit(rule, finding)
         for finding in rule.check_project(root_path, sources):
-            src = by_rel.get(finding.path)
-            if src is None or not src.is_allowed(rule.id, finding.line):
-                findings.append(finding)
+            emit(rule, finding)
+        for finding in rule.check_graph(project):
+            emit(rule, finding)
     findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    suppressed.sort(key=lambda f: (f.path, f.line, f.rule))
     return LintReport(findings=findings, root=root_path,
-                      parse_errors=parse_errors)
+                      parse_errors=parse_errors, suppressed=suppressed,
+                      sources=list(sources))
+
+
+# ---------------------------------------------------------------------------
+# Pragma hygiene
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class StalePragma:
+    """An ``# replint: allow`` pragma that suppresses nothing.
+
+    Either the violation it excused was fixed (or the rule got smarter —
+    the interprocedural upgrade retired several), or the pragma names a
+    rule id the linter does not know.  Both are lies in the margin: the
+    comment claims a contract exception that no longer exists.
+    """
+
+    path: str
+    line: int
+    unused: Tuple[str, ...]    # rule ids with no finding on this line
+    unknown: Tuple[str, ...]   # rule ids no shipped rule answers to
+    text: str
+
+    def format(self) -> str:
+        parts = []
+        if self.unused:
+            parts.append(f"suppresses nothing for {', '.join(self.unused)}")
+        if self.unknown:
+            parts.append(f"names unknown rule(s) {', '.join(self.unknown)}")
+        return (f"{self.path}:{self.line}: stale pragma "
+                f"({'; '.join(parts)}): {self.text}")
+
+
+def stale_pragmas(report: LintReport,
+                  rules: Sequence[Rule]) -> List[StalePragma]:
+    """Allow-pragmas in the linted sources that no current finding needs.
+
+    A pragma id is *live* when a finding of that rule lands on its line
+    (it will be in ``report.suppressed``); every other id it names is
+    stale.  Run with the full default rule set — a subset run would
+    declare other rules' pragmas stale.
+    """
+    known = {rule.id for rule in rules}
+    used: Dict[Tuple[str, int], set] = {}
+    for finding in report.suppressed:
+        used.setdefault((finding.path, finding.line), set()).add(finding.rule)
+    stale: List[StalePragma] = []
+    for src in report.sources:
+        if src.skip_all:
+            continue
+        for lineno, ids in sorted(src.allowed.items()):
+            live = used.get((src.rel, lineno), set())
+            unused = tuple(sorted(ids & known - live))
+            unknown = tuple(sorted(ids - known))
+            if unused or unknown:
+                stale.append(StalePragma(
+                    path=src.rel, line=lineno, unused=unused,
+                    unknown=unknown, text=src.line_text(lineno)))
+    return stale
 
 
 # ---------------------------------------------------------------------------

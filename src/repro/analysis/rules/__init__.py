@@ -16,14 +16,20 @@ from .arena_escape import ArenaEscapeRule
 from .inplace_mutation import InplaceMutationRule
 from .closure_retention import ClosureRetentionRule
 from .comm_reduction import CommReductionRule
+from .rng_discipline import RngDisciplineRule
+from .sole_writer import SoleWriterRule
+from .nondet_iteration import NondetIterationRule
 
 __all__ = ["Finding", "Rule", "SourceFile", "DtypeLiteralRule",
            "VJPRegistryRule", "ArenaEscapeRule", "InplaceMutationRule",
-           "ClosureRetentionRule", "CommReductionRule", "default_rules"]
+           "ClosureRetentionRule", "CommReductionRule",
+           "RngDisciplineRule", "SoleWriterRule", "NondetIterationRule",
+           "default_rules"]
 
 
 def default_rules() -> List[Rule]:
     """Fresh instances of every shipped rule, in id order."""
     return [DtypeLiteralRule(), VJPRegistryRule(), ArenaEscapeRule(),
             InplaceMutationRule(), ClosureRetentionRule(),
-            CommReductionRule()]
+            CommReductionRule(), RngDisciplineRule(), SoleWriterRule(),
+            NondetIterationRule()]

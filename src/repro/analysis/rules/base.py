@@ -75,7 +75,11 @@ class SourceFile:
         self.allowed: Dict[int, Set[str]] = {}
         for lineno, line in enumerate(self.lines, start=1):
             match = _PRAGMA_RE.search(line)
-            if match:
+            # A backtick immediately before the ``#`` is documentation
+            # quoting the pragma syntax, not a pragma (``--check-pragmas``
+            # would otherwise flag every docstring that explains it).
+            if match and not (match.start() > 0
+                              and line[match.start() - 1] == "`"):
                 self.allowed[lineno] = set(_RULE_ID_RE.findall(match.group(1)))
 
     def line_text(self, lineno: int) -> str:
@@ -98,6 +102,12 @@ class Rule:
 
     def check_project(self, root: Path, files: List[SourceFile]
                       ) -> Iterable[Finding]:
+        return ()
+
+    def check_graph(self, project) -> Iterable[Finding]:
+        """Interprocedural checks over the
+        :class:`~repro.analysis.project.ProjectIndex` built once per lint
+        run (symbol table + call graph + taint engine)."""
         return ()
 
     # ------------------------------------------------------------------

@@ -17,9 +17,13 @@ the shapes that smuggle a slot reference past the generation boundary:
   on a ``nodes``/``order`` attribute (the
   :class:`~repro.tensor.tape.TrainingTape` record lists) from anywhere.
 
-Taint is flow-insensitive, like RL003: a name bound to a
-``ws_empty``/``ws_zeros``/``ws_out`` call anywhere in a function (or its
-enclosing op function) taints every use of that name in nested closures.
+Taint is flow-insensitive, like RL003, and since the call-graph upgrade
+it is **interprocedural**: a name bound to a ``ws_empty``/``ws_zeros``/
+``ws_out``/``take`` call anywhere in a function (or its enclosing op
+function), *or to a project helper that bottoms out in one*, taints every
+use of that name in nested closures — wrapping the allocation in a
+``_take_scratch()`` helper no longer hides the retention.  Resolution and
+the taint fixpoint live in :mod:`repro.analysis.callgraph`.
 False positives are suppressed with ``# replint: allow RL005 -- <why>``.
 """
 
@@ -42,39 +46,66 @@ def _is_ws_call(node: ast.AST) -> bool:
             and call_name(node) in WS_ALLOCATORS)
 
 
-def _tainted_names(func: ast.FunctionDef,
-                   inherited: Set[str]) -> Set[str]:
-    """Names bound to a ws allocation in ``func``'s own statements."""
-    tainted = set(inherited)
-    for node in ast.walk(func):
-        if isinstance(node, ast.Assign) and _is_ws_call(node.value):
-            for target in node.targets:
-                if isinstance(target, ast.Name):
-                    tainted.add(target.id)
-        elif isinstance(node, ast.Assign) and isinstance(node.value, ast.Name):
-            # simple alias propagation: b = a where a is tainted
-            if node.value.id in tainted:
-                for target in node.targets:
-                    if isinstance(target, ast.Name):
-                        tainted.add(target.id)
-    return tainted
-
-
 class ClosureRetentionRule(Rule):
     id = "RL005"
     title = "backward closure or tape record retaining an arena slot"
 
-    def check_file(self, src: SourceFile) -> Iterable[Finding]:
-        if any(fragment in src.rel for fragment in EXCLUDED_PATHS):
-            return
-        yield from self._check_scope(src, src.tree, set())
+    def check_graph(self, project) -> Iterable[Finding]:
+        from ..project import FunctionInfo
+        taint = project.taint(WS_ALLOCATORS)
+        for mod in project.modules.values():
+            if any(fragment in mod.src.rel for fragment in EXCLUDED_PATHS):
+                continue
+            # Resolution context for nested scopes: calls inside closures
+            # see the same module-level bindings as their enclosing defs.
+            ctx = FunctionInfo(qualname=f"{mod.name}:<scope>",
+                               module=mod.name, name="<scope>",
+                               node=ast.parse("def _scope(): pass")
+                               .body[0])
+            self._taint = taint
+            self._ctx = ctx
+            self._project = project
+            yield from self._check_scope(mod.src, mod.src.tree, set())
+
+    def _is_tainted_call(self, node: ast.AST) -> bool:
+        """Source allocator call, or a project helper whose return value
+        bottoms out in one (interprocedural, via the taint engine)."""
+        if _is_ws_call(node):
+            return True
+        return (isinstance(node, ast.Call)
+                and self._taint.is_taint_call(self._ctx, node))
+
+    def _tainted_names(self, func: ast.FunctionDef,
+                       inherited: Set[str]) -> Set[str]:
+        """Names bound to a ws allocation in ``func``'s own statements."""
+        tainted = set(inherited)
+        qual_func = self._project.functions.get(
+            f"{self._ctx.module}:{func.name}")
+        if qual_func is not None and qual_func.node is func:
+            # module-level def: the engine already ran its fixpoint
+            # (covers tainted parameters fed by other project callers)
+            tainted |= self._taint.local_tainted(qual_func)
+        for node in ast.walk(func):
+            if isinstance(node, ast.Assign) and self._is_tainted_call(
+                    node.value):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        tainted.add(target.id)
+            elif isinstance(node, ast.Assign) and isinstance(node.value,
+                                                             ast.Name):
+                # simple alias propagation: b = a where a is tainted
+                if node.value.id in tainted:
+                    for target in node.targets:
+                        if isinstance(target, ast.Name):
+                            tainted.add(target.id)
+        return tainted
 
     def _check_scope(self, src: SourceFile, scope: ast.AST,
                      inherited: Set[str]) -> Iterable[Finding]:
         """Recurse through nested function scopes, carrying taint down."""
         for node in ast.iter_child_nodes(scope):
             if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                tainted = _tainted_names(node, inherited)
+                tainted = self._tainted_names(node, inherited)
                 in_backward = node.name.startswith("backward")
                 yield from self._check_function(src, node, tainted,
                                                in_backward)
@@ -103,7 +134,7 @@ class ClosureRetentionRule(Rule):
             stack.extend(ast.iter_child_nodes(node))
         for node in own_nodes:
             if isinstance(node, ast.Assign):
-                value_tainted = (_is_ws_call(node.value)
+                value_tainted = (self._is_tainted_call(node.value)
                                  or (isinstance(node.value, ast.Name)
                                      and node.value.id in tainted))
                 if not value_tainted:
@@ -138,7 +169,7 @@ class ClosureRetentionRule(Rule):
             return
         arg = call.args[0]
         if not (isinstance(arg, ast.Name) and arg.id in tainted
-                or _is_ws_call(arg)):
+                or self._is_tainted_call(arg)):
             return
         receiver = call.func.value
         is_tape_record = (isinstance(receiver, ast.Attribute)

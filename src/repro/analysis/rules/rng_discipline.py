@@ -1,0 +1,134 @@
+"""RL007 — all randomness must flow through the seeded RNG helpers.
+
+Bitwise reproducibility (the repo's north star — same seed, same
+fingerprint, any worker count) dies the moment a module mints entropy
+outside the seeded stream tree.  Sanctioned origins:
+
+* :func:`repro.tensor.random.make_rng` / :func:`~repro.tensor.random.spawn`
+  — the root-seeded generator tree every trainer threads through;
+* keyed streams ``np.random.default_rng((seed, TAG, ...))`` — the
+  content-addressed substreams sharding and the samplers derive, where the
+  tuple key makes the stream a pure function of ``(seed, purpose, index)``
+  rather than of call order.
+
+Everything else is flagged:
+
+* any other ``np.random.*`` call outside ``repro/tensor/random.py`` —
+  legacy global-state API (``np.random.rand``, ``np.random.seed``,
+  ``RandomState``) or an unkeyed ``default_rng(...)`` that should be
+  ``make_rng(...)``;
+* ``default_rng()`` / ``make_rng()`` with no arguments — OS entropy, a
+  different stream every run by construction;
+* generator-minting **default arguments** (``def f(rng=make_rng(0))``) —
+  the default is evaluated once at import, so every call shares one
+  stream and the function's output depends on global call order.
+
+Suppression: ``# replint: allow RL007 -- <why>``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from .base import Finding, Rule, SourceFile
+
+#: the stream-tree helpers themselves may touch np.random freely
+EXCLUDED_PATHS = ("repro/tensor/random.py",)
+#: call names that mint a generator when used as a parameter default
+GENERATOR_MINTERS = ("default_rng", "make_rng", "RandomState", "spawn")
+
+
+def _np_random_call(node: ast.Call):
+    """``np.random.<attr>(...)`` / ``numpy.random.<attr>(...)`` →
+    attr name, else None.  Also matches a bare ``default_rng(...)``
+    imported from numpy.random."""
+    func = node.func
+    if (isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Attribute)
+            and isinstance(func.value.value, ast.Name)
+            and func.value.value.id in ("np", "numpy")
+            and func.value.attr == "random"):
+        return func.attr
+    if isinstance(func, ast.Name) and func.id == "default_rng":
+        return "default_rng"
+    return None
+
+
+def _is_tuple_key(node: ast.AST) -> bool:
+    return isinstance(node, ast.Tuple)
+
+
+class RngDisciplineRule(Rule):
+    id = "RL007"
+    title = "randomness minted outside the seeded RNG stream tree"
+
+    def check_file(self, src: SourceFile) -> Iterable[Finding]:
+        if any(fragment in src.rel for fragment in EXCLUDED_PATHS):
+            return
+        for node in ast.walk(src.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_defaults(src, node)
+            if not isinstance(node, ast.Call):
+                continue
+            attr = _np_random_call(node)
+            if attr is None:
+                continue
+            if attr == "default_rng":
+                yield from self._check_default_rng(src, node)
+            elif attr == "Generator":
+                # np.random.Generator(...) wrapping a chosen BitGenerator
+                # is still unkeyed entropy plumbing — route via make_rng.
+                yield self.finding(
+                    src, node,
+                    "np.random.Generator constructed directly — derive "
+                    "streams from repro.tensor.random.make_rng/spawn so "
+                    "the generator tree stays a pure function of the "
+                    "root seed")
+            else:
+                yield self.finding(
+                    src, node,
+                    f"np.random.{attr}() uses numpy's global or legacy "
+                    f"RNG state — all randomness must originate in "
+                    f"repro.tensor.random (make_rng/spawn) or a keyed "
+                    f"default_rng((seed, TAG, ...)) stream")
+
+    # ------------------------------------------------------------------
+    def _check_default_rng(self, src: SourceFile,
+                           node: ast.Call) -> Iterable[Finding]:
+        if not node.args and not node.keywords:
+            yield self.finding(
+                src, node,
+                "default_rng() with no seed draws OS entropy — a "
+                "different stream every run; pass a seed via make_rng "
+                "or a (seed, TAG, ...) key")
+            return
+        if node.args and _is_tuple_key(node.args[0]):
+            return                 # keyed substream — sanctioned
+        yield self.finding(
+            src, node,
+            "unkeyed np.random.default_rng(seed) — use "
+            "repro.tensor.random.make_rng(seed) (bitwise-identical) so "
+            "stream provenance is greppable, or key the stream with a "
+            "(seed, TAG, ...) tuple")
+
+    def _check_defaults(self, src: SourceFile,
+                        func: ast.AST) -> Iterable[Finding]:
+        args = func.args
+        for default in list(args.defaults) + [d for d in args.kw_defaults
+                                              if d is not None]:
+            for node in ast.walk(default):
+                if not isinstance(node, ast.Call):
+                    continue
+                fn = node.func
+                name = (fn.id if isinstance(fn, ast.Name)
+                        else fn.attr if isinstance(fn, ast.Attribute)
+                        else None)
+                if name in GENERATOR_MINTERS:
+                    yield self.finding(
+                        src, node,
+                        f"generator-minting default argument "
+                        f"{name}(...) in '{func.name}' — evaluated once "
+                        f"at import, so every call shares one stream "
+                        f"and output depends on global call order; "
+                        f"default to None and mint inside the body")

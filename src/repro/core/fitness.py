@@ -19,6 +19,8 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from ..tensor.random import make_rng
+
 from ..nn import Linear, Module, Parameter, init
 from ..tensor import (Tensor, gather_rows, leaky_relu, pair_dot,
                       segment_mean, segment_softmax, sigmoid)
@@ -44,7 +46,7 @@ class FitnessScorer(Module):
                  use_linearity: bool = True,
                  rng: Optional[np.random.Generator] = None):
         super().__init__()
-        rng = rng if rng is not None else np.random.default_rng(0)
+        rng = rng if rng is not None else make_rng(0)
         hidden = hidden if hidden is not None else in_features
         self.transform = Linear(in_features, hidden, bias=False, rng=rng)
         self.attention = Parameter(

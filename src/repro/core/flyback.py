@@ -14,6 +14,8 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..tensor.random import make_rng
+
 from ..nn import Linear, Module, Parameter, init
 from ..tensor import (Tensor, fast_kernels_enabled, leaky_relu,
                       leaky_relu_project, softmax, stack)
@@ -73,7 +75,7 @@ class FlybackAggregator(Module):
     def __init__(self, in_features: int,
                  rng: Optional[np.random.Generator] = None):
         super().__init__()
-        rng = rng if rng is not None else np.random.default_rng(0)
+        rng = rng if rng is not None else make_rng(0)
         self.transform = Linear(in_features, in_features, bias=False, rng=rng)
         self.attention = Parameter(
             init.glorot_uniform(rng, 2 * in_features, 1,

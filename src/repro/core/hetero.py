@@ -21,6 +21,8 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from ..tensor.random import make_rng
+
 from ..graph import normalize_edges
 from ..nn import Linear, Module, ModuleList, Parameter, init
 from ..tensor import (Tensor, gather_rows, leaky_relu, relu, segment_mean,
@@ -52,14 +54,14 @@ class RelationalGCNConv(Module):
         super().__init__()
         if num_relations < 1:
             raise ValueError("num_relations must be >= 1")
-        rng = rng if rng is not None else np.random.default_rng(0)
+        rng = rng if rng is not None else make_rng(0)
         seeds = rng.integers(0, 2 ** 31, size=num_relations + 1)
         self.num_relations = num_relations
         self.self_loop = Linear(in_features, out_features,
-                                rng=np.random.default_rng(int(seeds[0])))
+                                rng=make_rng(int(seeds[0])))
         self.relation_linears = ModuleList(
             Linear(in_features, out_features, bias=False,
-                   rng=np.random.default_rng(int(seeds[1 + r])))
+                   rng=make_rng(int(seeds[1 + r])))
             for r in range(num_relations))
 
     def forward(self, x: Tensor, edge_index: np.ndarray,
@@ -93,7 +95,7 @@ class TypedFitnessScorer(Module):
     def __init__(self, in_features: int, num_relations: int,
                  rng: Optional[np.random.Generator] = None):
         super().__init__()
-        rng = rng if rng is not None else np.random.default_rng(0)
+        rng = rng if rng is not None else make_rng(0)
         self.num_relations = num_relations
         self.transform = Linear(in_features, in_features, bias=False,
                                 rng=rng)
@@ -150,29 +152,29 @@ class HeteroAdamGNN(Module):
                  hidden: int = 64, num_levels: int = 2,
                  rng: Optional[np.random.Generator] = None):
         super().__init__()
-        rng = rng if rng is not None else np.random.default_rng(0)
+        rng = rng if rng is not None else make_rng(0)
         seeds = rng.integers(0, 2 ** 31, size=num_levels + 4)
         self.num_relations = num_relations
         self.input_conv = RelationalGCNConv(
             in_features, hidden, num_relations,
-            rng=np.random.default_rng(int(seeds[0])))
+            rng=make_rng(int(seeds[0])))
         self.fitness = TypedFitnessScorer(
-            hidden, num_relations, rng=np.random.default_rng(int(seeds[1])))
+            hidden, num_relations, rng=make_rng(int(seeds[1])))
         from .pooling import HyperNodeFeatures
         self.features = HyperNodeFeatures(
-            hidden, rng=np.random.default_rng(int(seeds[2])))
+            hidden, rng=make_rng(int(seeds[2])))
         self.level1_conv = GCNConv(hidden, hidden,
-                                   rng=np.random.default_rng(int(seeds[3])))
+                                   rng=make_rng(int(seeds[3])))
         self.upper = ModuleList(
             AdaptiveGraphPooling(hidden,
-                                 rng=np.random.default_rng(int(seeds[4 + k])))
+                                 rng=make_rng(int(seeds[4 + k])))
             for k in range(num_levels - 1))
         self.upper_convs = ModuleList(
             GCNConv(hidden, hidden,
-                    rng=np.random.default_rng(int(seeds[4 + k]) + 1))
+                    rng=make_rng(int(seeds[4 + k]) + 1))
             for k in range(num_levels - 1))
         self.flyback = FlybackAggregator(
-            hidden, rng=np.random.default_rng(int(seeds[-1])))
+            hidden, rng=make_rng(int(seeds[-1])))
 
     def forward(self, x: Tensor, edge_index: np.ndarray,
                 edge_type: np.ndarray) -> AdamGNNOutput:

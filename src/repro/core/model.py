@@ -21,6 +21,8 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from ..tensor.random import make_rng
+
 from ..graph import StructureCache, normalize_edges
 from ..layers import GCNConv, mean_max_readout
 from ..nn import Dropout, Linear, Module, ModuleList
@@ -86,7 +88,7 @@ class AdamGNN(Module):
         super().__init__()
         if num_levels < 1:
             raise ValueError(f"num_levels must be >= 1, got {num_levels}")
-        rng = rng if rng is not None else np.random.default_rng(0)
+        rng = rng if rng is not None else make_rng(0)
         seeds = rng.integers(0, 2 ** 31, size=2 * num_levels + 3)
 
         self.num_levels = num_levels
@@ -94,21 +96,21 @@ class AdamGNN(Module):
         self.use_flyback = use_flyback
         self.normalize_unpool = normalize_unpool
         self.input_conv = GCNConv(in_features, hidden,
-                                  rng=np.random.default_rng(int(seeds[0])))
+                                  rng=make_rng(int(seeds[0])))
         self.poolers = ModuleList(
             AdaptiveGraphPooling(hidden, radius=radius,
                                  use_linearity=use_linearity,
-                                 rng=np.random.default_rng(int(seeds[1 + k])))
+                                 rng=make_rng(int(seeds[1 + k])))
             for k in range(num_levels))
         self.level_convs = ModuleList(
             GCNConv(hidden, hidden,
-                    rng=np.random.default_rng(
+                    rng=make_rng(
                         int(seeds[1 + num_levels + k])))
             for k in range(num_levels))
         self.flyback = FlybackAggregator(
-            hidden, rng=np.random.default_rng(int(seeds[-2])))
+            hidden, rng=make_rng(int(seeds[-2])))
         self.dropout = Dropout(dropout,
-                               rng=np.random.default_rng(int(seeds[-1])))
+                               rng=make_rng(int(seeds[-1])))
         self.hidden = hidden
         # Plain attribute (not a Parameter/Module), so it stays out of
         # state_dict and checkpoints.  Memoises level-0 structure — GCN
@@ -229,15 +231,15 @@ class AdamGNNNodeClassifier(Module):
                  use_flyback: bool = True, use_linearity: bool = True,
                  rng: Optional[np.random.Generator] = None):
         super().__init__()
-        rng = rng if rng is not None else np.random.default_rng(0)
+        rng = rng if rng is not None else make_rng(0)
         seeds = rng.integers(0, 2 ** 31, size=2)
         self.encoder = AdamGNN(in_features, hidden=hidden,
                                num_levels=num_levels, radius=radius,
                                dropout=dropout, use_flyback=use_flyback,
                                use_linearity=use_linearity,
-                               rng=np.random.default_rng(int(seeds[0])))
+                               rng=make_rng(int(seeds[0])))
         self.head = Linear(hidden, num_classes,
-                           rng=np.random.default_rng(int(seeds[1])))
+                           rng=make_rng(int(seeds[1])))
 
     def forward(self, x: Tensor, edge_index: np.ndarray,
                 edge_weight: Optional[np.ndarray] = None
@@ -281,17 +283,17 @@ class AdamGNNGraphClassifier(Module):
                  use_flyback: bool = True, use_linearity: bool = True,
                  rng: Optional[np.random.Generator] = None):
         super().__init__()
-        rng = rng if rng is not None else np.random.default_rng(0)
+        rng = rng if rng is not None else make_rng(0)
         seeds = rng.integers(0, 2 ** 31, size=3)
         self.encoder = AdamGNN(in_features, hidden=hidden,
                                num_levels=num_levels, radius=radius,
                                dropout=dropout, use_flyback=use_flyback,
                                use_linearity=use_linearity,
-                               rng=np.random.default_rng(int(seeds[0])))
+                               rng=make_rng(int(seeds[0])))
         self.head_hidden = Linear(2 * hidden, hidden,
-                                  rng=np.random.default_rng(int(seeds[1])))
+                                  rng=make_rng(int(seeds[1])))
         self.head_out = Linear(hidden, num_classes,
-                               rng=np.random.default_rng(int(seeds[2])))
+                               rng=make_rng(int(seeds[2])))
 
     def forward(self, x: Tensor, edge_index: np.ndarray,
                 edge_weight: np.ndarray, batch: np.ndarray,

@@ -19,6 +19,8 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from ..tensor.random import make_rng
+
 from ..graph.cache import StructureCache
 from ..nn import Linear, Module, Parameter, init
 from ..tensor import (Tensor, gather_rows, gather_scale_segment_sum,
@@ -59,7 +61,7 @@ class HyperNodeFeatures(Module):
     def __init__(self, in_features: int,
                  rng: Optional[np.random.Generator] = None):
         super().__init__()
-        rng = rng if rng is not None else np.random.default_rng(0)
+        rng = rng if rng is not None else make_rng(0)
         self.transform = Linear(in_features, in_features, bias=False, rng=rng)
         self.attention = Parameter(
             init.glorot_uniform(rng, 2 * in_features, 1,
@@ -133,13 +135,13 @@ class AdaptiveGraphPooling(Module):
                  use_linearity: bool = True,
                  rng: Optional[np.random.Generator] = None):
         super().__init__()
-        rng = rng if rng is not None else np.random.default_rng(0)
+        rng = rng if rng is not None else make_rng(0)
         seeds = rng.integers(0, 2 ** 31, size=2)
         self.radius = radius
         self.fitness = FitnessScorer(in_features, use_linearity=use_linearity,
-                                     rng=np.random.default_rng(int(seeds[0])))
+                                     rng=make_rng(int(seeds[0])))
         self.features = HyperNodeFeatures(
-            in_features, rng=np.random.default_rng(int(seeds[1])))
+            in_features, rng=make_rng(int(seeds[1])))
 
     def forward(self, h: Tensor, edge_index: np.ndarray,
                 edge_weight: np.ndarray,

@@ -13,6 +13,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..tensor.random import make_rng
+
 from ..graph import Graph, largest_component
 from .base import NodeDataset, split_nodes
 
@@ -37,7 +39,7 @@ class HeteroSBMConfig:
 def generate_hetero_graph(cfg: HeteroSBMConfig, seed: int
                           ) -> tuple[Graph, np.ndarray]:
     """Return ``(graph, edge_type)`` with edge types aligned to edges."""
-    rng = np.random.default_rng(seed)
+    rng = make_rng(seed)
     n = cfg.num_nodes
     labels = rng.integers(0, cfg.num_classes, size=n)
     communities = labels * cfg.communities_per_class \
@@ -93,7 +95,7 @@ def load_hetero_dataset(seed: int = 0) -> tuple[NodeDataset, np.ndarray]:
     """The typed-edge benchmark plus its edge-type vector."""
     cfg = HeteroSBMConfig()
     graph, edge_type = generate_hetero_graph(cfg, seed=seed + 4241)
-    splits = split_nodes(graph.num_nodes, np.random.default_rng(seed + 11))
+    splits = split_nodes(graph.num_nodes, make_rng(seed + 11))
     return (NodeDataset(name="hetero-acm", graph=graph,
                         num_classes=cfg.num_classes, splits=splits),
             edge_type)

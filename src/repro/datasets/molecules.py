@@ -22,6 +22,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..tensor.random import make_rng
+
 from .base import GraphDataset, split_graphs
 from .modular import ModularGraphConfig, build_modular_graph
 
@@ -64,11 +66,11 @@ MOLECULE_CONFIGS = {
 def generate_molecule_dataset(name: str, cfg: ModularGraphConfig,
                               seed: int) -> GraphDataset:
     """Generate a balanced two-class molecule dataset with 80/10/10 splits."""
-    rng = np.random.default_rng(seed)
+    rng = make_rng(seed)
     graphs = [build_modular_graph(cfg, label=i % 2, rng=rng)
               for i in range(cfg.num_graphs)]
     train, val, test = split_graphs(cfg.num_graphs,
-                                    np.random.default_rng(seed + 13))
+                                    make_rng(seed + 13))
     return GraphDataset(name=name, graphs=graphs, num_classes=2,
                         num_features=cfg.num_features,
                         train_index=train, val_index=val, test_index=test)

@@ -28,6 +28,8 @@ import zlib
 
 import numpy as np
 
+from ..tensor.random import make_rng
+
 from .base import NodeDataset, split_nodes
 from .sbm import SBMConfig, generate_sbm_graph
 
@@ -94,7 +96,7 @@ def load_node_dataset(name: str, seed: int = 0) -> NodeDataset:
                        f"choose from {sorted(NODE_DATASET_CONFIGS)}")
     cfg = NODE_DATASET_CONFIGS[key]
     graph = generate_sbm_graph(cfg, seed=stable_seed(key, seed))
-    split_rng = np.random.default_rng(seed + 7919)
+    split_rng = make_rng(seed + 7919)
     splits = split_nodes(graph.num_nodes, split_rng)
     return NodeDataset(name=key, graph=graph,
                        num_classes=cfg.num_classes, splits=splits)

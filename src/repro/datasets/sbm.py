@@ -39,6 +39,8 @@ from typing import List, Tuple
 
 import numpy as np
 
+from ..tensor.random import make_rng
+
 from ..graph import Graph, largest_component
 
 #: ``method="auto"`` uses the legacy per-pair sampler (bitwise-stable
@@ -426,7 +428,7 @@ def generate_sbm_graph(cfg: SBMConfig, seed: int,
     if method == "auto":
         method = ("streaming" if cfg.num_nodes > STREAMING_NODE_THRESHOLD
                   else "dense")
-    rng = np.random.default_rng(seed)
+    rng = make_rng(seed)
     labels, communities, subs = _block_memberships(cfg, rng)
     if method == "streaming":
         edges = _sample_edges_streamed(cfg, labels, communities, subs, rng)

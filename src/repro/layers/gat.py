@@ -11,6 +11,8 @@ from typing import Optional
 
 import numpy as np
 
+from ..tensor.random import make_rng
+
 from ..nn import Linear, Module, Parameter, init
 from ..tensor import (Tensor, gather_rows, leaky_relu, segment_softmax,
                       segment_sum)
@@ -29,7 +31,7 @@ class GATConv(Module):
                  add_self_loops: bool = True,
                  rng: Optional[np.random.Generator] = None):
         super().__init__()
-        rng = rng if rng is not None else np.random.default_rng(0)
+        rng = rng if rng is not None else make_rng(0)
         self.linear = Linear(in_features, out_features, bias=False, rng=rng)
         self.att_src = Parameter(init.glorot_uniform(rng, out_features, 1,
                                                      shape=(out_features,)))

@@ -10,6 +10,8 @@ from typing import Optional
 
 import numpy as np
 
+from ..tensor.random import make_rng
+
 from ..nn import BatchNorm1d, Linear, Module, Parameter, ReLU, Sequential
 from ..tensor import Tensor
 from .message_passing import propagate
@@ -19,7 +21,7 @@ def gin_mlp(in_features: int, hidden: int, out_features: int,
             rng: Optional[np.random.Generator] = None,
             batch_norm: bool = True) -> Sequential:
     """The 2-layer MLP used inside GIN blocks (Linear-BN-ReLU-Linear)."""
-    rng = rng if rng is not None else np.random.default_rng(0)
+    rng = rng if rng is not None else make_rng(0)
     layers = [Linear(in_features, hidden, rng=rng)]
     if batch_norm:
         layers.append(BatchNorm1d(hidden))

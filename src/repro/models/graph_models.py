@@ -19,6 +19,8 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from ..tensor.random import make_rng
+
 from ..graph import GraphBatch, normalize_edges
 from ..layers import GCNConv, GINConv, gin_mlp, mean_max_readout
 from ..nn import Dropout, Linear, Module, ModuleList
@@ -35,13 +37,13 @@ class MLPHead(Module):
                  dropout: float = 0.3,
                  rng: Optional[np.random.Generator] = None):
         super().__init__()
-        rng = rng if rng is not None else np.random.default_rng(0)
+        rng = rng if rng is not None else make_rng(0)
         seeds = rng.integers(0, 2 ** 31, size=2)
         self.lin1 = Linear(in_features, hidden,
-                           rng=np.random.default_rng(int(seeds[0])))
+                           rng=make_rng(int(seeds[0])))
         self.lin2 = Linear(hidden, num_classes,
-                           rng=np.random.default_rng(int(seeds[1])))
-        self.dropout = Dropout(dropout, rng=np.random.default_rng(7))
+                           rng=make_rng(int(seeds[1])))
+        self.dropout = Dropout(dropout, rng=make_rng(7))
 
     def forward(self, x: Tensor) -> Tensor:
         return self.lin2(self.dropout(relu(self.lin1(x))))
@@ -54,16 +56,16 @@ class GINGraphClassifier(Module):
                  num_layers: int = 3, dropout: float = 0.3,
                  rng: Optional[np.random.Generator] = None):
         super().__init__()
-        rng = rng if rng is not None else np.random.default_rng(0)
+        rng = rng if rng is not None else make_rng(0)
         seeds = rng.integers(0, 2 ** 31, size=num_layers + 1)
         dims = [in_features] + [hidden] * num_layers
         self.convs = ModuleList(
             GINConv(gin_mlp(dims[i], hidden, dims[i + 1],
-                            rng=np.random.default_rng(int(seeds[i]))))
+                            rng=make_rng(int(seeds[i]))))
             for i in range(num_layers))
         self.head = MLPHead(2 * hidden * num_layers, hidden, num_classes,
                             dropout=dropout,
-                            rng=np.random.default_rng(int(seeds[-1])))
+                            rng=make_rng(int(seeds[-1])))
 
     def forward(self, batch: GraphBatch) -> Tuple[Tensor, Tensor]:
         h = Tensor(batch.x)
@@ -94,21 +96,21 @@ class HierarchicalPoolClassifier(Module):
         if pool_kind not in self._POOLS:
             raise ValueError(f"pool_kind must be one of "
                              f"{sorted(self._POOLS)}, got {pool_kind!r}")
-        rng = rng if rng is not None else np.random.default_rng(0)
+        rng = rng if rng is not None else make_rng(0)
         seeds = rng.integers(0, 2 ** 31, size=2 * num_stages + 1)
         dims = [in_features] + [hidden] * num_stages
         self.convs = ModuleList(
             GCNConv(dims[i], dims[i + 1],
-                    rng=np.random.default_rng(int(seeds[i])))
+                    rng=make_rng(int(seeds[i])))
             for i in range(num_stages))
         make_pool = self._POOLS[pool_kind]
         self.pools = ModuleList(
             make_pool(hidden, ratio=ratio,
-                      rng=np.random.default_rng(
+                      rng=make_rng(
                           int(seeds[num_stages + i])))
             for i in range(num_stages))
         self.head = MLPHead(2 * hidden, hidden, num_classes, dropout=dropout,
-                            rng=np.random.default_rng(int(seeds[-1])))
+                            rng=make_rng(int(seeds[-1])))
 
     def forward(self, batch: GraphBatch) -> Tuple[Tensor, Tensor]:
         h = Tensor(batch.x)
@@ -133,17 +135,17 @@ class SortPoolClassifier(Module):
                  num_layers: int = 3, k: int = 12, dropout: float = 0.3,
                  rng: Optional[np.random.Generator] = None):
         super().__init__()
-        rng = rng if rng is not None else np.random.default_rng(0)
+        rng = rng if rng is not None else make_rng(0)
         seeds = rng.integers(0, 2 ** 31, size=num_layers + 1)
         dims = [in_features] + [hidden] * num_layers
         self.convs = ModuleList(
             GCNConv(dims[i], dims[i + 1],
-                    rng=np.random.default_rng(int(seeds[i])))
+                    rng=make_rng(int(seeds[i])))
             for i in range(num_layers))
         self.sort_pool = SortPool(k)
         self.head = MLPHead(k * hidden * num_layers, hidden, num_classes,
                             dropout=dropout,
-                            rng=np.random.default_rng(int(seeds[-1])))
+                            rng=make_rng(int(seeds[-1])))
 
     def forward(self, batch: GraphBatch) -> Tuple[Tensor, Tensor]:
         norm_e, norm_w = normalize_edges(batch.edge_index, batch.edge_weight,
@@ -169,18 +171,18 @@ class DiffPoolClassifier(Module):
                  clusters: Tuple[int, int] = (12, 4), dropout: float = 0.3,
                  rng: Optional[np.random.Generator] = None):
         super().__init__()
-        rng = rng if rng is not None else np.random.default_rng(0)
+        rng = rng if rng is not None else make_rng(0)
         seeds = rng.integers(0, 2 ** 31, size=5)
         self.entry = DenseGCN(in_features, hidden,
-                              rng=np.random.default_rng(int(seeds[0])))
+                              rng=make_rng(int(seeds[0])))
         self.pool1 = DiffPool(hidden, hidden, clusters[0],
-                              rng=np.random.default_rng(int(seeds[1])))
+                              rng=make_rng(int(seeds[1])))
         self.mid = DenseGCN(hidden, hidden,
-                            rng=np.random.default_rng(int(seeds[2])))
+                            rng=make_rng(int(seeds[2])))
         self.pool2 = DiffPool(hidden, hidden, clusters[1],
-                              rng=np.random.default_rng(int(seeds[3])))
+                              rng=make_rng(int(seeds[3])))
         self.head = MLPHead(2 * hidden, hidden, num_classes, dropout=dropout,
-                            rng=np.random.default_rng(int(seeds[4])))
+                            rng=make_rng(int(seeds[4])))
 
     def forward(self, batch: GraphBatch) -> Tuple[Tensor, Tensor]:
         dense_x, mask = to_dense_batch(Tensor(batch.x), batch.batch,
@@ -206,20 +208,20 @@ class StructPoolClassifier(Module):
                  mean_field_steps: int = 2, dropout: float = 0.3,
                  rng: Optional[np.random.Generator] = None):
         super().__init__()
-        rng = rng if rng is not None else np.random.default_rng(0)
+        rng = rng if rng is not None else make_rng(0)
         seeds = rng.integers(0, 2 ** 31, size=5)
         self.entry = DenseGCN(in_features, hidden,
-                              rng=np.random.default_rng(int(seeds[0])))
+                              rng=make_rng(int(seeds[0])))
         self.pool1 = StructPool(hidden, clusters[0],
                                 mean_field_steps=mean_field_steps,
-                                rng=np.random.default_rng(int(seeds[1])))
+                                rng=make_rng(int(seeds[1])))
         self.mid = DenseGCN(hidden, hidden,
-                            rng=np.random.default_rng(int(seeds[2])))
+                            rng=make_rng(int(seeds[2])))
         self.pool2 = StructPool(hidden, clusters[1],
                                 mean_field_steps=mean_field_steps,
-                                rng=np.random.default_rng(int(seeds[3])))
+                                rng=make_rng(int(seeds[3])))
         self.head = MLPHead(2 * hidden, hidden, num_classes, dropout=dropout,
-                            rng=np.random.default_rng(int(seeds[4])))
+                            rng=make_rng(int(seeds[4])))
 
     def forward(self, batch: GraphBatch) -> Tuple[Tensor, Tensor]:
         dense_x, mask = to_dense_batch(Tensor(batch.x), batch.batch,

@@ -11,6 +11,8 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from ..tensor.random import make_rng
+
 from ..graph import normalize_edges
 from ..layers import GATConv, GCNConv, GINConv, SAGEConv, gin_mlp
 from ..nn import Dropout, Linear, Module, ModuleList
@@ -54,16 +56,16 @@ class GNNEncoder(Module):
         super().__init__()
         if num_layers < 1:
             raise ValueError("num_layers must be >= 1")
-        rng = rng if rng is not None else np.random.default_rng(0)
+        rng = rng if rng is not None else make_rng(0)
         seeds = rng.integers(0, 2 ** 31, size=num_layers + 1)
         self.kind = kind.lower()
         dims = [in_features] + [hidden] * (num_layers - 1) + [out_features]
         self.convs = ModuleList(
             _make_conv(self.kind, dims[i], dims[i + 1],
-                       np.random.default_rng(int(seeds[i])))
+                       make_rng(int(seeds[i])))
             for i in range(num_layers))
         self.dropout = Dropout(dropout,
-                               rng=np.random.default_rng(int(seeds[-1])))
+                               rng=make_rng(int(seeds[-1])))
 
     def forward(self, x: Tensor, edge_index: np.ndarray,
                 edge_weight: Optional[np.ndarray] = None) -> Tensor:
@@ -127,27 +129,27 @@ class GraphUNet(Module):
         super().__init__()
         if depth < 1:
             raise ValueError("depth must be >= 1")
-        rng = rng if rng is not None else np.random.default_rng(0)
+        rng = rng if rng is not None else make_rng(0)
         seeds = rng.integers(0, 2 ** 31, size=3 * depth + 3)
         self.depth = depth
         self.input_conv = GCNConv(in_features, hidden,
-                                  rng=np.random.default_rng(int(seeds[0])))
+                                  rng=make_rng(int(seeds[0])))
         self.pools = ModuleList(
             TopKPooling(hidden, ratio=ratio,
-                        rng=np.random.default_rng(int(seeds[1 + i])))
+                        rng=make_rng(int(seeds[1 + i])))
             for i in range(depth))
         self.down_convs = ModuleList(
             GCNConv(hidden, hidden,
-                    rng=np.random.default_rng(int(seeds[1 + depth + i])))
+                    rng=make_rng(int(seeds[1 + depth + i])))
             for i in range(depth))
         self.up_convs = ModuleList(
             GCNConv(hidden, hidden,
-                    rng=np.random.default_rng(int(seeds[1 + 2 * depth + i])))
+                    rng=make_rng(int(seeds[1 + 2 * depth + i])))
             for i in range(depth))
         self.head = Linear(hidden, out_features,
-                           rng=np.random.default_rng(int(seeds[-2])))
+                           rng=make_rng(int(seeds[-2])))
         self.dropout = Dropout(dropout,
-                               rng=np.random.default_rng(int(seeds[-1])))
+                               rng=make_rng(int(seeds[-1])))
 
     def forward(self, x: Tensor, edge_index: np.ndarray,
                 edge_weight: Optional[np.ndarray] = None) -> Tensor:

@@ -17,6 +17,8 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from ..tensor.random import make_rng
+
 from ..graph import GraphBatch
 from ..nn import Linear, Module, ModuleList
 from ..pooling import dense_slots
@@ -50,14 +52,14 @@ class PPGNBlock(Module):
     def __init__(self, in_channels: int, out_channels: int,
                  rng: Optional[np.random.Generator] = None):
         super().__init__()
-        rng = rng if rng is not None else np.random.default_rng(0)
+        rng = rng if rng is not None else make_rng(0)
         seeds = rng.integers(0, 2 ** 31, size=3)
         self.mlp1 = Linear(in_channels, out_channels,
-                           rng=np.random.default_rng(int(seeds[0])))
+                           rng=make_rng(int(seeds[0])))
         self.mlp2 = Linear(in_channels, out_channels,
-                           rng=np.random.default_rng(int(seeds[1])))
+                           rng=make_rng(int(seeds[1])))
         self.mlp3 = Linear(in_channels, out_channels,
-                           rng=np.random.default_rng(int(seeds[2])))
+                           rng=make_rng(int(seeds[2])))
         self.out_channels = 2 * out_channels
 
     def forward(self, t: Tensor) -> Tensor:
@@ -79,19 +81,19 @@ class ThreeWLGraphClassifier(Module):
                  num_blocks: int = 2, dropout: float = 0.3,
                  rng: Optional[np.random.Generator] = None):
         super().__init__()
-        rng = rng if rng is not None else np.random.default_rng(0)
+        rng = rng if rng is not None else make_rng(0)
         seeds = rng.integers(0, 2 ** 31, size=num_blocks + 1)
         blocks = []
         channels = in_features + 1
         for i in range(num_blocks):
             block = PPGNBlock(channels, hidden,
-                              rng=np.random.default_rng(int(seeds[i])))
+                              rng=make_rng(int(seeds[i])))
             blocks.append(block)
             channels = block.out_channels
         self.blocks = ModuleList(blocks)
         self.head = MLPHead(2 * channels, hidden * 2, num_classes,
                             dropout=dropout,
-                            rng=np.random.default_rng(int(seeds[-1])))
+                            rng=make_rng(int(seeds[-1])))
 
     def forward(self, batch: GraphBatch) -> Tuple[Tensor, Tensor]:
         array, mask = batch_to_pairwise_tensor(batch)

@@ -4,6 +4,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..tensor.random import make_rng
+
 from ..tensor import Tensor, dropout
 from .module import Module
 
@@ -25,7 +27,7 @@ class Dropout(Module):
         if not 0.0 <= p < 1.0:
             raise ValueError(f"dropout probability must be in [0, 1), got {p}")
         self.p = p
-        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.rng = rng if rng is not None else make_rng(0)
 
     def forward(self, x: Tensor) -> Tensor:
         return dropout(x, self.p, self.rng, training=self.training)

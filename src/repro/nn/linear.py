@@ -4,6 +4,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..tensor.random import make_rng
+
 from ..tensor import Tensor, affine
 from . import init
 from .module import Module, Parameter
@@ -26,7 +28,7 @@ class Linear(Module):
     def __init__(self, in_features: int, out_features: int, bias: bool = True,
                  rng: np.random.Generator | None = None):
         super().__init__()
-        rng = rng if rng is not None else np.random.default_rng(0)
+        rng = rng if rng is not None else make_rng(0)
         self.in_features = in_features
         self.out_features = out_features
         self.weight = Parameter(init.glorot_uniform(rng, in_features, out_features))

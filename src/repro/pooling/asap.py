@@ -22,6 +22,8 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from ..tensor.random import make_rng
+
 from ..nn import Linear, Module, Parameter, init
 from ..tensor import (Tensor, gather_rows, leaky_relu, segment_softmax,
                       segment_sum, sigmoid)
@@ -39,14 +41,14 @@ class LEConv(Module):
     def __init__(self, in_features: int, out_features: int,
                  rng: Optional[np.random.Generator] = None):
         super().__init__()
-        rng = rng if rng is not None else np.random.default_rng(0)
+        rng = rng if rng is not None else make_rng(0)
         seeds = rng.integers(0, 2 ** 31, size=3)
         self.lin_self = Linear(in_features, out_features,
-                               rng=np.random.default_rng(int(seeds[0])))
+                               rng=make_rng(int(seeds[0])))
         self.lin_pos = Linear(in_features, out_features, bias=False,
-                              rng=np.random.default_rng(int(seeds[1])))
+                              rng=make_rng(int(seeds[1])))
         self.lin_neg = Linear(in_features, out_features, bias=False,
-                              rng=np.random.default_rng(int(seeds[2])))
+                              rng=make_rng(int(seeds[2])))
 
     def forward(self, x: Tensor, edge_index: np.ndarray,
                 edge_weight: Optional[np.ndarray] = None,
@@ -76,15 +78,15 @@ class ASAPooling(Module):
         super().__init__()
         if not 0.0 < ratio <= 1.0:
             raise ValueError(f"ratio must be in (0, 1], got {ratio}")
-        rng = rng if rng is not None else np.random.default_rng(0)
+        rng = rng if rng is not None else make_rng(0)
         seeds = rng.integers(0, 2 ** 31, size=3)
         self.ratio = ratio
         self.attention_query = Linear(
-            2 * in_features, 1, rng=np.random.default_rng(int(seeds[0])))
+            2 * in_features, 1, rng=make_rng(int(seeds[0])))
         self.score_conv = LEConv(in_features, 1,
-                                 rng=np.random.default_rng(int(seeds[1])))
+                                 rng=make_rng(int(seeds[1])))
         self.gate = Parameter(init.glorot_uniform(
-            np.random.default_rng(int(seeds[2])), in_features, 1,
+            make_rng(int(seeds[2])), in_features, 1,
             shape=(in_features,)))
 
     def _cluster_representations(self, x: Tensor, edge_index: np.ndarray,

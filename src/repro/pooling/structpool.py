@@ -15,6 +15,8 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from ..tensor.random import make_rng
+
 from ..nn import Linear, Module, Parameter, init
 from ..tensor import Tensor, softmax
 
@@ -38,7 +40,7 @@ class StructPool(Module):
         super().__init__()
         if mean_field_steps < 1:
             raise ValueError("mean_field_steps must be >= 1")
-        rng = rng if rng is not None else np.random.default_rng(0)
+        rng = rng if rng is not None else make_rng(0)
         self.unary = Linear(in_features, num_clusters, rng=rng)
         self.compatibility = Parameter(
             init.glorot_uniform(rng, num_clusters, num_clusters))

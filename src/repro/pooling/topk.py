@@ -13,6 +13,8 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from ..tensor.random import make_rng
+
 from ..nn import Module, Parameter, init
 from ..tensor import Tensor, gather_rows, segment_sum, tanh
 from .common import filter_graph, topk_per_graph
@@ -31,7 +33,7 @@ class TopKPooling(Module):
         super().__init__()
         if not 0.0 < ratio <= 1.0:
             raise ValueError(f"ratio must be in (0, 1], got {ratio}")
-        rng = rng if rng is not None else np.random.default_rng(0)
+        rng = rng if rng is not None else make_rng(0)
         self.ratio = ratio
         self.projection = Parameter(
             init.glorot_uniform(rng, in_features, 1, shape=(in_features,)))

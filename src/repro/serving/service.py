@@ -223,6 +223,12 @@ class GraphServer:
     call :meth:`close` explicitly; both drain in-flight work.
     """
 
+    #: Attributes only the dispatcher thread may mutate after __init__.
+    #: The collation caches behind them are read without a lock by the
+    #: worker threads; sole-writer discipline is what makes that safe,
+    #: and replint rule RL008 reads this declaration to enforce it.
+    _DISPATCHER_OWNED = ("_structures", "_members", "_bucket_key")
+
     def __init__(self, model: Module, dataset: GraphDataset,
                  config: Optional[ServingConfig] = None, dtype=None):
         self.config = config or ServingConfig()

@@ -12,6 +12,8 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from ..tensor.random import make_rng
+
 from ..core import (AdamGNNGraphClassifier, AdamGNNLinkPredictor,
                     AdamGNNNodeClassifier)
 from ..datasets import (GraphDataset, NodeDataset, load_graph_dataset,
@@ -50,7 +52,7 @@ def make_node_classifier(name: str, in_features: int, num_classes: int,
                          seed: int, hidden: int = 64,
                          num_levels: int = 3) -> Module:
     """Instantiate a node-classification model by Table-2 row name."""
-    rng = np.random.default_rng(seed)
+    rng = make_rng(seed)
     key = name.lower()
     if key in ("gcn", "sage", "gat", "gin"):
         return GNNNodeClassifier(key, in_features, num_classes,
@@ -66,7 +68,7 @@ def make_node_classifier(name: str, in_features: int, num_classes: int,
 def make_link_predictor(name: str, in_features: int, seed: int,
                         hidden: int = 64, num_levels: int = 3) -> Module:
     """Instantiate a link-prediction encoder by Table-2 row name."""
-    rng = np.random.default_rng(seed)
+    rng = make_rng(seed)
     key = name.lower()
     if key in ("gcn", "sage", "gat", "gin"):
         return GNNLinkPredictor(key, in_features, hidden=hidden, rng=rng)
@@ -85,7 +87,7 @@ def make_graph_classifier(name: str, in_features: int, num_classes: int,
                           num_levels: int = 3,
                           use_flyback: bool = True) -> Module:
     """Instantiate a graph-classification model by Table-1 row name."""
-    rng = np.random.default_rng(seed)
+    rng = make_rng(seed)
     key = name.lower()
     if key == "gin":
         return GINGraphClassifier(in_features, num_classes, hidden=hidden,
@@ -157,7 +159,7 @@ def run_link_prediction(dataset_name: str, model_name: str,
     scores = []
     for seed in seeds:
         dataset = load_node_dataset(dataset_name, seed=seed)
-        splits = split_links(dataset.graph, np.random.default_rng(seed + 97))
+        splits = split_links(dataset.graph, make_rng(seed + 97))
         if splits.train_graph.x is not None:
             in_features = splits.train_graph.x.shape[1]
         else:

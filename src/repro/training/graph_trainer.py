@@ -25,6 +25,8 @@ from typing import Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
+from ..tensor.random import make_rng
+
 from ..core import (AdamGNNGraphClassifier, AdamGNNOutput, BatchStructure,
                     DatasetStructures, sampled_reconstruction_loss,
                     self_optimisation_loss)
@@ -298,7 +300,7 @@ class GraphClassificationTrainer:
         # Cast the model before the optimiser snapshots parameter shapes,
         # so Adam's moment buffers are born at the compute precision.
         model.astype(cfg.dtype)
-        rng = np.random.default_rng(cfg.seed + 307)
+        rng = make_rng(cfg.seed + 307)
         optimizer = Adam(model.parameters(), lr=cfg.lr,
                          weight_decay=cfg.weight_decay)
         stopper = EarlyStopping(patience=cfg.patience, mode="max")
@@ -365,7 +367,7 @@ class GraphClassificationTrainer:
         """
         cfg = self.config
         model.astype(cfg.dtype)
-        rng = np.random.default_rng(cfg.seed + 307)
+        rng = make_rng(cfg.seed + 307)
         optimizer = Adam(model.parameters(), lr=cfg.lr,
                          weight_decay=cfg.weight_decay)
         model.train()

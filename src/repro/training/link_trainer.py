@@ -16,6 +16,8 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from ..tensor.random import make_rng
+
 from ..core import (AdamGNNOutput, link_probabilities,
                     sampled_reconstruction_loss, self_optimisation_loss)
 from ..datasets import LinkTaskSplits, NodeDataset
@@ -47,8 +49,8 @@ def _pair_scores(h, positives: np.ndarray, negatives: np.ndarray
     """Decoder scores and labels for a positive/negative pair set."""
     pairs = np.concatenate([positives, negatives], axis=1)
     labels = np.concatenate([
-        np.ones(positives.shape[1]),   # replint: allow RL001 -- detached metric labels
-        np.zeros(negatives.shape[1]),  # replint: allow RL001 -- detached metric labels
+        np.ones(positives.shape[1], dtype=np.int8),
+        np.zeros(negatives.shape[1], dtype=np.int8),
     ])
     return link_probabilities(h, pairs), labels
 
@@ -74,7 +76,7 @@ class LinkPredictionTrainer:
             x = Tensor(train_graph.x)
         else:
             x = Tensor(degree_features(train_graph, max_degree=32))
-        rng = np.random.default_rng(cfg.seed + 211)
+        rng = make_rng(cfg.seed + 211)
 
         optimizer = Adam(model.parameters(), lr=cfg.lr,
                          weight_decay=cfg.weight_decay)

@@ -14,6 +14,8 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from ..tensor.random import make_rng
+
 from ..core import (AdamGNNOutput, sampled_reconstruction_loss,
                     self_optimisation_loss)
 from ..datasets import NodeDataset
@@ -154,7 +156,7 @@ class NodeClassificationTrainer:
         x = Tensor(prepare_node_features(dataset), dtype=cfg.dtype)
         labels = np.asarray(graph.y, dtype=np.int64)
         masks = dataset.splits.masks(graph.num_nodes)
-        rng = np.random.default_rng(cfg.seed + 101)
+        rng = make_rng(cfg.seed + 101)
 
         optimizer = Adam(model.parameters(), lr=cfg.lr,
                          weight_decay=cfg.weight_decay)
@@ -377,7 +379,7 @@ class NodeClassificationTrainer:
         x = Tensor(prepare_node_features(dataset), dtype=cfg.dtype)
         labels = np.asarray(graph.y, dtype=np.int64)
         masks = dataset.splits.masks(graph.num_nodes)
-        rng = np.random.default_rng(cfg.seed + 101)
+        rng = make_rng(cfg.seed + 101)
         optimizer = Adam(model.parameters(), lr=cfg.lr,
                          weight_decay=cfg.weight_decay)
         profiler = PhaseTimer()

@@ -1,0 +1,3 @@
+"""Call-graph fixture package: re-exports for transitive resolution."""
+
+from .alpha import Helper, entry

@@ -1,0 +1,36 @@
+"""Fixture module: classes, inheritance, aliased imports, a cycle."""
+
+from . import beta as b
+from .beta import ping as remote_ping
+
+
+class Base:
+    def shared(self):
+        return self.leaf()
+
+    def leaf(self):
+        return 0
+
+
+class Helper(Base):
+    def __init__(self):
+        self.state = 0
+
+    def leaf(self):
+        return ping_pong()
+
+    def run(self):
+        # resolved through the base-class walk: Helper has no 'shared'
+        return self.shared()
+
+
+def entry():
+    helper = Helper()          # constructor call → Helper.__init__
+    remote_ping()              # aliased from-import → beta.ping
+    b.pong()                   # module-alias attribute call → beta.pong
+    Helper.run(helper)         # ClassName.method(instance) dispatch
+    return helper
+
+
+def ping_pong():
+    return remote_ping()       # closes the alpha↔beta cycle

@@ -1,0 +1,30 @@
+"""Fixture module: interprocedural taint chains for the engine tests."""
+
+from repro.tensor.workspace import ws_empty
+
+
+def _alloc(shape):
+    return ws_empty(shape, float)
+
+
+def _wrap(shape):
+    buf = _alloc(shape)
+    return buf
+
+
+def escape(shape):
+    out = _wrap(shape)
+    return out                  # tainted through two helper hops
+
+
+def consume(buf, copy):
+    # 'buf' receives a tainted argument from feeder; 'copy' never does.
+    return (buf, copy)
+
+
+def feeder(shape):
+    consume(_alloc(shape), 1)
+
+
+def clean(shape):
+    return list(shape)

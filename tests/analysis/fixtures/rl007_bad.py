@@ -1,0 +1,36 @@
+"""RL007 fixture: randomness minted outside the stream tree — 6 findings."""
+
+import numpy as np
+
+from repro.tensor.random import make_rng
+
+
+def legacy_global_draw(n):
+    # Shape 1: numpy's global RNG state.
+    return np.random.rand(n)
+
+
+def reseeds_global_state(seed):
+    # Shape 2: mutating the legacy global stream.
+    np.random.seed(seed)
+
+
+def os_entropy():
+    # Shape 3: unseeded generator — different stream every run.
+    return np.random.default_rng()
+
+
+def unkeyed_stream():
+    # Shape 4: seeded but unkeyed — should be make_rng(42).
+    return np.random.default_rng(42)
+
+
+def shared_default_stream(x, rng=make_rng(0)):
+    # Shape 5: generator minted in a default argument — one stream shared
+    # by every call, output depends on global call order.
+    return x + rng.random()
+
+
+def legacy_random_state():
+    # Shape 6: the pre-Generator legacy API.
+    return np.random.RandomState(7)

@@ -1,0 +1,29 @@
+"""RL007 fixture: sanctioned randomness — zero findings."""
+
+import numpy as np
+
+from repro.tensor.random import make_rng, spawn
+
+
+def seeded_root(seed):
+    return make_rng(seed)
+
+
+def child_streams(seed):
+    rng = make_rng(seed)
+    return spawn(rng, 3)
+
+
+def keyed_stream(seed, shard):
+    # Tuple-keyed substream: a pure function of (seed, purpose, index).
+    return np.random.default_rng((seed, "shard", shard))
+
+
+def typed_consumer(rng: np.random.Generator, n):
+    # Annotations referencing np.random.Generator are types, not calls.
+    return rng.integers(0, 10, size=n)
+
+
+def lazy_default(x, rng=None):
+    rng = make_rng(0) if rng is None else rng
+    return x + rng.random()

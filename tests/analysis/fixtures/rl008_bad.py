@@ -1,0 +1,48 @@
+"""RL008 fixture: dispatcher-owned state written off-thread — 4 findings."""
+
+
+class BadServer:
+    """Default protected set (_structures/_members/_bucket_key)."""
+
+    def __init__(self):
+        # __init__ is exempt: construction precedes the threads.
+        self._structures = {}
+        self._members = {}
+        self._bucket_key = []
+
+    def submit(self, key, gid):
+        # Shape 1: mutator call on owned state from the caller thread.
+        self._members.setdefault(key, []).append(gid)
+        self._refresh(key)
+
+    def _refresh(self, key):
+        # Shape 2: assignment in a helper reachable from submit.
+        self._bucket_key = list(self._bucket_key) + [key]
+
+    def _worker_loop(self):
+        # Shape 3: subscript write from the worker threads.
+        self._structures[0] = None
+
+    def _dispatch_loop(self):
+        # The dispatcher itself is the sole sanctioned writer.
+        self._structures.clear()
+
+
+class DeclaredServer:
+    """In-code declaration overrides the default protected set."""
+
+    _DISPATCHER_OWNED = ("_cache",)
+
+    def __init__(self):
+        self._cache = {}
+        self._members = {}
+
+    def submit(self, x):
+        # Shape 4: write to a declared-owned attribute.
+        self._cache[x] = x
+        # _members is NOT owned here — the declaration replaced the
+        # defaults — so this write is clean.
+        self._members = {}
+
+    def _dispatch_loop(self):
+        self._cache = {}

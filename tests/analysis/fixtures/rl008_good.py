@@ -1,0 +1,34 @@
+"""RL008 fixture: sole-writer discipline respected — zero findings."""
+
+
+class GoodServer:
+    def __init__(self):
+        self._structures = {}
+        self._members = {}
+        self._bucket_key = []
+        self._buckets = {}
+
+    def submit(self, key, gid):
+        # Mutex-guarded queue state is not dispatcher-owned; reads of
+        # owned state are fine anywhere.
+        self._buckets.setdefault(key, []).append(gid)
+        return len(self._members.get(key, ()))
+
+    def _worker_loop(self):
+        while self._buckets:
+            self._buckets.popitem()
+
+    def _dispatch_loop(self):
+        # Only the dispatcher thread (and its private helpers) write.
+        self._rebuild()
+
+    def _rebuild(self):
+        self._members = {}
+        self._structures[0] = None
+
+
+class NotAServer:
+    """No _dispatch_loop — the rule does not apply at all."""
+
+    def submit(self, x):
+        self._members = {x}

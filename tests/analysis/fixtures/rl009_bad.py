@@ -1,0 +1,49 @@
+"""RL009 fixture: unordered iteration reaching ordered sinks — 5 findings."""
+
+import json
+
+import numpy as np
+
+
+def draw_in_set_loop(rng, graph_ids):
+    members = set(graph_ids)
+    # Shape 1: RNG consumed inside a set-order loop — draw sequence
+    # depends on hash randomization.
+    for gid in members:
+        rng.integers(0, 10)
+
+
+def concat_from_set_loop(features):
+    members = {1, 2, 3}
+    parts = []
+    # Shape 2: list filled in set order, concatenated later.
+    for gid in members:
+        parts.append(features[gid])
+    return np.concatenate(parts)
+
+
+def stack_comprehension(features):
+    members = {4, 5, 6}
+    # Shape 3: comprehension over a set feeding a stack directly.
+    return np.stack([features[gid] for gid in members])
+
+
+def serialize_id_keyed(fh, objs):
+    registry = {}
+    for obj in objs:
+        registry[id(obj)] = obj
+    # Shape 4: id()-keyed dict iterated into serialized output —
+    # allocation-address order.
+    for key in registry:
+        fh.write(str(key))
+
+
+def _draw(rng):
+    return rng.random()
+
+
+def indirect_rng_consumption(rng):
+    members = {7, 8}
+    # Shape 5: the helper consumes RNG; the call graph propagates it.
+    for gid in members:
+        _draw(rng)

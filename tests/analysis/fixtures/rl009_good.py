@@ -1,0 +1,37 @@
+"""RL009 fixture: order laundered or order-free — zero findings."""
+
+import json
+
+import numpy as np
+
+
+def sorted_set_loop(rng, graph_ids):
+    members = set(graph_ids)
+    # sorted(...) launders the order before RNG consumption.
+    for gid in sorted(members):
+        rng.integers(0, 10)
+
+
+def sorted_concat(features):
+    members = {1, 2, 3}
+    return np.concatenate([features[gid] for gid in sorted(members)])
+
+
+def list_iteration(rng, graph_ids):
+    # Lists iterate in insertion order — deterministic.
+    for gid in list(graph_ids):
+        rng.integers(0, 10)
+
+
+def order_free_reduction(members):
+    # Iterating a set is fine when the result is order-invariant.
+    total = 0
+    for gid in {1, 2, 3}:
+        total += gid
+    return total, max(members)
+
+
+def sorted_serialization(fh, registry):
+    for key in sorted(registry):
+        fh.write(str(key))
+    json.dump(sorted(registry), fh)

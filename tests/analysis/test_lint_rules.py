@@ -12,8 +12,10 @@ import pytest
 from repro.analysis import lint
 from repro.analysis.rules import (ArenaEscapeRule, ClosureRetentionRule,
                                   CommReductionRule, DtypeLiteralRule,
-                                  InplaceMutationRule, SourceFile,
-                                  VJPRegistryRule, default_rules)
+                                  InplaceMutationRule, NondetIterationRule,
+                                  RngDisciplineRule, SoleWriterRule,
+                                  SourceFile, VJPRegistryRule,
+                                  default_rules)
 from repro.analysis.rules.vjp_registry import fused_ops_with_custom_backward
 
 FIXTURES = Path(__file__).parent / "fixtures"
@@ -122,6 +124,18 @@ def test_rl003_clean_on_sanctioned_usage():
     assert run_rule(ArenaEscapeRule(), "rl003_good.py") == []
 
 
+def test_rl003_follows_taint_through_helper_calls():
+    # The interprocedural upgrade: an allocation hidden behind two
+    # private helper hops still taints the public function's return.
+    report = lint.lint_paths([FIXTURES / "callgraph_pkg"],
+                             rules=[ArenaEscapeRule()], root=FIXTURES)
+    flagged = {(f.path, f.message.split("'")[1]) for f in report.findings}
+    assert ("callgraph_pkg/taints.py", "escape") in flagged
+    # the private helpers themselves are not findings
+    assert all(name not in ("_alloc", "_wrap")
+               for _, name in flagged)
+
+
 # ---------------------------------------------------------------------------
 # RL004 — in-place mutation
 # ---------------------------------------------------------------------------
@@ -180,6 +194,25 @@ def test_rl005_real_tree_is_clean():
     assert report.findings == []
 
 
+def test_rl005_follows_taint_through_helper_calls(tmp_path):
+    # Hiding the allocation behind a private helper no longer hides the
+    # retention: the taint engine resolves the helper's return.
+    path = tmp_path / "wrapped.py"
+    path.write_text(
+        "from repro.tensor.workspace import ws_empty\n"
+        "def _scratch(shape):\n"
+        "    return ws_empty(shape, float)\n"
+        "def apply(shape):\n"
+        "    gact = _scratch(shape)\n"
+        "    def backward(grad, sink):\n"
+        "        sink.append(gact)\n"
+        "    return backward\n")
+    report = lint.lint_paths([path], rules=[ClosureRetentionRule()],
+                             root=tmp_path)
+    assert len(report.findings) == 1
+    assert "appends an arena slot" in report.findings[0].message
+
+
 # ---------------------------------------------------------------------------
 # RL006 — comm-segment reduce-window discipline
 # ---------------------------------------------------------------------------
@@ -218,6 +251,106 @@ def test_rl006_real_comm_module_is_clean():
 
 
 # ---------------------------------------------------------------------------
+# RL007 — RNG-stream discipline
+# ---------------------------------------------------------------------------
+def test_rl007_flags_every_entropy_escape():
+    findings = run_rule(RngDisciplineRule(), "rl007_bad.py")
+    assert len(findings) == 6
+    assert {f.rule for f in findings} == {"RL007"}
+    messages = "\n".join(f.message for f in findings)
+    assert "np.random.rand()" in messages
+    assert "np.random.seed()" in messages
+    assert "no seed draws OS entropy" in messages
+    assert "unkeyed np.random.default_rng(seed)" in messages
+    assert "generator-minting default argument" in messages
+    assert "np.random.RandomState()" in messages
+
+
+def test_rl007_clean_on_stream_tree_usage():
+    assert run_rule(RngDisciplineRule(), "rl007_good.py") == []
+
+
+def test_rl007_excludes_the_stream_tree_module():
+    rule = RngDisciplineRule()
+    src = SourceFile(Path("random.py"), "repro/tensor/random.py",
+                     "import numpy as np\n"
+                     "def make_rng(seed):\n"
+                     "    return np.random.default_rng(seed)\n")
+    assert list(rule.check_file(src)) == []
+
+
+def test_rl007_real_tree_is_clean():
+    report = lint.lint_paths([REPO_ROOT / "src" / "repro"],
+                             rules=[RngDisciplineRule()], root=REPO_ROOT)
+    assert report.findings == [], "\n".join(
+        f.format() for f in report.findings)
+
+
+# ---------------------------------------------------------------------------
+# RL008 — sole-writer thread discipline
+# ---------------------------------------------------------------------------
+def test_rl008_flags_offthread_writes():
+    findings = run_rule(SoleWriterRule(), "rl008_bad.py")
+    assert len(findings) == 4
+    assert {f.rule for f in findings} == {"RL008"}
+    messages = "\n".join(f.message for f in findings)
+    assert "calls .setdefault() on dispatcher-owned 'self._members'" \
+        in messages
+    assert "'BadServer._refresh'" in messages            # via call graph
+    assert "'BadServer._worker_loop'" in messages
+    assert "'DeclaredServer.submit'" in messages         # _DISPATCHER_OWNED
+
+
+def test_rl008_clean_on_disciplined_server():
+    assert run_rule(SoleWriterRule(), "rl008_good.py") == []
+
+
+def test_rl008_real_serving_module_is_clean():
+    report = lint.lint_paths([REPO_ROOT / "src" / "repro"],
+                             rules=[SoleWriterRule()], root=REPO_ROOT)
+    assert report.findings == [], "\n".join(
+        f.format() for f in report.findings)
+
+
+def test_rl008_reads_graphserver_declaration():
+    # The contract is declared in-code; the index must see it.
+    from repro.analysis.project import ProjectIndex
+    report = lint.lint_paths(
+        [REPO_ROOT / "src" / "repro" / "serving" / "service.py"],
+        rules=[], root=REPO_ROOT)
+    project = ProjectIndex(report.root, report.sources)
+    cls = project.modules["repro.serving.service"].classes["GraphServer"]
+    assert cls.declarations["_DISPATCHER_OWNED"] == (
+        "_structures", "_members", "_bucket_key")
+
+
+# ---------------------------------------------------------------------------
+# RL009 — nondeterministic iteration order
+# ---------------------------------------------------------------------------
+def test_rl009_flags_order_leaks():
+    findings = run_rule(NondetIterationRule(), "rl009_bad.py")
+    assert len(findings) == 5
+    assert {f.rule for f in findings} == {"RL009"}
+    messages = "\n".join(f.message for f in findings)
+    assert "consumes RNG inside the loop" in messages
+    assert "later passed to np.concatenate" in messages
+    assert "np.stack consumes a comprehension" in messages
+    assert "id()-keyed dict 'registry'" in messages
+    # finding 5 rides on call-graph propagation through _draw
+
+
+def test_rl009_clean_on_sorted_or_order_free_code():
+    assert run_rule(NondetIterationRule(), "rl009_good.py") == []
+
+
+def test_rl009_real_tree_is_clean():
+    report = lint.lint_paths([REPO_ROOT / "src" / "repro"],
+                             rules=[NondetIterationRule()], root=REPO_ROOT)
+    assert report.findings == [], "\n".join(
+        f.format() for f in report.findings)
+
+
+# ---------------------------------------------------------------------------
 # Pragmas and skip-file
 # ---------------------------------------------------------------------------
 def test_pragma_allows_multiple_rules(tmp_path):
@@ -237,6 +370,54 @@ def test_skip_file_pragma(tmp_path):
                     "x = np.zeros(3)\n")
     report = lint.lint_paths([path], rules=default_rules(), root=tmp_path)
     assert report.findings == []
+
+
+def test_stale_pragma_detection(tmp_path):
+    path = tmp_path / "pragmas.py"
+    path.write_text(
+        "import numpy as np\n"
+        # live: suppresses a real RL001 finding
+        "a = np.zeros(3)  # replint: allow RL001 -- deliberate\n"
+        # stale: nothing to suppress on this line
+        "b = a.sum()  # replint: allow RL001 -- fixed long ago\n"
+        # unknown rule id
+        "c = 1  # replint: allow RL999 -- typo\n")
+    report = lint.lint_paths([path], rules=default_rules(), root=tmp_path)
+    stale = lint.stale_pragmas(report, default_rules())
+    assert [(p.line, p.unused, p.unknown) for p in stale] == [
+        (3, ("RL001",), ()),
+        (4, (), ("RL999",)),
+    ]
+    assert "suppresses nothing" in stale[0].format()
+    assert "unknown rule" in stale[1].format()
+
+
+def test_docstring_pragma_mentions_are_not_pragmas(tmp_path):
+    # Backtick-quoted pragma syntax in documentation must neither
+    # suppress findings nor count as a stale pragma.
+    path = tmp_path / "documented.py"
+    path.write_text(
+        '"""Suppress with ``# replint: allow RL001 -- <why>``."""\n'
+        "import numpy as np\n"
+        "x = np.zeros(3)\n")
+    report = lint.lint_paths([path], rules=default_rules(), root=tmp_path)
+    assert [f.rule for f in report.findings] == ["RL001"]
+    assert lint.stale_pragmas(report, default_rules()) == []
+
+
+def test_skip_file_pragmas_are_never_stale(tmp_path):
+    path = tmp_path / "skipped.py"
+    path.write_text("# replint: skip-file\n"
+                    "x = 0  # replint: allow RL001 -- moot under skip\n")
+    report = lint.lint_paths([path], rules=default_rules(), root=tmp_path)
+    assert lint.stale_pragmas(report, default_rules()) == []
+
+
+def test_real_tree_has_no_stale_pragmas():
+    report = lint.lint_paths([REPO_ROOT / "src" / "repro"],
+                             rules=default_rules(), root=REPO_ROOT)
+    stale = lint.stale_pragmas(report, default_rules())
+    assert stale == [], "\n".join(p.format() for p in stale)
 
 
 def test_parse_error_is_reported_not_raised(tmp_path):

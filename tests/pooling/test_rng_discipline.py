@@ -1,0 +1,70 @@
+"""RNG-stream discipline (RL007) regression anchors for the pooling stack.
+
+The pooling modules default-construct their weight RNGs; routing those
+defaults through ``repro.tensor.random.make_rng`` (the RL007 fix) must not
+move a single bit of the seed fan-out.  These fingerprints were recorded
+*before* the refactor and pin the default-constructed weights of every
+pooling family (and the LEConv sub-module ASAP's fan-out flows through).
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+import pytest
+
+from repro.pooling import (ASAPooling, DiffPool, SAGPooling, StructPool,
+                           TopKPooling)
+from repro.pooling.asap import LEConv
+
+
+def weights_fingerprint(module) -> str:
+    """SHA-256 over every parameter's float64 bytes, in registration
+    order — any change to the seed fan-out changes this digest."""
+    digest = hashlib.sha256()
+    for param in module.parameters():
+        digest.update(np.ascontiguousarray(
+            param.data, dtype=np.float64).tobytes())
+        digest.update(str(param.data.shape).encode())
+    return digest.hexdigest()[:16]
+
+
+PINNED = {
+    "topk": "407cb0f934613e13",
+    "sagpool": "5e4235fc2d6180fc",
+    "asap": "3581ecdcea26c819",
+    "leconv": "d9f31668bba72a5c",
+    "diffpool": "0d59943f1e8a9a01",
+    "structpool": "bdc626a7facf4e7d",
+}
+
+
+def build(name):
+    if name == "topk":
+        return TopKPooling(7, ratio=0.5)
+    if name == "sagpool":
+        return SAGPooling(7, ratio=0.5)
+    if name == "asap":
+        return ASAPooling(7, ratio=0.5)
+    if name == "leconv":
+        return LEConv(7, 3)
+    if name == "diffpool":
+        return DiffPool(7, 5, 3)
+    if name == "structpool":
+        return StructPool(7, 3)
+    raise KeyError(name)
+
+
+@pytest.mark.parametrize("name", sorted(PINNED))
+def test_default_weights_fingerprint_pinned(name):
+    assert weights_fingerprint(build(name)) == PINNED[name], (
+        f"default-constructed {name} weights moved — the make_rng routing "
+        f"must keep the seed fan-out bitwise unchanged")
+
+
+def test_fingerprint_is_deterministic_and_seed_sensitive():
+    a, b = weights_fingerprint(build("topk")), weights_fingerprint(build("topk"))
+    assert a == b
+    other = TopKPooling(7, ratio=0.5, rng=np.random.default_rng(1))
+    assert weights_fingerprint(other) != a

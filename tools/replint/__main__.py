@@ -6,16 +6,22 @@ Examples::
     python -m tools.replint src/repro --no-baseline   # absolute mode
     python -m tools.replint src/repro --write-baseline
     python -m tools.replint src/repro --rules RL001,RL004
+    python -m tools.replint src/repro --sarif replint.sarif
+    python -m tools.replint src/repro --check-pragmas
 
 Exit status: 0 when no *new* findings relative to the baseline (or no
-findings at all in ``--no-baseline`` mode), 1 otherwise, 2 on unparseable
-files.  When ``$GITHUB_STEP_SUMMARY`` is set, per-rule hit counts are
-appended there as a Markdown table.
+findings at all in ``--no-baseline`` mode), 1 otherwise (including stale
+pragmas under ``--check-pragmas``), 2 on unparseable files.  When
+``$GITHUB_STEP_SUMMARY`` is set, per-rule hit counts are appended there
+as a Markdown table.  ``--sarif PATH`` additionally writes the full
+finding set (not just baseline regressions) as a SARIF 2.1.0 log for
+code-scanning upload.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 from pathlib import Path
@@ -65,7 +71,7 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m tools.replint",
         description="Static invariant checker for the repro autograd/kernel "
-                    "stack (rules RL001-RL004).")
+                    "stack (rules RL001-RL009).")
     parser.add_argument("paths", nargs="*", default=None,
                         help="files or directories to lint "
                              "(default: src/repro)")
@@ -79,13 +85,23 @@ def main(argv=None) -> int:
                              "the baseline file and exit 0")
     parser.add_argument("--rules", default=None, metavar="RL00X,RL00Y",
                         help="comma-separated rule subset to run")
+    parser.add_argument("--sarif", type=Path, default=None, metavar="PATH",
+                        help="also write findings as a SARIF 2.1.0 log")
+    parser.add_argument("--check-pragmas", action="store_true",
+                        help="fail on '# replint: allow' pragmas that no "
+                             "longer suppress any finding")
     parser.add_argument("-q", "--quiet", action="store_true",
                         help="suppress per-finding lines (counts only)")
     args = parser.parse_args(argv)
 
+    if args.check_pragmas and args.rules:
+        raise SystemExit("replint: --check-pragmas needs the full rule set "
+                         "(a subset run would call other rules' pragmas "
+                         "stale); drop --rules")
+
     paths = args.paths or [str(ROOT / "src" / "repro")]
-    report = lint.lint_paths(paths, rules=_select_rules(args.rules),
-                             root=ROOT)
+    rules = _select_rules(args.rules)
+    report = lint.lint_paths(paths, rules=rules, root=ROOT)
 
     for rel, message in report.parse_errors:
         print(f"{rel}: parse error: {message}", file=sys.stderr)
@@ -123,11 +139,30 @@ def main(argv=None) -> int:
         for rule_id, rel, text in fixed:
             print(f"  [{rule_id}] {rel}: {text}")
 
+    stale = []
+    if args.check_pragmas:
+        stale = lint.stale_pragmas(report, rules)
+        for pragma in stale:
+            print(pragma.format())
+        if stale:
+            print(f"replint: {len(stale)} stale pragma(s) — delete them "
+                  f"or fix the rule ids they name")
+
+    if args.sarif is not None:
+        from repro.analysis import sarif as sarif_mod
+        payload = sarif_mod.sarif_report(report, rules)
+        sarif_mod.validate_sarif(payload)
+        args.sarif.parent.mkdir(parents=True, exist_ok=True)
+        args.sarif.write_text(json.dumps(payload, indent=2) + "\n")
+        if not args.quiet:
+            print(f"replint: wrote SARIF log ({len(report.findings)} "
+                  f"result(s)) to {args.sarif}")
+
     _write_step_summary(report, fresh, baseline_used)
 
     if report.parse_errors:
         return 2
-    return 1 if fresh else 0
+    return 1 if fresh or stale else 0
 
 
 if __name__ == "__main__":
